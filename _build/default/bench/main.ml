@@ -1,0 +1,524 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   section (Tables 1-3), the shape claims of §4, ablations over the design
+   axes, the two extensions, and Bechamel micro-benchmarks of the core
+   algorithms.
+
+   Run everything:        dune exec bench/main.exe
+   Run one section:       dune exec bench/main.exe -- table2 ablation:afpga
+
+   Absolute cycle counts are produced by our models of the paper's models
+   (see DESIGN.md); EXPERIMENTS.md compares shapes against the published
+   numbers. *)
+
+module Flow = Hypar_core.Flow
+module Engine = Hypar_core.Engine
+module Platform = Hypar_core.Platform
+module Ofdm = Hypar_apps.Ofdm
+module Jpeg = Hypar_apps.Jpeg
+
+let section_header name =
+  Printf.printf "\n================ %s ================\n" name
+
+let platform ?(area = 1500) ?(cgcs = 2) ?(rows = 2) ?(cols = 2) ?(ratio = 3) ()
+    =
+  Platform.make ~clock_ratio:ratio
+    ~fpga:(Hypar_finegrain.Fpga.make ~area ())
+    ~cgc:(Hypar_coarsegrain.Cgc.make ~cgcs ~rows ~cols ())
+    ()
+
+let apps () =
+  [
+    ("OFDM", Ofdm.prepared (), Ofdm.timing_constraint, Ofdm.symbols);
+    ("JPEG", Jpeg.prepared (), Jpeg.timing_constraint, Jpeg.blocks);
+  ]
+
+(* ---- Table 1: ordered total weights of the basic blocks ---------------- *)
+
+let paper_table1 =
+  [
+    ( "OFDM",
+      [ (22, 336, 115, 38640); (12, 1200, 25, 30000); (3, 864, 6, 5184);
+        (5, 370, 12, 4440); (42, 800, 5, 4000); (32, 560, 6, 3360);
+        (29, 448, 7, 3136); (21, 147, 18, 2646) ] );
+    ( "JPEG",
+      [ (6, 355024, 3, 1065072); (2, 8192, 85, 696320); (1, 8192, 83, 679936);
+        (22, 65536, 5, 327680); (8, 30927, 8, 247416); (3, 65536, 3, 196608);
+        (16, 63540, 3, 190620); (17, 63540, 2, 127080) ] );
+  ]
+
+let table1 () =
+  section_header "Table 1 — ordered total weights of basic blocks";
+  List.iter
+    (fun (name, prepared, _, _) ->
+      let analysis =
+        Hypar_analysis.Kernel.analyse prepared.Flow.cdfg prepared.Flow.profile
+      in
+      print_string
+        (Hypar_analysis.Table.render ~top:8
+           ~title:(Printf.sprintf "%s — measured" name)
+           analysis);
+      print_newline ();
+      Printf.printf "%s — paper reference:\n" name;
+      Printf.printf
+        "Basic Block no. | exec. freq. | Operations weight | Total weight\n";
+      List.iter
+        (fun (bb, freq, w, total) ->
+          Printf.printf "%15d | %11d | %17d | %12d\n" bb freq w total)
+        (List.assoc name paper_table1);
+      print_newline ())
+    (apps ())
+
+(* ---- Tables 2 and 3: partitioning on the four configurations ----------- *)
+
+let paper_partitioning =
+  [
+    ( "OFDM",
+      "paper: initial 263408/124080; in-CGC 53184|41472; moved 22,12,3 | \
+       22,12; final 57088|47856|56864|46512; reduction 78.3|81.8|54.1|62.5" );
+    ( "JPEG",
+      "paper: initial 18434e3/12399e3; in-CGC 5817e3|5699e3; moved 6,2,1; \
+       final 10558e3|10411e3|10423e3|10227e3; reduction 42.7|43.5|15.9|17.5" );
+  ]
+
+let partition_table name prepared timing_constraint =
+  let runs =
+    List.map
+      (fun pl -> Flow.partition pl ~timing_constraint prepared)
+      (Platform.paper_configs ())
+  in
+  print_string
+    (Hypar_core.Result_table.render
+       ~title:(Printf.sprintf "%s partitioning — measured" name)
+       runs);
+  Printf.printf "%s\n" (List.assoc name paper_partitioning)
+
+let table2 () =
+  section_header "Table 2 — OFDM partitioning (constraint 60000 cycles)";
+  partition_table "OFDM" (Ofdm.prepared ()) Ofdm.timing_constraint
+
+let table3 () =
+  section_header "Table 3 — JPEG partitioning (constraint 11e6 cycles)";
+  partition_table "JPEG" (Jpeg.prepared ()) Jpeg.timing_constraint
+
+(* ---- Ablation A: A_FPGA sweep ------------------------------------------ *)
+
+let ablation_afpga () =
+  section_header "Ablation A — A_FPGA sweep (two 2x2 CGCs)";
+  List.iter
+    (fun (name, prepared, timing_constraint, _) ->
+      Printf.printf "%s (constraint %d):\n" name timing_constraint;
+      Printf.printf "%8s %16s %16s %10s %7s\n" "A_FPGA" "initial" "final"
+        "reduction" "moved";
+      List.iter
+        (fun area ->
+          let r =
+            Flow.partition (platform ~area ()) ~timing_constraint prepared
+          in
+          Printf.printf "%8d %16d %16d %9.1f%% %7d\n" area
+            r.Engine.initial.Engine.t_total r.Engine.final.Engine.t_total
+            (Engine.reduction_percent r)
+            (List.length r.Engine.moved))
+        [ 500; 1000; 1500; 2500; 5000; 10000 ];
+      print_newline ())
+    (apps ())
+
+(* ---- Ablation B: CGC count and geometry -------------------------------- *)
+
+let ablation_cgc () =
+  section_header "Ablation B — CGC data-path sweep (A_FPGA = 1500)";
+  List.iter
+    (fun (name, prepared, timing_constraint, _) ->
+      Printf.printf "%s:\n" name;
+      Printf.printf "%14s %16s %16s %10s\n" "data-path" "cycles-in-CGC" "final"
+        "reduction";
+      List.iter
+        (fun (cgcs, rows, cols) ->
+          let r =
+            Flow.partition (platform ~cgcs ~rows ~cols ()) ~timing_constraint
+              prepared
+          in
+          Printf.printf "%14s %16d %16d %9.1f%%\n"
+            (Printf.sprintf "%d x %dx%d" cgcs rows cols)
+            (Engine.coarse_cycles_of_moved r)
+            r.Engine.final.Engine.t_total
+            (Engine.reduction_percent r))
+        [ (1, 2, 2); (2, 2, 2); (3, 2, 2); (4, 2, 2); (2, 1, 2); (2, 2, 4) ];
+      print_newline ())
+    (apps ())
+
+(* ---- Ablation C: clock ratio ------------------------------------------- *)
+
+let ablation_clock_ratio () =
+  section_header "Ablation C — T_FPGA/T_CGC ratio (paper assumes 3)";
+  List.iter
+    (fun (name, prepared, timing_constraint, _) ->
+      Printf.printf "%s:\n" name;
+      Printf.printf "%8s %16s %10s %7s\n" "ratio" "final" "reduction" "moved";
+      List.iter
+        (fun ratio ->
+          let r =
+            Flow.partition (platform ~ratio ()) ~timing_constraint prepared
+          in
+          Printf.printf "%8d %16d %9.1f%% %7d\n" ratio
+            r.Engine.final.Engine.t_total
+            (Engine.reduction_percent r)
+            (List.length r.Engine.moved))
+        [ 1; 2; 3; 4; 6 ];
+      print_newline ())
+    (apps ())
+
+(* ---- Ablation D: communication-model sensitivity ------------------------ *)
+
+let ablation_comm () =
+  section_header "Ablation D — t_comm pricing (transition vs per-invocation)";
+  List.iter
+    (fun (name, prepared, timing_constraint, _) ->
+      Printf.printf "%s:\n" name;
+      Printf.printf "%16s %16s %16s %8s\n" "pricing" "t_comm" "final" "met";
+      List.iter
+        (fun (label, pricing) ->
+          let r =
+            Engine.run ~comm_pricing:pricing
+              (platform ())
+              ~timing_constraint prepared.Flow.cdfg prepared.Flow.profile
+          in
+          Printf.printf "%16s %16d %16d %8b\n" label
+            r.Engine.final.Engine.t_comm r.Engine.final.Engine.t_total
+            (Engine.met r))
+        [ ("transition", `Transition); ("per-invocation", `Per_invocation) ];
+      print_newline ())
+    (apps ())
+
+(* ---- Ablation I: input scaling ------------------------------------------- *)
+
+(* Eq. 3/4 weight every block by Iter(BB): doubling the payload must
+   (asymptotically) double every time component. *)
+let ablation_scaling () =
+  section_header "Ablation I — OFDM payload scaling (Iter() accounting)";
+  Printf.printf "%8s %16s %16s %16s %10s\n" "symbols" "initial" "final"
+    "t_comm" "reduction";
+  List.iter
+    (fun symbols ->
+      let prepared =
+        Flow.prepare
+          ~name:(Printf.sprintf "ofdm%d" symbols)
+          ~inputs:(Ofdm.inputs_for ~symbols ())
+          (Ofdm.source_for ~symbols)
+      in
+      let r =
+        Flow.partition (platform ())
+          ~timing_constraint:(Ofdm.timing_constraint * symbols / Ofdm.symbols)
+          prepared
+      in
+      Printf.printf "%8d %16d %16d %16d %9.1f%%\n" symbols
+        r.Engine.initial.Engine.t_total r.Engine.final.Engine.t_total
+        r.Engine.final.Engine.t_comm
+        (Engine.reduction_percent r))
+    [ 2; 4; 6; 12; 24; 48 ];
+  print_newline ()
+
+(* ---- Ablation H: list-scheduling priority -------------------------------- *)
+
+let ablation_priority () =
+  section_header "Ablation H — list-scheduling priority (ALAP vs baselines)";
+  Printf.printf "%-26s %10s %10s %10s\n" "DFG" "ALAP" "ASAP" "program";
+  let cgc = Hypar_coarsegrain.Cgc.two_by_two 2 in
+  let makespans dfg =
+    List.map
+      (fun priority ->
+        (Hypar_coarsegrain.Schedule.schedule ~priority cgc dfg)
+          .Hypar_coarsegrain.Schedule.makespan)
+      [ `Alap; `Asap; `Program ]
+  in
+  let report name dfg =
+    match makespans dfg with
+    | [ a; b; c ] -> Printf.printf "%-26s %10d %10d %10d\n" name a b c
+    | _ -> ()
+  in
+  let jpeg = Jpeg.prepared () in
+  report "JPEG DCT row pass"
+    (Hypar_ir.Cdfg.info jpeg.Flow.cdfg 5).Hypar_ir.Cdfg.dfg;
+  let ofdm = Ofdm.prepared () in
+  let butterfly =
+    let best = ref 0 in
+    List.iter
+      (fun i ->
+        let d = (Hypar_ir.Cdfg.info ofdm.Flow.cdfg i).Hypar_ir.Cdfg.dfg in
+        let cur = (Hypar_ir.Cdfg.info ofdm.Flow.cdfg !best).Hypar_ir.Cdfg.dfg in
+        if Hypar_ir.Dfg.node_count d > Hypar_ir.Dfg.node_count cur then best := i)
+      (Hypar_ir.Cdfg.block_ids ofdm.Flow.cdfg);
+    (Hypar_ir.Cdfg.info ofdm.Flow.cdfg !best).Hypar_ir.Cdfg.dfg
+  in
+  report "OFDM butterfly" butterfly;
+  List.iter
+    (fun seed ->
+      report
+        (Printf.sprintf "random (seed %d)" seed)
+        (Hypar_apps.Synth.random_dfg ~seed ~nodes:120 ()))
+    [ 4; 5; 6 ];
+  print_newline ()
+
+(* ---- Ablation E: kernel-selection strategies ---------------------------- *)
+
+let ablation_strategy () =
+  section_header
+    "Ablation E — kernel selection: paper greedy vs baselines";
+  let strategy_apps =
+    List.map (fun (n, p, t, _) -> (n, p, t)) (apps ())
+    @ [ ("ADPCM (branchy loop)", Hypar_apps.Adpcm.prepared (),
+         Hypar_apps.Adpcm.timing_constraint) ]
+  in
+  List.iter
+    (fun (name, prepared, timing_constraint) ->
+      Printf.printf "%s (constraint %d):\n" name timing_constraint;
+      Printf.printf "%-28s %7s %16s %6s %8s\n" "strategy" "moves" "final" "met"
+        "evals";
+      List.iter
+        (fun (o : Hypar_core.Baselines.outcome) ->
+          Printf.printf "%-28s %7d %16d %6b %8d\n" o.name
+            (List.length o.moved) o.t_total o.met o.evaluations)
+        (Hypar_core.Baselines.compare_all (platform ()) ~timing_constraint
+           prepared.Flow.cdfg prepared.Flow.profile);
+      print_newline ())
+    strategy_apps
+
+(* ---- Ablation F: temporal-partitioning algorithm ------------------------ *)
+
+let ablation_temporal () =
+  section_header
+    "Ablation F — Figure-3 first-fit vs first-fit-with-backfill";
+  Printf.printf "%-22s %8s %12s %12s\n" "DFG" "A_FPGA" "paper(Fig.3)"
+    "backfill";
+  let fpga a = Hypar_finegrain.Fpga.make ~area:a () in
+  let report name dfg area =
+    let size = Hypar_finegrain.Fpga.op_area (fpga area) in
+    let paper = Hypar_finegrain.Temporal.partition ~area ~size dfg in
+    let bf = Hypar_finegrain.Temporal.partition_best_fit ~area ~size dfg in
+    Printf.printf "%-22s %8d %12d %12d\n" name area
+      (Hypar_finegrain.Temporal.count paper)
+      (Hypar_finegrain.Temporal.count bf)
+  in
+  let jpeg = Jpeg.prepared () in
+  let dct =
+    (Hypar_ir.Cdfg.info jpeg.Flow.cdfg 5).Hypar_ir.Cdfg.dfg
+  in
+  List.iter (fun a -> report "JPEG DCT row pass" dct a) [ 500; 1000; 1500; 5000 ];
+  List.iter
+    (fun seed ->
+      let dfg = Hypar_apps.Synth.random_dfg ~seed ~nodes:150 () in
+      report (Printf.sprintf "random (seed %d)" seed) dfg 1500)
+    [ 1; 2; 3 ];
+  print_newline ()
+
+(* ---- Ablation G: reconfiguration-time model ------------------------------ *)
+
+(* The full flow under three reconfiguration-time models: the calibrated
+   flat constant, and cycles derived from configuration bit-stream length
+   (full-device — the paper's stated model — and per-column partial).
+   See Hypar_finegrain.Bitstream for the generated streams themselves. *)
+let ablation_reconfig () =
+  section_header "Ablation G — reconfiguration time from bit-stream length";
+  let models =
+    [
+      ("flat (calibrated 24)", Hypar_finegrain.Fpga.Flat);
+      ( "bitstream, full device",
+        Hypar_finegrain.Fpga.Frame_full Hypar_finegrain.Fpga.default_frame_params );
+      ( "bitstream, per column",
+        Hypar_finegrain.Fpga.Frame_partial Hypar_finegrain.Fpga.default_frame_params );
+    ]
+  in
+  List.iter
+    (fun (name, prepared, timing_constraint, _) ->
+      Printf.printf "%s (A=1500, two 2x2 CGCs, constraint %d):\n" name
+        timing_constraint;
+      Printf.printf "%-26s %16s %16s %10s %6s\n" "reconfiguration model"
+        "initial" "final" "reduction" "met";
+      List.iter
+        (fun (label, reconfig_model) ->
+          let pl =
+            Platform.make
+              ~fpga:(Hypar_finegrain.Fpga.make ~area:1500 ~reconfig_model ())
+              ~cgc:(Hypar_coarsegrain.Cgc.two_by_two 2)
+              ()
+          in
+          let r = Flow.partition pl ~timing_constraint prepared in
+          Printf.printf "%-26s %16d %16d %9.1f%% %6b\n" label
+            r.Engine.initial.Engine.t_total r.Engine.final.Engine.t_total
+            (Engine.reduction_percent r) (Engine.met r))
+        models;
+      print_newline ())
+    (apps ())
+
+(* ---- Extension 1: frame pipelining -------------------------------------- *)
+
+let extension_pipeline () =
+  section_header "Extension 1 — pipelined fine/coarse execution (paper §5)";
+  List.iter
+    (fun (name, prepared, timing_constraint, frames) ->
+      Printf.printf "%s (%d frames):\n" name frames;
+      List.iter
+        (fun pl ->
+          let r = Flow.partition pl ~timing_constraint prepared in
+          let p = Hypar_core.Pipeline.analyse ~frames r in
+          Format.printf "  %-28s %a@." pl.Platform.name Hypar_core.Pipeline.pp p)
+        (Platform.paper_configs ());
+      print_newline ())
+    (apps ())
+
+(* ---- Extension 3: CGC loop pipelining (modulo scheduling) ---------------- *)
+
+let extension_modulo () =
+  section_header
+    "Extension 3 — CGC loop pipelining (modulo scheduling of moved kernels)";
+  List.iter
+    (fun (name, prepared, timing_constraint, _) ->
+      Printf.printf "%s (A=1500, two 2x2 CGCs):\n" name;
+      Printf.printf "%-16s %16s %16s %16s %10s\n" "pricing" "cycles-in-CGC"
+        "t_coarse" "final" "reduction";
+      List.iter
+        (fun (label, pipelined) ->
+          let r =
+            Engine.run ~cgc_pipelining:pipelined (platform ()) ~timing_constraint
+              prepared.Flow.cdfg prepared.Flow.profile
+          in
+          Printf.printf "%-16s %16d %16d %16d %9.1f%%\n" label
+            r.Engine.final.Engine.t_coarse_cgc r.Engine.final.Engine.t_coarse
+            r.Engine.final.Engine.t_total
+            (Engine.reduction_percent r))
+        [ ("Eq. 3 (flat)", false); ("pipelined (II)", true) ];
+      print_newline ())
+    (apps ())
+
+(* ---- Extension 2: energy-constrained partitioning ----------------------- *)
+
+let extension_energy () =
+  section_header "Extension 2 — energy-constrained partitioning (paper §5)";
+  List.iter
+    (fun (name, prepared, _, _) ->
+      let pl = platform () in
+      let base =
+        Hypar_core.Energy.partition Hypar_core.Energy.default pl
+          ~energy_budget:0 prepared.Flow.cdfg prepared.Flow.profile
+      in
+      let initial = base.Hypar_core.Energy.initial_energy in
+      Printf.printf "%s (all-FPGA energy %d):\n" name initial;
+      Printf.printf "%12s %16s %10s %7s %6s\n" "budget" "final" "saved" "moved"
+        "met";
+      List.iter
+        (fun percent ->
+          let budget = initial * percent / 100 in
+          let r =
+            Hypar_core.Energy.partition Hypar_core.Energy.default pl
+              ~energy_budget:budget prepared.Flow.cdfg prepared.Flow.profile
+          in
+          Printf.printf "%11d%% %16d %9.1f%% %7d %6b\n" percent
+            r.Hypar_core.Energy.final_energy
+            (Hypar_core.Energy.reduction_percent r)
+            (List.length r.Hypar_core.Energy.moved)
+            r.Hypar_core.Energy.feasible)
+        [ 80; 60; 40; 20; 10 ];
+      print_newline ())
+    (apps ())
+
+(* ---- Bechamel micro-benchmarks ------------------------------------------ *)
+
+let micro () =
+  section_header "Micro-benchmarks (Bechamel) — core algorithm costs";
+  let open Bechamel in
+  let open Toolkit in
+  let ofdm = Ofdm.prepared () in
+  let dct_dfg =
+    let jpeg = Jpeg.prepared () in
+    let cdfg = jpeg.Flow.cdfg in
+    let heaviest = ref 0 in
+    List.iter
+      (fun i ->
+        let d = (Hypar_ir.Cdfg.info cdfg i).Hypar_ir.Cdfg.dfg in
+        let best = (Hypar_ir.Cdfg.info cdfg !heaviest).Hypar_ir.Cdfg.dfg in
+        if Hypar_ir.Dfg.node_count d > Hypar_ir.Dfg.node_count best then
+          heaviest := i)
+      (Hypar_ir.Cdfg.block_ids cdfg);
+    (Hypar_ir.Cdfg.info cdfg !heaviest).Hypar_ir.Cdfg.dfg
+  in
+  let fpga = Hypar_finegrain.Fpga.make ~area:1500 () in
+  let cgc = Hypar_coarsegrain.Cgc.two_by_two 2 in
+  let tests =
+    [
+      Test.make ~name:"frontend: compile OFDM"
+        (Staged.stage (fun () ->
+             ignore (Hypar_minic.Driver.compile_exn ~name:"ofdm" Ofdm.source)));
+      Test.make ~name:"interp: run OFDM"
+        (Staged.stage (fun () ->
+             ignore
+               (Hypar_profiling.Interp.run ~inputs:(Ofdm.inputs ())
+                  ofdm.Flow.cdfg)));
+      Test.make ~name:"temporal: partition DCT block"
+        (Staged.stage (fun () ->
+             ignore
+               (Hypar_finegrain.Temporal.partition ~area:1500
+                  ~size:(Hypar_finegrain.Fpga.op_area fpga) dct_dfg)));
+      Test.make ~name:"schedule: DCT block on two 2x2"
+        (Staged.stage (fun () ->
+             ignore (Hypar_coarsegrain.Schedule.schedule cgc dct_dfg)));
+      Test.make ~name:"engine: partition OFDM"
+        (Staged.stage (fun () ->
+             ignore
+               (Flow.partition (platform ())
+                  ~timing_constraint:Ofdm.timing_constraint ofdm)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"hypar" ~fmt:"%s %s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "%-36s %16s\n" "benchmark" "ns/run";
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ est ] -> Printf.printf "%-36s %16.0f\n" name est
+         | Some _ | None -> Printf.printf "%-36s %16s\n" name "n/a")
+
+(* ---- driver -------------------------------------------------------------- *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("ablation:afpga", ablation_afpga);
+    ("ablation:cgc", ablation_cgc);
+    ("ablation:clock-ratio", ablation_clock_ratio);
+    ("ablation:comm", ablation_comm);
+    ("ablation:strategy", ablation_strategy);
+    ("ablation:temporal", ablation_temporal);
+    ("ablation:reconfig", ablation_reconfig);
+    ("ablation:priority", ablation_priority);
+    ("ablation:scaling", ablation_scaling);
+    ("extension:pipeline", extension_pipeline);
+    ("extension:energy", extension_energy);
+    ("extension:modulo", extension_modulo);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown section %S; available: %s\n" name
+          (String.concat ", " (List.map fst sections));
+        exit 2)
+    requested

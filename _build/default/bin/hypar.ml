@@ -1,0 +1,306 @@
+(* hypar — command-line driver for the HYPAR partitioning framework.
+
+   Subcommands:
+     partition  run the full Figure-2 flow on a Mini-C (or .ir) file
+                (--report for Markdown, --loops / --pipelined variants)
+     analyze    print the Table-1 style kernel analysis
+     profile    print the dynamic profile of a program
+     map        show both mappings per block (temporal partitions, Gantt)
+     baselines  compare kernel-selection strategies
+     ranges     value-range / width-overflow analysis
+     sweep      partition across an A_FPGA x CGC design-space grid
+     dump       serialise the compiled CDFG (.ir)
+     dot        emit the CFG (or one block's DFG) as Graphviz
+     demo       reproduce the paper's Tables 2 and 3 *)
+
+module Flow = Hypar_core.Flow
+module Platform = Hypar_core.Platform
+module Engine = Hypar_core.Engine
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* .ir files (serialised CDFGs, see Hypar_ir.Serialize) are loaded
+   directly; anything else is compiled as Mini-C. *)
+let load_cdfg path =
+  if Filename.check_suffix path ".ir" then
+    Hypar_ir.Serialize.of_string (read_file path)
+  else Hypar_minic.Driver.compile_exn ~name:(Filename.basename path) (read_file path)
+
+let prepare_file path =
+  let cdfg = load_cdfg path in
+  let interp = Hypar_profiling.Interp.run cdfg in
+  let profile = Hypar_profiling.Profile.of_result cdfg interp in
+  { Flow.cdfg; profile; interp }
+
+let platform_of ~area ~cgcs ~rows ~cols ~ratio =
+  Platform.make ~clock_ratio:ratio
+    ~fpga:(Hypar_finegrain.Fpga.make ~area ())
+    ~cgc:(Hypar_coarsegrain.Cgc.make ~cgcs ~rows ~cols ())
+    ()
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-C source file")
+
+let area_arg =
+  Arg.(value & opt int 1500 & info [ "area"; "a" ] ~docv:"UNITS" ~doc:"FPGA area $(docv) (A_FPGA)")
+
+let cgcs_arg =
+  Arg.(value & opt int 2 & info [ "cgcs"; "k" ] ~docv:"N" ~doc:"number of CGC components")
+
+let rows_arg = Arg.(value & opt int 2 & info [ "rows" ] ~docv:"N" ~doc:"CGC rows")
+let cols_arg = Arg.(value & opt int 2 & info [ "cols" ] ~docv:"N" ~doc:"CGC columns")
+
+let ratio_arg =
+  Arg.(value & opt int 3 & info [ "clock-ratio" ] ~docv:"R" ~doc:"T_FPGA / T_CGC")
+
+let constraint_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "timing"; "t" ] ~docv:"CYCLES" ~doc:"timing constraint in FPGA cycles")
+
+let partition_cmd =
+  let run file area cgcs rows cols ratio timing report loops pipelined =
+    let prepared = prepare_file file in
+    let platform = platform_of ~area ~cgcs ~rows ~cols ~ratio in
+    let granularity = if loops then `Loop else `Block in
+    let r =
+      Engine.run ~granularity ~cgc_pipelining:pipelined platform
+        ~timing_constraint:timing prepared.Flow.cdfg prepared.Flow.profile
+    in
+    if report then print_string (Hypar_core.Report.markdown r)
+    else Format.printf "%a@." Engine.pp r;
+    if Engine.met r then 0 else 1
+  in
+  let report_arg =
+    Arg.(value & flag & info [ "report" ] ~doc:"emit a Markdown report instead of the trace")
+  in
+  let loops_arg =
+    Arg.(value & flag & info [ "loops" ] ~doc:"move whole innermost loops per step")
+  in
+  let pipelined_arg =
+    Arg.(value & flag & info [ "pipelined" ] ~doc:"modulo-schedule moved kernels on the CGC")
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ area_arg $ cgcs_arg $ rows_arg $ cols_arg
+      $ ratio_arg $ constraint_arg $ report_arg $ loops_arg $ pipelined_arg)
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Partition a Mini-C program between fine and coarse-grain hardware")
+    term
+
+let analyze_cmd =
+  let run file top =
+    let prepared = prepare_file file in
+    let analysis =
+      Hypar_analysis.Kernel.analyse prepared.Flow.cdfg prepared.Flow.profile
+    in
+    print_string
+      (Hypar_analysis.Table.render ~top ~title:(Filename.basename file) analysis);
+    0
+  in
+  let top_arg =
+    Arg.(value & opt int 8 & info [ "top" ] ~docv:"N" ~doc:"number of kernels to list")
+  in
+  let term = Term.(const run $ file_arg $ top_arg) in
+  Cmd.v (Cmd.info "analyze" ~doc:"Kernel analysis (Table-1 style)") term
+
+let profile_cmd =
+  let run file =
+    let prepared = prepare_file file in
+    Format.printf "%a@." Hypar_profiling.Profile.pp prepared.Flow.profile;
+    0
+  in
+  let term = Term.(const run $ file_arg) in
+  Cmd.v (Cmd.info "profile" ~doc:"Dynamic profile of a Mini-C program") term
+
+let dot_cmd =
+  let run file block =
+    let prepared = prepare_file file in
+    (match block with
+    | None -> print_string (Hypar_ir.Dot.cfg_to_dot prepared.Flow.cdfg)
+    | Some b ->
+      let info = Hypar_ir.Cdfg.info prepared.Flow.cdfg b in
+      print_string
+        (Hypar_ir.Dot.dfg_to_dot ~title:(Printf.sprintf "BB%d" b) info.Hypar_ir.Cdfg.dfg));
+    0
+  in
+  let block_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "block"; "b" ] ~docv:"ID" ~doc:"emit this block's DFG instead of the CFG")
+  in
+  let term = Term.(const run $ file_arg $ block_arg) in
+  Cmd.v (Cmd.info "dot" ~doc:"Graphviz export of the CFG or one DFG") term
+
+let map_cmd =
+  let run file block area cgcs rows cols =
+    let prepared = prepare_file file in
+    let cdfg = prepared.Flow.cdfg in
+    let fpga = Hypar_finegrain.Fpga.make ~area () in
+    let cgc = Hypar_coarsegrain.Cgc.make ~cgcs ~rows ~cols () in
+    let show i =
+      let info = Hypar_ir.Cdfg.info cdfg i in
+      let dfg = info.Hypar_ir.Cdfg.dfg in
+      Printf.printf "BB%d (%s): %d ops, %d ASAP levels\n" i
+        info.Hypar_ir.Cdfg.block.Hypar_ir.Block.label
+        (Hypar_ir.Dfg.node_count dfg)
+        (Hypar_ir.Dfg.max_level dfg);
+      let fine = Hypar_finegrain.Fine_map.map_block fpga cdfg i in
+      Format.printf "  fine-grain:  %a@," Hypar_finegrain.Fine_map.pp_block_mapping fine;
+      Format.print_flush ();
+      (match Hypar_coarsegrain.Coarse_map.map_block cgc cdfg i with
+      | Some m ->
+        Format.printf "  coarse-grain: %a@." Hypar_coarsegrain.Coarse_map.pp_block_mapping m;
+        print_string
+          (Hypar_coarsegrain.Binding.render_gantt cgc dfg
+             m.Hypar_coarsegrain.Coarse_map.schedule
+             m.Hypar_coarsegrain.Coarse_map.binding)
+      | None -> print_endline "  coarse-grain: not CGC-executable (division)");
+      print_newline ()
+    in
+    (match block with
+    | Some b -> show b
+    | None -> List.iter show (Hypar_ir.Cdfg.block_ids cdfg));
+    0
+  in
+  let block_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "block"; "b" ] ~docv:"ID" ~doc:"map only this block")
+  in
+  let term =
+    Term.(const run $ file_arg $ block_arg $ area_arg $ cgcs_arg $ rows_arg $ cols_arg)
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:"Show both mappings of each block (temporal partitions, CGC Gantt)")
+    term
+
+let baselines_cmd =
+  let run file area cgcs rows cols ratio timing =
+    let prepared = prepare_file file in
+    let platform = platform_of ~area ~cgcs ~rows ~cols ~ratio in
+    Printf.printf "%-28s %7s %16s %6s %8s\n" "strategy" "moves" "final" "met"
+      "evals";
+    List.iter
+      (fun (o : Hypar_core.Baselines.outcome) ->
+        Printf.printf "%-28s %7d %16d %6b %8d\n" o.Hypar_core.Baselines.name
+          (List.length o.Hypar_core.Baselines.moved)
+          o.Hypar_core.Baselines.t_total o.Hypar_core.Baselines.met
+          o.Hypar_core.Baselines.evaluations)
+      (Hypar_core.Baselines.compare_all platform ~timing_constraint:timing
+         prepared.Flow.cdfg prepared.Flow.profile);
+    0
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ area_arg $ cgcs_arg $ rows_arg $ cols_arg
+      $ ratio_arg $ constraint_arg)
+  in
+  Cmd.v
+    (Cmd.info "baselines"
+       ~doc:"Compare kernel-selection strategies (greedy / benefit / random / exhaustive)")
+    term
+
+let ranges_cmd =
+  let run file all =
+    let cdfg = load_cdfg file in
+    let reports =
+      if all then Hypar_analysis.Range.analyse cdfg
+      else Hypar_analysis.Range.overflow_risks cdfg
+    in
+    if reports = [] && not all then print_endline "no overflow risks detected";
+    List.iter
+      (fun r -> Format.printf "%a@." Hypar_analysis.Range.pp_report r)
+      reports;
+    0
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"list every register, not only overflow risks")
+  in
+  let term = Term.(const run $ file_arg $ all_arg) in
+  Cmd.v
+    (Cmd.info "ranges"
+       ~doc:"Value-range analysis: flag registers that may overflow their declared width")
+    term
+
+let sweep_cmd =
+  let run file ratio timing =
+    let prepared = prepare_file file in
+    Printf.printf "%8s %10s %16s %16s %10s %7s\n" "A_FPGA" "CGCs" "initial"
+      "final" "reduction" "moved";
+    List.iter
+      (fun area ->
+        List.iter
+          (fun cgcs ->
+            let platform = platform_of ~area ~cgcs ~rows:2 ~cols:2 ~ratio in
+            let r = Flow.partition platform ~timing_constraint:timing prepared in
+            Printf.printf "%8d %10s %16d %16d %9.1f%% %7d\n" area
+              (Hypar_coarsegrain.Cgc.describe platform.Platform.cgc)
+              r.Engine.initial.Engine.t_total r.Engine.final.Engine.t_total
+              (Engine.reduction_percent r)
+              (List.length r.Engine.moved))
+          [ 1; 2; 3 ])
+      [ 500; 1500; 5000 ];
+    0
+  in
+  let term = Term.(const run $ file_arg $ ratio_arg $ constraint_arg) in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Partition across an A_FPGA x CGC-count design-space grid")
+    term
+
+let dump_cmd =
+  let run file =
+    print_string (Hypar_ir.Serialize.to_string (load_cdfg file));
+    0
+  in
+  let term = Term.(const run $ file_arg) in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Serialise the compiled CDFG (reload it by passing the .ir file to any command)")
+    term
+
+let demo_cmd =
+  let run () =
+    let apps =
+      [
+        ( "OFDM transmitter (Table 2)",
+          Hypar_apps.Ofdm.prepared (),
+          Hypar_apps.Ofdm.timing_constraint );
+        ( "JPEG encoder (Table 3)",
+          Hypar_apps.Jpeg.prepared (),
+          Hypar_apps.Jpeg.timing_constraint );
+      ]
+    in
+    List.iter
+      (fun (title, prepared, timing_constraint) ->
+        let runs =
+          List.map
+            (fun pl -> Flow.partition pl ~timing_constraint prepared)
+            (Platform.paper_configs ())
+        in
+        print_string (Hypar_core.Result_table.render ~title runs);
+        print_newline ())
+      apps;
+    0
+  in
+  let term = Term.(const run $ const ()) in
+  Cmd.v (Cmd.info "demo" ~doc:"Reproduce the paper's Tables 2 and 3") term
+
+let () =
+  let doc = "hybrid fine/coarse-grain reconfigurable partitioning (DATE'04/05 methodology)" in
+  let info = Cmd.info "hypar" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; baselines_cmd; ranges_cmd; sweep_cmd; dump_cmd; demo_cmd ]))

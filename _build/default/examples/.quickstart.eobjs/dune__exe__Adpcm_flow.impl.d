@@ -1,0 +1,1 @@
+examples/adpcm_flow.ml: Array Format Hypar_apps Hypar_core Hypar_profiling List String

@@ -1,0 +1,1 @@
+examples/adpcm_flow.mli:

@@ -1,0 +1,1 @@
+examples/jpeg_flow.mli:

@@ -1,0 +1,1 @@
+examples/ofdm_flow.ml: Format Hypar_analysis Hypar_apps Hypar_core Hypar_profiling List

@@ -1,0 +1,1 @@
+examples/platform_sweep.ml: Array Hypar_apps Hypar_coarsegrain Hypar_core Hypar_finegrain List Printf

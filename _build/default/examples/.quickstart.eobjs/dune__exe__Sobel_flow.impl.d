@@ -1,0 +1,1 @@
+examples/sobel_flow.ml: Array Format Hypar_analysis Hypar_apps Hypar_core Hypar_profiling List

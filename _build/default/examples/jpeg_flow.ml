@@ -1,0 +1,57 @@
+(* The paper's second case study: the JPEG encoder over a 256x256 image,
+   partitioned on the four platform configurations of Table 3 — plus the
+   energy-constrained variant (the paper's "future work").
+
+   Run with:  dune exec examples/jpeg_flow.exe *)
+
+module Flow = Hypar_core.Flow
+module Engine = Hypar_core.Engine
+module Jpeg = Hypar_apps.Jpeg
+
+let () =
+  let prepared = Jpeg.prepared () in
+
+  (* functional sanity against the golden encoder *)
+  let g = Jpeg.golden (Jpeg.inputs ()) in
+  let got = Hypar_profiling.Interp.array_exn prepared.Flow.interp "out_bytes" in
+  let matches = ref true in
+  for i = 0 to g.Jpeg.len - 1 do
+    if got.(i) <> g.Jpeg.bytes.(i) then matches := false
+  done;
+  Format.printf "golden model check: %s (%d bytes, %.2f bits/pixel)@."
+    (if !matches then "bit-exact" else "MISMATCH")
+    g.Jpeg.len
+    (float_of_int (8 * g.Jpeg.len) /. float_of_int (Jpeg.width * Jpeg.height));
+
+  (* Table 1 (JPEG half) *)
+  let analysis =
+    Hypar_analysis.Kernel.analyse prepared.Flow.cdfg prepared.Flow.profile
+  in
+  print_string
+    (Hypar_analysis.Table.render ~top:8
+       ~title:"Ordered total weights (JPEG, 256x256 image)" analysis);
+
+  (* Table 3 *)
+  let runs =
+    List.map
+      (fun pl ->
+        Flow.partition pl ~timing_constraint:Jpeg.timing_constraint prepared)
+      (Hypar_core.Platform.paper_configs ())
+  in
+  print_newline ();
+  print_string
+    (Hypar_core.Result_table.render ~title:"JPEG partitioning (Table 3)" runs);
+
+  (* extension: partition for an energy budget instead of a deadline *)
+  print_newline ();
+  let platform = List.hd (Hypar_core.Platform.paper_configs ()) in
+  let baseline =
+    Hypar_core.Energy.partition Hypar_core.Energy.default platform
+      ~energy_budget:0 prepared.Flow.cdfg prepared.Flow.profile
+  in
+  let budget = baseline.Hypar_core.Energy.initial_energy / 2 in
+  let e =
+    Hypar_core.Energy.partition Hypar_core.Energy.default platform
+      ~energy_budget:budget prepared.Flow.cdfg prepared.Flow.profile
+  in
+  Format.printf "%a@." Hypar_core.Energy.pp e

@@ -1,0 +1,49 @@
+(* The paper's first case study, end to end: the IEEE 802.11a OFDM
+   transmitter front-end (QAM -> 64-point IFFT -> cyclic prefix) over 6
+   payload symbols, partitioned on the four platform configurations of
+   Table 2 — plus the frame-pipelining extension (the paper's "ongoing
+   work").
+
+   Run with:  dune exec examples/ofdm_flow.exe *)
+
+module Flow = Hypar_core.Flow
+module Engine = Hypar_core.Engine
+module Ofdm = Hypar_apps.Ofdm
+
+let () =
+  let prepared = Ofdm.prepared () in
+
+  (* functional sanity: the interpreted Mini-C matches the golden model *)
+  let golden_re, golden_im = Ofdm.golden (Ofdm.inputs ()) in
+  let got_re = Hypar_profiling.Interp.array_exn prepared.Flow.interp "out_re" in
+  let got_im = Hypar_profiling.Interp.array_exn prepared.Flow.interp "out_im" in
+  Format.printf "golden model check: %s@."
+    (if golden_re = got_re && golden_im = got_im then "bit-exact" else "MISMATCH");
+
+  (* Table 1 (OFDM half): the ordered kernel weights *)
+  let analysis =
+    Hypar_analysis.Kernel.analyse prepared.Flow.cdfg prepared.Flow.profile
+  in
+  print_string
+    (Hypar_analysis.Table.render ~top:8
+       ~title:"Ordered total weights (OFDM, 6 payload symbols)" analysis);
+
+  (* Table 2: the four platform configurations *)
+  let runs =
+    List.map
+      (fun pl ->
+        Flow.partition pl ~timing_constraint:Ofdm.timing_constraint prepared)
+      (Hypar_core.Platform.paper_configs ())
+  in
+  print_newline ();
+  print_string
+    (Hypar_core.Result_table.render ~title:"OFDM partitioning (Table 2)" runs);
+
+  (* extension: pipeline the fine and coarse parts across the 6 symbols *)
+  print_newline ();
+  List.iter
+    (fun (r : Engine.t) ->
+      let p = Hypar_core.Pipeline.analyse ~frames:Ofdm.symbols r in
+      Format.printf "%-28s %a@." r.Engine.platform.Hypar_core.Platform.name
+        Hypar_core.Pipeline.pp p)
+    runs

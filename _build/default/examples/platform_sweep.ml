@@ -1,0 +1,67 @@
+(* Design-space exploration with the engine: sweep A_FPGA, the CGC count
+   and the clock ratio for a matrix-multiplication workload, printing one
+   series per axis (the shape behind the paper's §4 observations).
+
+   Run with:  dune exec examples/platform_sweep.exe *)
+
+module Flow = Hypar_core.Flow
+module Engine = Hypar_core.Engine
+module Platform = Hypar_core.Platform
+
+let platform ?(area = 1500) ?(cgcs = 2) ?(ratio = 3) () =
+  Platform.make ~clock_ratio:ratio
+    ~fpga:(Hypar_finegrain.Fpga.make ~area ())
+    ~cgc:(Hypar_coarsegrain.Cgc.two_by_two cgcs)
+    ()
+
+let () =
+  let n = 16 in
+  let inputs =
+    [
+      ("a", Array.init (n * n) (fun i -> (i * 7) mod 23));
+      ("b", Array.init (n * n) (fun i -> (i * 5) mod 19));
+    ]
+  in
+  let prepared =
+    Flow.prepare ~name:"matmul16" ~inputs (Hypar_apps.Synth.matmul_source ~n)
+  in
+  let initial area =
+    (Flow.partition (platform ~area ()) ~timing_constraint:max_int prepared)
+      .Engine.initial.Engine.t_total
+  in
+  let budget = initial 1500 / 2 in
+  Printf.printf "matmul %dx%d — timing constraint %d cycles\n\n" n n budget;
+
+  Printf.printf "A_FPGA sweep (two 2x2 CGCs):\n";
+  Printf.printf "%8s %14s %14s %10s %8s\n" "A_FPGA" "initial" "final" "reduction"
+    "moved";
+  List.iter
+    (fun area ->
+      let r = Flow.partition (platform ~area ()) ~timing_constraint:budget prepared in
+      Printf.printf "%8d %14d %14d %9.1f%% %8d\n" area
+        r.Engine.initial.Engine.t_total r.Engine.final.Engine.t_total
+        (Engine.reduction_percent r)
+        (List.length r.Engine.moved))
+    [ 500; 1000; 1500; 2500; 5000; 10000 ];
+
+  Printf.printf "\nCGC count sweep (A_FPGA = 1500):\n";
+  Printf.printf "%8s %14s %14s %10s\n" "CGCs" "cycles-in-CGC" "final" "reduction";
+  List.iter
+    (fun cgcs ->
+      let r = Flow.partition (platform ~cgcs ()) ~timing_constraint:budget prepared in
+      Printf.printf "%8d %14d %14d %9.1f%%\n" cgcs
+        (Engine.coarse_cycles_of_moved r)
+        r.Engine.final.Engine.t_total
+        (Engine.reduction_percent r))
+    [ 1; 2; 3; 4 ];
+
+  Printf.printf "\nClock-ratio sweep (A_FPGA = 1500, two 2x2 CGCs):\n";
+  Printf.printf "%8s %14s %10s\n" "ratio" "final" "reduction";
+  List.iter
+    (fun ratio ->
+      let r =
+        Flow.partition (platform ~ratio ()) ~timing_constraint:budget prepared
+      in
+      Printf.printf "%8d %14d %9.1f%%\n" ratio r.Engine.final.Engine.t_total
+        (Engine.reduction_percent r))
+    [ 1; 2; 3; 4; 6 ]

@@ -1,0 +1,1 @@
+lib/analysis/kernel.ml: Array Format Hypar_ir Hypar_profiling List Weights

@@ -1,0 +1,1 @@
+lib/analysis/kernel.mli: Format Hypar_ir Hypar_profiling Weights

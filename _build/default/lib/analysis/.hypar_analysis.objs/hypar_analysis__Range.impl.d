@@ -1,0 +1,1 @@
+lib/analysis/range.ml: Array Format Fun Hashtbl Hypar_ir List Option

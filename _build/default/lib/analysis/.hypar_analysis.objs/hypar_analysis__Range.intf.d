@@ -1,0 +1,1 @@
+lib/analysis/range.mli: Format Hypar_ir

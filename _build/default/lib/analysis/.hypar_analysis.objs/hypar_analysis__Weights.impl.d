@@ -1,0 +1,1 @@
+lib/analysis/weights.ml: Format Hypar_ir List

@@ -1,0 +1,1 @@
+lib/analysis/weights.mli: Format Hypar_ir

@@ -1,0 +1,63 @@
+module Ir = Hypar_ir
+module Profiling = Hypar_profiling
+
+type entry = {
+  block_id : int;
+  label : string;
+  exec_freq : int;
+  bb_weight : int;
+  total_weight : int;
+  loop_depth : int;
+  is_kernel : bool;
+}
+
+type t = {
+  weights : Weights.t;
+  entries : entry array;
+  kernels : entry list;
+}
+
+let analyse ?(weights = Weights.paper) cdfg (profile : Profiling.Profile.t) =
+  let entries =
+    Array.mapi
+      (fun i (bi : Ir.Cdfg.block_info) ->
+        let exec_freq = Profiling.Profile.freq profile i in
+        let bb_weight = Weights.bb_weight weights bi.dfg in
+        let total_weight = exec_freq * bb_weight in
+        {
+          block_id = i;
+          label = bi.block.Ir.Block.label;
+          exec_freq;
+          bb_weight;
+          total_weight;
+          loop_depth = bi.loop_depth;
+          is_kernel = bi.loop_depth > 0 && exec_freq > 0 && bb_weight > 0;
+        })
+      (Ir.Cdfg.infos cdfg)
+  in
+  let kernels =
+    Array.to_list entries
+    |> List.filter (fun e -> e.is_kernel)
+    |> List.sort (fun a b ->
+           match compare b.total_weight a.total_weight with
+           | 0 -> compare a.block_id b.block_id
+           | c -> c)
+  in
+  { weights; entries; kernels }
+
+let top t n = List.filteri (fun i _ -> i < n) t.kernels
+
+let entry t i = t.entries.(i)
+
+let total_application_weight t =
+  Array.fold_left (fun acc e -> acc + e.total_weight) 0 t.entries
+
+let pp_entry ppf e =
+  Format.fprintf ppf "BB%-3d freq=%-9d bb_weight=%-5d total=%-11d depth=%d%s"
+    e.block_id e.exec_freq e.bb_weight e.total_weight e.loop_depth
+    (if e.is_kernel then " [kernel]" else "")
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>analysis (%a):@," Weights.pp t.weights;
+  List.iter (fun e -> Format.fprintf ppf "  %a@," pp_entry e) t.kernels;
+  Format.fprintf ppf "@]"

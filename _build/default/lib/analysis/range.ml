@@ -1,0 +1,382 @@
+module Ir = Hypar_ir
+
+type interval = { lo : int; hi : int }
+
+(* bounds kept well inside native ints so interval arithmetic cannot
+   overflow (|bound| <= 2^45, products of clamped operands <= 2^62) *)
+let limit = 1 lsl 45
+
+let clamp v = if v > limit then limit else if v < -limit then -limit else v
+
+let top = { lo = -limit; hi = limit }
+
+let make lo hi = { lo = clamp lo; hi = clamp hi }
+
+let width_range w =
+  (* width-1 registers are comparison flags: unsigned 0/1 *)
+  if w <= 1 then { lo = 0; hi = 1 }
+  else
+    let w = if w > 45 then 45 else w in
+    { lo = -(1 lsl (w - 1)); hi = (1 lsl (w - 1)) - 1 }
+
+let join a b = make (min a.lo b.lo) (max a.hi b.hi)
+
+let const n = make n n
+
+let add a b = make (a.lo + b.lo) (a.hi + b.hi)
+let sub a b = make (a.lo - b.hi) (a.hi - b.lo)
+let neg a = make (-a.hi) (-a.lo)
+
+let mul a b =
+  (* clamp operands first so products stay in range *)
+  let a = make a.lo a.hi and b = make b.lo b.hi in
+  let p1 = a.lo * b.lo and p2 = a.lo * b.hi and p3 = a.hi * b.lo and p4 = a.hi * b.hi in
+  make (min (min p1 p2) (min p3 p4)) (max (max p1 p2) (max p3 p4))
+
+let abs_iv a =
+  if a.lo >= 0 then a
+  else if a.hi <= 0 then neg a
+  else make 0 (max (-a.lo) a.hi)
+
+(* next power of two at or above n (n >= 0) *)
+let next_pow2 n =
+  let rec go p = if p > n then p else go (p * 2) in
+  if n >= limit then limit else go 1
+
+let bitwise_or_xor a b =
+  (* both operands in [0, m]: no result bit above next_pow2(m) *)
+  if a.lo >= 0 && b.lo >= 0 then make 0 (next_pow2 (max a.hi b.hi) - 1)
+  else top
+
+let bitwise_and a b =
+  if a.lo >= 0 && b.lo >= 0 then make 0 (min a.hi b.hi)
+  else if a.lo >= 0 then make 0 a.hi
+  else if b.lo >= 0 then make 0 b.hi
+  else top
+
+let shift_left a b =
+  if b.lo < 0 || b.hi > 45 then top
+  else mul a (make (1 lsl b.lo) (1 lsl b.hi))
+
+let shift_right_arith a b =
+  if b.lo < 0 || b.hi > 62 then top
+  else make (a.lo asr b.lo) (a.hi asr b.lo)
+
+let shift_right_logical a b =
+  if a.lo < 0 then top
+  else if b.lo < 0 then top
+  else make 0 (a.hi asr b.lo)
+
+let compare_result = make 0 1
+
+let eval_bin (op : Ir.Types.alu_op) a b =
+  match op with
+  | Ir.Types.Add -> add a b
+  | Ir.Types.Sub -> sub a b
+  | Ir.Types.And -> bitwise_and a b
+  | Ir.Types.Or | Ir.Types.Xor -> bitwise_or_xor a b
+  | Ir.Types.Shl -> shift_left a b
+  | Ir.Types.Shr -> shift_right_logical a b
+  | Ir.Types.Ashr -> shift_right_arith a b
+  | Ir.Types.Lt | Ir.Types.Le | Ir.Types.Eq | Ir.Types.Ne | Ir.Types.Gt
+  | Ir.Types.Ge ->
+    compare_result
+  | Ir.Types.Min -> make (min a.lo b.lo) (min a.hi b.hi)
+  | Ir.Types.Max -> make (max a.lo b.lo) (max a.hi b.hi)
+
+let eval_un (op : Ir.Types.un_op) a =
+  match op with
+  | Ir.Types.Neg -> neg a
+  | Ir.Types.Not -> sub (const (-1)) a
+  | Ir.Types.Abs -> abs_iv a
+
+let div_iv a b =
+  (* magnitude can only shrink (|divisor| >= 1) *)
+  let m = max (abs a.lo) (abs a.hi) in
+  ignore b;
+  make (-m) m
+
+type report = {
+  var : Ir.Instr.var;
+  range : interval;
+  declared : interval;
+  fits : bool;
+}
+
+(* Rotated-loop counter caps: for a self-looping block B entered only
+   under a guard/latch condition [i < k] (or [<=]), the increment
+   [i' = i + s] inside B can never produce more than [k - 1 + s]
+   ([k + s] for [<=]).  This recovers the precision a flow-insensitive
+   fixpoint loses on loop counters, soundly: the cap constrains the
+   *increment instruction's result*, which only executes after the entry
+   test. *)
+let counter_caps cdfg =
+  let cfg = Ir.Cdfg.cfg cdfg in
+  let caps : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+  let entry_bound (b : Ir.Block.t) target_label =
+    match b.Ir.Block.term with
+    | Ir.Block.Branch { cond = Ir.Instr.Var c; if_true; _ }
+      when if_true = target_label -> (
+      let def =
+        List.find_opt
+          (fun instr ->
+            match Ir.Instr.def instr with
+            | Some d -> Ir.Instr.var_equal d c
+            | None -> false)
+          b.Ir.Block.instrs
+      in
+      match def with
+      | Some (Ir.Instr.Bin { op = Ir.Types.Lt; a = Ir.Instr.Var i; b = Ir.Instr.Imm k; _ })
+        ->
+        Some (i.Ir.Instr.vid, k - 1)
+      | Some (Ir.Instr.Bin { op = Ir.Types.Le; a = Ir.Instr.Var i; b = Ir.Instr.Imm k; _ })
+        ->
+        Some (i.Ir.Instr.vid, k)
+      | _ -> None)
+    | Ir.Block.Branch _ | Ir.Block.Jump _ | Ir.Block.Return _ -> None
+  in
+  List.iter
+    (fun (l : Ir.Loop.t) ->
+      let header = l.Ir.Loop.header in
+      let header_label = (Ir.Cfg.block cfg header).Ir.Block.label in
+      let bounds =
+        List.map
+          (fun p -> entry_bound (Ir.Cfg.block cfg p) header_label)
+          (Ir.Cfg.predecessors cfg header)
+      in
+      let conditional = List.filter_map Fun.id bounds in
+      match conditional with
+      | (vid0, b0) :: rest when List.for_all (fun (v, _) -> v = vid0) rest ->
+        let entry_hi =
+          List.fold_left (fun acc (_, b) -> max acc b) b0 rest
+        in
+        (* an entry edge without a condition is fine when that block's
+           last write to the counter is a constant within the bound
+           (constant-folded guards leave exactly this shape) *)
+        let unconditional_ok =
+          List.for_all2
+            (fun p bound ->
+              match bound with
+              | Some _ -> true
+              | None ->
+                let last_def = ref None in
+                List.iter
+                  (fun instr ->
+                    match Ir.Instr.def instr with
+                    | Some d when d.Ir.Instr.vid = vid0 -> last_def := Some instr
+                    | Some _ | None -> ())
+                  (Ir.Cfg.block cfg p).Ir.Block.instrs;
+                (match !last_def with
+                | Some (Ir.Instr.Mov { src = Ir.Instr.Imm c; _ }) -> c <= entry_hi
+                | _ -> false))
+            (Ir.Cfg.predecessors cfg header)
+            bounds
+        in
+        if not unconditional_ok then ()
+        else
+        (* the counter must have exactly one definition inside the loop:
+           its positive constant-step increment *)
+        let defs = ref [] in
+        List.iter
+          (fun bi ->
+            List.iteri
+              (fun idx instr ->
+                match Ir.Instr.def instr with
+                | Some d when d.Ir.Instr.vid = vid0 ->
+                  defs := (bi, idx, instr) :: !defs
+                | Some _ | None -> ())
+              (Ir.Cfg.block cfg bi).Ir.Block.instrs)
+          l.Ir.Loop.body;
+        (match !defs with
+        | [ (bi, idx,
+             Ir.Instr.Bin
+               { op = Ir.Types.Add; a = Ir.Instr.Var i; b = Ir.Instr.Imm st; _ }) ]
+          when i.Ir.Instr.vid = vid0 && st > 0 ->
+          Hashtbl.replace caps (bi, idx) (entry_hi + st)
+        | _ -> ())
+      | _ -> ())
+    (Ir.Loop.find cfg);
+  caps
+
+(* flow-insensitive per-array content range *)
+let array_ranges cdfg =
+  let tbl : (string, interval) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Ir.Cdfg.array_decl) ->
+      let base =
+        match (d.is_const, d.init) with
+        | true, Some init ->
+          Array.fold_left (fun acc v -> join acc (const v)) (const init.(0)) init
+        | _ -> width_range d.elem_width
+      in
+      Hashtbl.replace tbl d.aname base)
+    (Ir.Cdfg.arrays cdfg);
+  tbl
+
+let analyse cdfg =
+  let cfg = Ir.Cdfg.cfg cdfg in
+  let n = Ir.Cfg.block_count cfg in
+  let arrays = array_ranges cdfg in
+  (* global (flow-insensitive across blocks, flow-sensitive inside) var
+     environment with widening after repeated growth *)
+  let env : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+  let grow_count : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let vars : (int, Ir.Instr.var) Hashtbl.t = Hashtbl.create 64 in
+  let read = function
+    | Ir.Instr.Imm k -> const k
+    | Ir.Instr.Var v -> (
+      match Hashtbl.find_opt env v.vid with Some i -> i | None -> width_range v.vwidth)
+  in
+  let write ?cap (v : Ir.Instr.var) range =
+    Hashtbl.replace vars v.vid v;
+    let old = Hashtbl.find_opt env v.vid in
+    let merged = match old with Some o -> join o range | None -> range in
+    let changed =
+      match old with Some o -> merged.lo < o.lo || merged.hi > o.hi | None -> true
+    in
+    if changed then begin
+      let g = 1 + Option.value (Hashtbl.find_opt grow_count v.vid) ~default:0 in
+      Hashtbl.replace grow_count v.vid g;
+      (* directional widening after a few rounds of growth: only the
+         bound that keeps moving is blown up *)
+      let final =
+        if g > 4 then
+          match old with
+          | Some o ->
+            {
+              lo = (if merged.lo < o.lo then -limit else o.lo);
+              hi = (if merged.hi > o.hi then limit else o.hi);
+            }
+          | None -> merged
+        else merged
+      in
+      (* loop-counter caps survive widening *)
+      let final =
+        match cap with
+        | Some c -> { final with hi = min final.hi c }
+        | None -> final
+      in
+      let actually_changed =
+        match old with
+        | Some o -> final.lo < o.lo || final.hi > o.hi
+        | None -> true
+      in
+      if actually_changed then begin
+        Hashtbl.replace env v.vid final;
+        true
+      end
+      else false
+    end
+    else false
+  in
+  let caps = counter_caps cdfg in
+  let transfer_instr changed block_id idx (instr : Ir.Instr.t) =
+    let cap = Hashtbl.find_opt caps (block_id, idx) in
+    let upd ?cap v range = if write ?cap v range then changed := true in
+    match instr with
+    | Ir.Instr.Bin { dst; op; a; b } ->
+      upd ?cap dst (eval_bin op (read a) (read b))
+    | Ir.Instr.Mul { dst; a; b } -> upd dst (mul (read a) (read b))
+    | Ir.Instr.Div { dst; a; b } -> upd dst (div_iv (read a) (read b))
+    | Ir.Instr.Rem { dst; a; b } -> upd dst (div_iv (read a) (read b))
+    | Ir.Instr.Un { dst; op; a } -> upd dst (eval_un op (read a))
+    | Ir.Instr.Mov { dst; src } -> upd dst (read src)
+    | Ir.Instr.Select { dst; if_true; if_false; _ } ->
+      upd dst (join (read if_true) (read if_false))
+    | Ir.Instr.Load { dst; arr; _ } -> (
+      match Hashtbl.find_opt arrays arr with
+      | Some r -> upd dst r
+      | None -> upd dst top)
+    | Ir.Instr.Store { arr; value; _ } -> (
+      (* stores only widen the (non-const) array's content range *)
+      match Hashtbl.find_opt arrays arr with
+      | Some r ->
+        let r' = join r (read value) in
+        if r'.lo < r.lo || r'.hi > r.hi then begin
+          Hashtbl.replace arrays arr r';
+          changed := true
+        end
+      | None -> ())
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 32 do
+    changed := false;
+    incr rounds;
+    for b = 0 to n - 1 do
+      List.iteri
+        (fun idx instr -> transfer_instr changed b idx instr)
+        (Ir.Cfg.block cfg b).Ir.Block.instrs
+    done
+  done;
+  (* narrowing: recompute every register from the converged environment
+     and keep the intersection — recovers the precision widening threw
+     away on derived values (sound: one application of the transfer to a
+     post-fixpoint stays above the least fixpoint) *)
+  for _ = 1 to 2 do
+    let fresh : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+    let record (v : Ir.Instr.var) range =
+      let range =
+        match Hashtbl.find_opt fresh v.vid with
+        | Some prev -> join prev range
+        | None -> range
+      in
+      Hashtbl.replace fresh v.vid range
+    in
+    for b = 0 to n - 1 do
+      List.iteri
+        (fun idx instr ->
+          let cap = Hashtbl.find_opt caps (b, idx) in
+          let capped range =
+            match cap with
+            | Some c -> { range with hi = min range.hi c }
+            | None -> range
+          in
+          match instr with
+          | Ir.Instr.Bin { dst; op; a; b = rb } ->
+            record dst (capped (eval_bin op (read a) (read rb)))
+          | Ir.Instr.Mul { dst; a; b = rb } -> record dst (mul (read a) (read rb))
+          | Ir.Instr.Div { dst; a; b = rb } -> record dst (div_iv (read a) (read rb))
+          | Ir.Instr.Rem { dst; a; b = rb } -> record dst (div_iv (read a) (read rb))
+          | Ir.Instr.Un { dst; op; a } -> record dst (eval_un op (read a))
+          | Ir.Instr.Mov { dst; src } -> record dst (read src)
+          | Ir.Instr.Select { dst; if_true; if_false; _ } ->
+            record dst (join (read if_true) (read if_false))
+          | Ir.Instr.Load { dst; arr; _ } ->
+            record dst
+              (match Hashtbl.find_opt arrays arr with Some r -> r | None -> top)
+          | Ir.Instr.Store _ -> ())
+        (Ir.Cfg.block cfg b).Ir.Block.instrs
+    done;
+    Hashtbl.iter
+      (fun vid recomputed ->
+        match Hashtbl.find_opt env vid with
+        | Some current ->
+          let lo = max current.lo recomputed.lo in
+          let hi = min current.hi recomputed.hi in
+          if lo <= hi then Hashtbl.replace env vid { lo; hi }
+        | None -> ())
+      fresh
+  done;
+  Hashtbl.fold (fun _ v acc -> v :: acc) vars []
+  |> List.sort (fun (a : Ir.Instr.var) b -> compare a.vid b.vid)
+  |> List.map (fun (v : Ir.Instr.var) ->
+         let range =
+           match Hashtbl.find_opt env v.vid with Some r -> r | None -> top
+         in
+         let declared = width_range v.vwidth in
+         {
+           var = v;
+           range;
+           declared;
+           fits = range.lo >= declared.lo && range.hi <= declared.hi;
+         })
+
+let overflow_risks cdfg = List.filter (fun r -> not r.fits) (analyse cdfg)
+
+let pp_interval ppf i = Format.fprintf ppf "[%d, %d]" i.lo i.hi
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s#%d width=%d inferred=%a declared=%a %s" r.var.vname
+    r.var.vid r.var.vwidth pp_interval r.range pp_interval r.declared
+    (if r.fits then "ok" else "OVERFLOW RISK")

@@ -1,0 +1,40 @@
+(** Value-range (interval) analysis over the CDFG.
+
+    Declared bit-widths drive the fine-grain area model and the
+    operation-weight model, so widths that silently overflow would skew
+    every downstream number.  This analysis infers a conservative
+    [lo, hi] interval for every scalar register (forward data-flow with
+    interval arithmetic, joining at control-flow merges and widening at
+    loop heads) and flags registers whose inferred range exceeds their
+    declared signed width.
+
+    Array contents are handled flow-insensitively: a [const] array's
+    range comes from its initialiser; any other array is assumed to hold
+    values of its full declared element width (arrays are the program's
+    input surface). *)
+
+type interval = { lo : int; hi : int }
+
+val top : interval
+(** The widened "unknown" interval (large symmetric bounds, safely inside
+    native-int arithmetic). *)
+
+val width_range : int -> interval
+(** The representable signed range of a bit-width: [[-2^(w-1), 2^(w-1)-1]]. *)
+
+type report = {
+  var : Hypar_ir.Instr.var;
+  range : interval;
+  declared : interval;  (** from the variable's width *)
+  fits : bool;
+}
+
+val analyse : Hypar_ir.Cdfg.t -> report list
+(** One report per distinct register, ordered by variable id. *)
+
+val overflow_risks : Hypar_ir.Cdfg.t -> report list
+(** Only the registers whose inferred range escapes their declared
+    width. *)
+
+val pp_interval : Format.formatter -> interval -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,27 @@
+module Ir = Hypar_ir
+
+type t = { alu : int; mul : int; div : int; mem : int; move : int }
+
+let paper = { alu = 1; mul = 2; div = 4; mem = 1; move = 1 }
+
+let make ?(alu = paper.alu) ?(mul = paper.mul) ?(div = paper.div)
+    ?(mem = paper.mem) ?(move = paper.move) () =
+  { alu; mul; div; mem; move }
+
+let of_class t = function
+  | Ir.Types.Class_alu -> t.alu
+  | Ir.Types.Class_mul -> t.mul
+  | Ir.Types.Class_div -> t.div
+  | Ir.Types.Class_mem -> t.mem
+  | Ir.Types.Class_move -> t.move
+
+let instr_weight t instr = of_class t (Ir.Instr.op_class instr)
+
+let bb_weight t dfg =
+  List.fold_left
+    (fun acc (nd : Ir.Dfg.node) -> acc + instr_weight t nd.instr)
+    0 (Ir.Dfg.nodes dfg)
+
+let pp ppf t =
+  Format.fprintf ppf "weights{alu=%d mul=%d div=%d mem=%d move=%d}" t.alu t.mul
+    t.div t.mem t.move

@@ -1,0 +1,1 @@
+lib/apps/adpcm.ml: Array Ctable Hypar_core List String

@@ -1,0 +1,1 @@
+lib/apps/adpcm.mli: Hypar_core

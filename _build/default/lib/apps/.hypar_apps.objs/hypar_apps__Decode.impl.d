@@ -1,0 +1,1 @@
+lib/apps/decode.ml: Adpcm Array Float Jpeg Ofdm Option

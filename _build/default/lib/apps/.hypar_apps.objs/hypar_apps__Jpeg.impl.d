@@ -1,0 +1,1 @@
+lib/apps/jpeg.ml: Array Ctable Float Fun Hypar_core List Printf String

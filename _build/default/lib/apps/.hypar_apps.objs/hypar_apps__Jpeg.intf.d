@@ -1,0 +1,1 @@
+lib/apps/jpeg.mli: Hypar_core

@@ -1,0 +1,1 @@
+lib/apps/ofdm.ml: Array Ctable Float Hypar_core List Printf String

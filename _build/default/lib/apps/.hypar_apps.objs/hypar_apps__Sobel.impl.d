@@ -1,0 +1,1 @@
+lib/apps/sobel.ml: Array Ctable Hypar_core List String

@@ -1,0 +1,1 @@
+lib/apps/sobel.mli: Hypar_core

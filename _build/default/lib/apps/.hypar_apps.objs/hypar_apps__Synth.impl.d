@@ -1,0 +1,1 @@
+lib/apps/synth.ml: Array Buffer Hypar_ir List Printf String

@@ -1,0 +1,155 @@
+let samples = 4096
+let timing_constraint = 600_000
+
+(* Standard IMA ADPCM step-size table. *)
+let step_table =
+  [|
+    7; 8; 9; 10; 11; 12; 13; 14; 16; 17; 19; 21; 23; 25; 28; 31; 34; 37; 41;
+    45; 50; 55; 60; 66; 73; 80; 88; 97; 107; 118; 130; 143; 157; 173; 190;
+    209; 230; 253; 279; 307; 337; 371; 408; 449; 494; 544; 598; 658; 724;
+    796; 876; 963; 1060; 1166; 1282; 1411; 1552; 1707; 1878; 2066; 2272;
+    2499; 2749; 3024; 3327; 3660; 4026; 4428; 4871; 5358; 5894; 6484; 7132;
+    7845; 8630; 9493; 10442; 11487; 12635; 13899; 15289; 16818; 18500;
+    20350; 22385; 24623; 27086; 29794; 32767;
+  |]
+
+let index_table = [| -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+let source =
+  String.concat "\n"
+    [
+      Ctable.const_array "steptab" step_table;
+      Ctable.const_array "indextab" index_table;
+      Ctable.int_array "pcm" samples;
+      Ctable.int_array "adpcm" (samples / 2);
+      Ctable.int_array "state" 2;
+      {|
+void main() {
+  int predicted = 0;
+  int index = 0;
+  int n;
+  for (n = 0; n < 4096; n++) {
+    int sample = pcm[n];
+    int diff = sample - predicted;
+    int sign = 0;
+    if (diff < 0) {
+      sign = 8;
+      diff = 0 - diff;
+    }
+    int step = steptab[index];
+    int code = 0;
+    int vpdiff = step >> 3;
+    if (diff >= step) {
+      code = 4;
+      diff -= step;
+      vpdiff += step;
+    }
+    int half = step >> 1;
+    if (diff >= half) {
+      code |= 2;
+      diff -= half;
+      vpdiff += half;
+    }
+    int quarter = step >> 2;
+    if (diff >= quarter) {
+      code |= 1;
+      vpdiff += quarter;
+    }
+    if (sign) {
+      predicted -= vpdiff;
+    } else {
+      predicted += vpdiff;
+    }
+    predicted = min(32767, max(0 - 32768, predicted));
+    index += indextab[code];
+    index = min(88, max(0, index));
+    int nibble = sign | code;
+    int pos = n >> 1;
+    if (n & 1) {
+      adpcm[pos] |= nibble << 4;
+    } else {
+      adpcm[pos] = nibble;
+    }
+  }
+  state[0] = predicted;
+  state[1] = index;
+}
+|};
+    ]
+
+(* A 16-bit test signal: two sines plus pseudo-random noise. *)
+let inputs ?(seed = 11) () =
+  let state = ref seed in
+  let noise () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    (!state mod 1601) - 800
+  in
+  let sample n =
+    let t = float_of_int n in
+    let v =
+      (9000.0 *. sin (t /. 13.0)) +. (4000.0 *. sin (t /. 89.0))
+    in
+    let v = int_of_float v + noise () in
+    if v > 32767 then 32767 else if v < -32768 then -32768 else v
+  in
+  [ ("pcm", Array.init samples sample) ]
+
+type golden_result = {
+  codes : int array;
+  final_predicted : int;
+  final_index : int;
+}
+
+let golden input_list =
+  let pcm =
+    match List.assoc_opt "pcm" input_list with
+    | Some a -> a
+    | None -> invalid_arg "Adpcm.golden: missing \"pcm\" input"
+  in
+  let adpcm = Array.make (samples / 2) 0 in
+  let predicted = ref 0 and index = ref 0 in
+  for n = 0 to samples - 1 do
+    let sample = pcm.(n) in
+    let diff = ref (sample - !predicted) in
+    let sign = if !diff < 0 then 8 else 0 in
+    if !diff < 0 then diff := - !diff;
+    let step = step_table.(!index) in
+    let code = ref 0 in
+    let vpdiff = ref (step asr 3) in
+    if !diff >= step then begin
+      code := 4;
+      diff := !diff - step;
+      vpdiff := !vpdiff + step
+    end;
+    let half = step asr 1 in
+    if !diff >= half then begin
+      code := !code lor 2;
+      diff := !diff - half;
+      vpdiff := !vpdiff + half
+    end;
+    let quarter = step asr 2 in
+    if !diff >= quarter then begin
+      code := !code lor 1;
+      vpdiff := !vpdiff + quarter
+    end;
+    if sign <> 0 then predicted := !predicted - !vpdiff
+    else predicted := !predicted + !vpdiff;
+    predicted := min 32767 (max (-32768) !predicted);
+    index := !index + index_table.(!code);
+    index := min 88 (max 0 !index);
+    let nibble = sign lor !code in
+    let pos = n asr 1 in
+    if n land 1 <> 0 then adpcm.(pos) <- adpcm.(pos) lor (nibble lsl 4)
+    else adpcm.(pos) <- nibble
+  done;
+  { codes = adpcm; final_predicted = !predicted; final_index = !index }
+
+let prepared_memo = ref None
+
+let prepared () =
+  match !prepared_memo with
+  | Some p -> p
+  | None ->
+    let p = Hypar_core.Flow.prepare ~name:"adpcm" ~inputs:(inputs ()) source in
+    prepared_memo := Some p;
+    p

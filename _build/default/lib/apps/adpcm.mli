@@ -1,0 +1,30 @@
+(** IMA ADPCM encoder — a fourth workload with a *branchy* kernel.
+
+    Unlike the OFDM/JPEG/Sobel kernels (single self-looping blocks), the
+    ADPCM sample loop spans several basic blocks (sign handling, the
+    3-step quantisation ladder, predictor clamping), so a partitioning has
+    fine/coarse transitions *inside* the loop — the stress case for the
+    transition-priced [t_comm] model.  Standard IMA: 89-entry step table,
+    8-entry index adaptation, 4-bit codes packed two per byte. *)
+
+val samples : int
+(** 4096 input samples. *)
+
+val source : string
+val inputs : ?seed:int -> unit -> (string * int array) list
+
+type golden_result = {
+  codes : int array;  (** packed bytes, samples/2 long *)
+  final_predicted : int;
+  final_index : int;
+}
+
+val golden : (string * int array) list -> golden_result
+val prepared : unit -> Hypar_core.Flow.prepared
+val timing_constraint : int
+
+val step_table : int array
+(** The standard 89-entry IMA step-size table (for the decoder oracle). *)
+
+val index_table : int array
+(** Index adaptation per 3-bit magnitude code. *)

@@ -1,0 +1,12 @@
+let const_array name values =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "const int %s[%d] = { " name (Array.length values));
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (string_of_int v))
+    values;
+  Buffer.add_string buf " };\n";
+  Buffer.contents buf
+
+let int_array name size = Printf.sprintf "int %s[%d];\n" name size

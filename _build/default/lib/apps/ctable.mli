@@ -1,0 +1,9 @@
+(** Helpers for splicing OCaml-computed constant tables into generated
+    Mini-C source (ROM tables: twiddle factors, QAM constellations,
+    zig-zag order, quantiser reciprocals...). *)
+
+val const_array : string -> int array -> string
+(** [const_array "tw_re" [|1;2|]] = ["const int tw_re[2] = { 1, 2 };\n"]. *)
+
+val int_array : string -> int -> string
+(** Uninitialised global array declaration of a given size. *)

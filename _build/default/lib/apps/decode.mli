@@ -1,0 +1,35 @@
+(** Decode-side oracles for the benchmark applications.
+
+    Each encoder's output is actually decodable: the OFDM receiver
+    (CP removal → forward FFT → nearest-constellation demapping) recovers
+    the transmitted QAM symbols, the JPEG decoder (entropy decode →
+    dequantise → IDCT) reconstructs the image, and the IMA ADPCM decoder
+    reconstructs the waveform.  The test suite uses these to check
+    bit-error rates, PSNR and SNR — end-to-end evidence that the Mini-C
+    applications implement the real pipelines, not stand-ins. *)
+
+val ofdm_demodulate : re:int array -> im:int array -> int array
+(** Recovers the per-carrier 4-bit values from the transmitter output
+    (length [Ofdm.symbols * 48]). *)
+
+val ofdm_bit_errors : sent:int array -> received:int array -> int
+(** Hamming distance over the 4-bit symbol values. *)
+
+type jpeg_image = { pixels : int array; width : int; height : int }
+
+val jpeg_decode : ?quant_table:int array -> bytes_in:int array -> len:int -> unit -> jpeg_image
+(** Decodes the encoder's bitstream back to a 256×256 image
+    ([quant_table] defaults to the standard table; pass
+    {!Jpeg.quant_table_for} for quality-scaled streams).
+    Raises [Failure] on a malformed stream. *)
+
+val psnr : int array -> int array -> float
+(** Peak signal-to-noise ratio (dB, peak 255) between two images.
+    [infinity] for identical inputs. *)
+
+val adpcm_decode : codes:int array -> int array
+(** Standard IMA ADPCM decode of the packed nibble stream
+    ([Adpcm.samples] outputs). *)
+
+val snr_db : reference:int array -> decoded:int array -> float
+(** Signal-to-noise ratio of a reconstruction, in dB. *)

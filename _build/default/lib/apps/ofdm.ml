@@ -1,0 +1,213 @@
+let symbols = 6
+let samples_per_symbol = 80
+let data_carriers = 48
+let timing_constraint = 60_000
+
+(* Q14 twiddles of the 64-point IFFT: w_k = e^{+j 2 pi k / 64}. *)
+let tw_re =
+  Array.init 32 (fun k ->
+      int_of_float
+        (Float.round (16384.0 *. cos (2.0 *. Float.pi *. float_of_int k /. 64.0))))
+
+let tw_im =
+  Array.init 32 (fun k ->
+      int_of_float
+        (Float.round (16384.0 *. sin (2.0 *. Float.pi *. float_of_int k /. 64.0))))
+
+(* 16-QAM, Gray-coded per axis (00 -3, 01 -1, 11 +1, 10 +3), Q10 scale. *)
+let gray_level = [| -3; -1; 3; 1 |]
+
+let qam_re = Array.init 16 (fun v -> gray_level.((v lsr 2) land 3) * 1024)
+let qam_im = Array.init 16 (fun v -> gray_level.(v land 3) * 1024)
+
+(* 802.11a data subcarriers: -26..26 without 0 and the pilots +-7, +-21;
+   negative frequencies map to FFT bins 64+k. *)
+let carrier_map =
+  let pilots = [ -21; -7; 7; 21 ] in
+  let ks =
+    List.filter
+      (fun k -> k <> 0 && not (List.mem k pilots))
+      (List.init 53 (fun i -> i - 26))
+  in
+  assert (List.length ks = data_carriers);
+  Array.of_list (List.map (fun k -> if k < 0 then 64 + k else k) ks)
+
+let bit_reverse_6 i =
+  let r = ref 0 in
+  for b = 0 to 5 do
+    if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (5 - b))
+  done;
+  !r
+
+let bitrev = Array.init 64 bit_reverse_6
+
+let source_for ~symbols =
+  String.concat ""
+    [
+      Ctable.const_array "qam_re" qam_re;
+      Ctable.const_array "qam_im" qam_im;
+      Ctable.const_array "carrier_map" carrier_map;
+      Ctable.const_array "bitrev" bitrev;
+      Ctable.const_array "tw_re" tw_re;
+      Ctable.const_array "tw_im" tw_im;
+      Ctable.int_array "bits" (symbols * data_carriers);
+      Ctable.int_array "xre" 64;
+      Ctable.int_array "xim" 64;
+      Ctable.int_array "yre" 64;
+      Ctable.int_array "yim" 64;
+      Ctable.int_array "out_re" (symbols * samples_per_symbol);
+      Ctable.int_array "out_im" (symbols * samples_per_symbol);
+      Printf.sprintf {|
+void main() {
+  int s;
+  for (s = 0; s < %d; s = s + 1) {|} symbols;
+      {|
+    int k;
+    for (k = 0; k < 64; k = k + 1) {
+      xre[k] = 0;
+      xim[k] = 0;
+    }
+    int j;
+    for (j = 0; j < 48; j = j + 1) {
+      int v = bits[s * 48 + j];
+      int pos = carrier_map[j];
+      xre[pos] = qam_re[v];
+      xim[pos] = qam_im[v];
+    }
+    xre[7] = 1024;
+    xre[21] = 0 - 1024;
+    xre[43] = 1024;
+    xre[57] = 1024;
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+      int r = bitrev[i];
+      yre[i] = xre[r];
+      yim[i] = xim[r];
+    }
+    int half = 1;
+    int st;
+    for (st = 0; st < 6; st = st + 1) {
+      int stride = 32 >> st;
+      int base;
+      for (base = 0; base < 64; base = base + (half << 1)) {
+        int q;
+        for (q = 0; q < half; q = q + 1) {
+          int a = base + q;
+          int b = a + half;
+          int wr = tw_re[q * stride];
+          int wi = tw_im[q * stride];
+          int br = yre[b];
+          int bi = yim[b];
+          int tr = (br * wr - bi * wi) >> 14;
+          int ti = (br * wi + bi * wr) >> 14;
+          int ar = yre[a];
+          int ai = yim[a];
+          yre[a] = (ar + tr) >> 1;
+          yim[a] = (ai + ti) >> 1;
+          yre[b] = (ar - tr) >> 1;
+          yim[b] = (ai - ti) >> 1;
+        }
+      }
+      half = half << 1;
+    }
+    int c;
+    for (c = 0; c < 16; c = c + 1) {
+      out_re[s * 80 + c] = yre[48 + c];
+      out_im[s * 80 + c] = yim[48 + c];
+    }
+    int m;
+    for (m = 0; m < 64; m = m + 1) {
+      out_re[s * 80 + 16 + m] = yre[m];
+      out_im[s * 80 + 16 + m] = yim[m];
+    }
+  }
+}
+|};
+    ]
+
+let source = source_for ~symbols
+
+(* Deterministic LCG so tests and benches are reproducible. *)
+let lcg seed =
+  let state = ref seed in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+let inputs_for ?(seed = 42) ~symbols () =
+  let next = lcg seed in
+  [ ("bits", Array.init (symbols * data_carriers) (fun _ -> next 16)) ]
+
+let inputs ?seed () = inputs_for ?seed ~symbols ()
+
+(* --- bit-exact golden model -------------------------------------------- *)
+
+let golden input_list =
+  let bits =
+    match List.assoc_opt "bits" input_list with
+    | Some b -> b
+    | None -> invalid_arg "Ofdm.golden: missing \"bits\" input"
+  in
+  (* the symbol count follows the input length *)
+  let symbols = Array.length bits / data_carriers in
+  let out_re = Array.make (symbols * samples_per_symbol) 0 in
+  let out_im = Array.make (symbols * samples_per_symbol) 0 in
+  let yre = Array.make 64 0 and yim = Array.make 64 0 in
+  for s = 0 to symbols - 1 do
+    let xre = Array.make 64 0 and xim = Array.make 64 0 in
+    for j = 0 to data_carriers - 1 do
+      let v = bits.((s * data_carriers) + j) in
+      let pos = carrier_map.(j) in
+      xre.(pos) <- qam_re.(v);
+      xim.(pos) <- qam_im.(v)
+    done;
+    xre.(7) <- 1024;
+    xre.(21) <- -1024;
+    xre.(43) <- 1024;
+    xre.(57) <- 1024;
+    for i = 0 to 63 do
+      yre.(i) <- xre.(bitrev.(i));
+      yim.(i) <- xim.(bitrev.(i))
+    done;
+    let half = ref 1 in
+    for st = 0 to 5 do
+      let stride = 32 asr st in
+      let base = ref 0 in
+      while !base < 64 do
+        for q = 0 to !half - 1 do
+          let a = !base + q in
+          let b = a + !half in
+          let wr = tw_re.(q * stride) and wi = tw_im.(q * stride) in
+          let br = yre.(b) and bi = yim.(b) in
+          let tr = ((br * wr) - (bi * wi)) asr 14 in
+          let ti = ((br * wi) + (bi * wr)) asr 14 in
+          let ar = yre.(a) and ai = yim.(a) in
+          yre.(a) <- (ar + tr) asr 1;
+          yim.(a) <- (ai + ti) asr 1;
+          yre.(b) <- (ar - tr) asr 1;
+          yim.(b) <- (ai - ti) asr 1
+        done;
+        base := !base + (!half * 2)
+      done;
+      half := !half * 2
+    done;
+    for c = 0 to 15 do
+      out_re.((s * 80) + c) <- yre.(48 + c);
+      out_im.((s * 80) + c) <- yim.(48 + c)
+    done;
+    for m = 0 to 63 do
+      out_re.((s * 80) + 16 + m) <- yre.(m);
+      out_im.((s * 80) + 16 + m) <- yim.(m)
+    done
+  done;
+  (out_re, out_im)
+
+let prepared_memo = ref None
+
+let prepared () =
+  match !prepared_memo with
+  | Some p -> p
+  | None ->
+    let p = Hypar_core.Flow.prepare ~name:"ofdm" ~inputs:(inputs ()) source in
+    prepared_memo := Some p;
+    p

@@ -1,0 +1,88 @@
+let width = 128
+let height = 128
+let threshold = 160
+let timing_constraint = 500_000
+
+let source =
+  String.concat "\n"
+    [
+      Ctable.int_array "image" (width * height);
+      Ctable.int_array "edges" (width * height);
+      {|
+void main() {
+  int y;
+  for (y = 1; y < 127; y = y + 1) {
+    int x;
+    for (x = 1; x < 127; x = x + 1) {
+      int p = y * 128 + x;
+      int a = image[p - 129];
+      int b = image[p - 128];
+      int c = image[p - 127];
+      int d = image[p - 1];
+      int f = image[p + 1];
+      int g = image[p + 127];
+      int h = image[p + 128];
+      int i2 = image[p + 129];
+      int gx = (c + f + f + i2) - (a + d + d + g);
+      int gy = (g + h + h + i2) - (a + b + b + c);
+      int mag = abs(gx) + abs(gy);
+      edges[p] = mag > 160 ? 255 : 0;
+    }
+  }
+}
+|};
+    ]
+
+let inputs ?(seed = 3) () =
+  let state = ref seed in
+  let noise () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod 25
+  in
+  let pixel x y =
+    (* blocks of contrasting brightness + diagonal stripe + noise *)
+    let base = if ((x / 16) + (y / 16)) mod 2 = 0 then 60 else 190 in
+    let stripe = if (x + y) mod 37 < 4 then 80 else 0 in
+    let v = base + stripe + noise () in
+    if v > 255 then 255 else v
+  in
+  [
+    ( "image",
+      Array.init (width * height) (fun i -> pixel (i mod width) (i / width)) );
+  ]
+
+let golden input_list =
+  let image =
+    match List.assoc_opt "image" input_list with
+    | Some a -> a
+    | None -> invalid_arg "Sobel.golden: missing \"image\" input"
+  in
+  let edges = Array.make (width * height) 0 in
+  for y = 1 to height - 2 do
+    for x = 1 to width - 2 do
+      let p = (y * width) + x in
+      let a = image.(p - 129)
+      and b = image.(p - 128)
+      and c = image.(p - 127)
+      and d = image.(p - 1)
+      and f = image.(p + 1)
+      and g = image.(p + 127)
+      and h = image.(p + 128)
+      and i2 = image.(p + 129) in
+      let gx = c + f + f + i2 - (a + d + d + g) in
+      let gy = g + h + h + i2 - (a + b + b + c) in
+      let mag = abs gx + abs gy in
+      edges.(p) <- (if mag > threshold then 255 else 0)
+    done
+  done;
+  edges
+
+let prepared_memo = ref None
+
+let prepared () =
+  match !prepared_memo with
+  | Some p -> p
+  | None ->
+    let p = Hypar_core.Flow.prepare ~name:"sobel" ~inputs:(inputs ()) source in
+    prepared_memo := Some p;
+    p

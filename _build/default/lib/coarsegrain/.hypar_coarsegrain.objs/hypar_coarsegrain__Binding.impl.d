@@ -1,0 +1,1 @@
+lib/coarsegrain/binding.ml: Array Buffer Cgc Format Hashtbl Hypar_ir List Printf Schedule String

@@ -1,0 +1,1 @@
+lib/coarsegrain/binding.mli: Cgc Format Hypar_ir Schedule

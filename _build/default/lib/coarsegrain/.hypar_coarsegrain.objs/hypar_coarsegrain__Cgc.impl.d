@@ -1,0 +1,1 @@
+lib/coarsegrain/cgc.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/coarsegrain/cgc.mli: Format

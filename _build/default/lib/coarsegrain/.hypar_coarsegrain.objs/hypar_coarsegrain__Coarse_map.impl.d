@@ -1,0 +1,1 @@
+lib/coarsegrain/coarse_map.ml: Binding Format Hypar_ir List Printf Schedule

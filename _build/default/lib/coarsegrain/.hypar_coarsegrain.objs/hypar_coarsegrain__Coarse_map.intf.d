@@ -1,0 +1,1 @@
+lib/coarsegrain/coarse_map.mli: Binding Cgc Format Hypar_ir Schedule

@@ -1,0 +1,1 @@
+lib/coarsegrain/context.ml: Array Binding Cgc Hypar_ir List Schedule

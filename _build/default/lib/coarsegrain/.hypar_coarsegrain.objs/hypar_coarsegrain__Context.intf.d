@@ -1,0 +1,1 @@
+lib/coarsegrain/context.mli: Binding Cgc Hypar_ir Schedule

@@ -1,0 +1,1 @@
+lib/coarsegrain/modulo.ml: Array Cgc Format Hypar_ir List Schedule String

@@ -1,0 +1,1 @@
+lib/coarsegrain/modulo.mli: Cgc Format Hypar_ir

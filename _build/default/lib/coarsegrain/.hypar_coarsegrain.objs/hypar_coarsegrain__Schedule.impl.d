@@ -1,0 +1,1 @@
+lib/coarsegrain/schedule.ml: Array Cgc Format Fun Hashtbl Hypar_ir List

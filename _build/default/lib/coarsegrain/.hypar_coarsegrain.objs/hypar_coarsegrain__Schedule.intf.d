@@ -1,0 +1,1 @@
+lib/coarsegrain/schedule.mli: Cgc Format Hypar_ir

@@ -1,0 +1,32 @@
+type t = {
+  cgcs : int;
+  rows : int;
+  cols : int;
+  mem_ports : int;
+  register_bank : int;
+}
+
+let make ?(mem_ports = 2) ?(register_bank = 64) ~cgcs ~rows ~cols () =
+  if cgcs <= 0 || rows <= 0 || cols <= 0 || mem_ports <= 0 then
+    invalid_arg "Cgc.make: dimensions must be positive";
+  { cgcs; rows; cols; mem_ports; register_bank }
+
+let two_by_two k = make ~cgcs:k ~rows:2 ~cols:2 ()
+
+let chains t = t.cgcs * t.cols
+let node_slots t = t.cgcs * t.rows * t.cols
+
+let describe t =
+  let count =
+    match t.cgcs with
+    | 1 -> "one"
+    | 2 -> "two"
+    | 3 -> "three"
+    | 4 -> "four"
+    | n -> string_of_int n ^ "x"
+  in
+  Printf.sprintf "%s %dx%d" count t.rows t.cols
+
+let pp ppf t =
+  Format.fprintf ppf "cgc{%d x %dx%d, mem_ports=%d, regs=%d}" t.cgcs t.rows
+    t.cols t.mem_ports t.register_bank

@@ -1,0 +1,39 @@
+(** Coarse-Grain Component (CGC) data-path model, after the authors'
+    FPL'04 design used as the coarse-grain hardware in the paper.
+
+    The data-path is a set of [cgcs] identical CGC components, a
+    reconfigurable interconnect and a register bank.  Each CGC is an
+    [rows]×[cols] array of nodes; every node contains a multiplier and an
+    ALU (one active per cycle), and the steering logic chains nodes along
+    a column so that up to [rows] *dependent* operations (e.g. a
+    multiply-add) complete within a single CGC cycle.  All node operations
+    have unit delay in [T_CGC] ("this period is set for having unit
+    execution delay for the CGCs"). *)
+
+type t = {
+  cgcs : int;  (** number of CGC components *)
+  rows : int;  (** chain depth executable in one cycle *)
+  cols : int;  (** independent chains per CGC per cycle *)
+  mem_ports : int;  (** shared-data-memory ports per CGC cycle *)
+  register_bank : int;  (** capacity of the register bank (for stats) *)
+}
+
+val make :
+  ?mem_ports:int -> ?register_bank:int -> cgcs:int -> rows:int -> cols:int
+  -> unit -> t
+(** Defaults: 2 memory ports, 64 registers. Raises [Invalid_argument] on
+    non-positive dimensions. *)
+
+val two_by_two : int -> t
+(** [two_by_two k] — the paper's data-path of [k] 2×2 CGCs. *)
+
+val chains : t -> int
+(** Total chains available per cycle: [cgcs * cols]. *)
+
+val node_slots : t -> int
+(** Total node slots per cycle: [cgcs * rows * cols]. *)
+
+val describe : t -> string
+(** e.g. ["two 2x2"] / ["three 2x2"] / ["4x 3x2"]. *)
+
+val pp : Format.formatter -> t -> unit

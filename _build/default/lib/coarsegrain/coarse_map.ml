@@ -1,0 +1,43 @@
+module Ir = Hypar_ir
+
+type block_mapping = {
+  block_id : int;
+  latency : int;
+  schedule : Schedule.t;
+  binding : Binding.t;
+}
+
+let map_dfg_id cgc ~block_id dfg =
+  if not (Schedule.supported dfg) then None
+  else begin
+    let schedule = Schedule.schedule cgc dfg in
+    let binding = Binding.bind cgc dfg schedule in
+    Some
+      {
+        block_id;
+        latency = max 1 schedule.Schedule.makespan;
+        schedule;
+        binding;
+      }
+  end
+
+let map_dfg cgc dfg = map_dfg_id cgc ~block_id:(-1) dfg
+
+let map_block cgc cdfg i =
+  map_dfg_id cgc ~block_id:i (Ir.Cdfg.info cdfg i).Ir.Cdfg.dfg
+
+let app_cycles cgc cdfg ~freq ~on_cgc =
+  List.fold_left
+    (fun acc i ->
+      if on_cgc i && freq i > 0 then
+        match map_block cgc cdfg i with
+        | Some m -> acc + (m.latency * freq i)
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Coarse_map.app_cycles: block %d is not CGC-executable" i)
+      else acc)
+    0 (Ir.Cdfg.block_ids cdfg)
+
+let pp_block_mapping ppf m =
+  Format.fprintf ppf "BB%d: latency=%d CGC cycles, max_live=%d" m.block_id
+    m.latency m.binding.Binding.max_live

@@ -1,0 +1,27 @@
+(** Mapping to the coarse-grain data-path and Eq. 3 cycle accounting.
+
+    The latency of a block is its schedule makespan in [T_CGC] cycles
+    (at least 1); CDFGs are handled by iterating over their DFGs.
+    Blocks containing divisions cannot execute on CGC nodes and are
+    reported as unmappable — the partitioning engine keeps them on the
+    fine-grain side. *)
+
+type block_mapping = {
+  block_id : int;
+  latency : int;  (** per invocation, in CGC cycles *)
+  schedule : Schedule.t;
+  binding : Binding.t;
+}
+
+val map_dfg : Cgc.t -> Hypar_ir.Dfg.t -> block_mapping option
+(** [None] when the DFG is not CGC-executable (divisions). *)
+
+val map_block : Cgc.t -> Hypar_ir.Cdfg.t -> int -> block_mapping option
+
+val app_cycles :
+  Cgc.t -> Hypar_ir.Cdfg.t -> freq:(int -> int) -> on_cgc:(int -> bool) -> int
+(** Eq. 3: [t_coarse = Σ t_to_coarse(BB_i) · Iter(BB_i)] over the blocks
+    selected by [on_cgc], in CGC cycles. Raises [Invalid_argument] if a
+    selected block is unmappable. *)
+
+val pp_block_mapping : Format.formatter -> block_mapping -> unit

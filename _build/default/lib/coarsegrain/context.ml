@@ -1,0 +1,104 @@
+module Ir = Hypar_ir
+
+type word = int
+
+type t = {
+  cycles : int;
+  words : word array array;
+  slots : int;
+  total_bits : int;
+}
+
+let word_bits = 16
+
+(* opcode space: 0..15 ALU ops, 16..18 unary, 19 select, 20 mul *)
+let opcode_of_instr (instr : Ir.Instr.t) =
+  match instr with
+  | Ir.Instr.Bin { op; _ } ->
+    let rec index k = function
+      | [] -> assert false
+      | o :: rest -> if o = op then k else index (k + 1) rest
+    in
+    index 0 Ir.Types.all_alu_ops
+  | Ir.Instr.Un { op; _ } -> (
+    16 + (match op with Ir.Types.Neg -> 0 | Ir.Types.Not -> 1 | Ir.Types.Abs -> 2))
+  | Ir.Instr.Select _ -> 19
+  | Ir.Instr.Mul _ -> 20
+  | Ir.Instr.Div _ | Ir.Instr.Rem _ | Ir.Instr.Mov _ | Ir.Instr.Load _
+  | Ir.Instr.Store _ ->
+    invalid_arg "Context: not a CGC node operation"
+
+let mnemonic_table =
+  Array.of_list
+    (List.map Ir.Types.string_of_alu_op Ir.Types.all_alu_ops
+    @ [ "neg"; "not"; "abs"; "select"; "mul" ])
+
+(* operand routing: 0 register bank, 1 chained row above, 2 immediate *)
+let route_of dfg (sched : Schedule.t) node operand =
+  match operand with
+  | Ir.Instr.Imm _ -> 2
+  | Ir.Instr.Var _ -> (
+    let my = sched.Schedule.placements.(node) in
+    (* chained iff some predecessor shares cycle and column *)
+    let chained =
+      List.exists
+        (fun p ->
+          let pp = sched.Schedule.placements.(p) in
+          pp.Schedule.cycle = my.Schedule.cycle
+          && pp.Schedule.chain = my.Schedule.chain
+          && pp.Schedule.chain >= 0
+          && pp.Schedule.depth = my.Schedule.depth - 1)
+        (Ir.Dfg.preds dfg node)
+    in
+    if chained then 1 else 0)
+
+let encode dfg sched node =
+  let instr = (Ir.Dfg.node dfg node).Ir.Dfg.instr in
+  let unit_bit = match instr with Ir.Instr.Mul _ -> 1 | _ -> 0 in
+  let ops = Ir.Instr.uses instr in
+  let route k =
+    match List.nth_opt ops k with
+    | Some operand -> route_of dfg sched node operand
+    | None -> 3
+  in
+  1 lor (unit_bit lsl 1)
+  lor (opcode_of_instr instr lsl 2)
+  lor (route 0 lsl 7)
+  lor (route 1 lsl 10)
+
+let generate (cgc : Cgc.t) dfg (sched : Schedule.t) (binding : Binding.t) =
+  let cycles = max 1 sched.Schedule.makespan in
+  let slots = Cgc.node_slots cgc in
+  let words = Array.make_matrix cycles slots 0 in
+  let slot_index (s : Binding.slot) =
+    (s.Binding.cgc * cgc.Cgc.rows * cgc.Cgc.cols)
+    + (s.Binding.row * cgc.Cgc.cols)
+    + s.Binding.col
+  in
+  List.iter
+    (fun (s : Binding.slot) ->
+      if s.Binding.cycle >= 1 && s.Binding.cycle <= cycles then
+        words.(s.Binding.cycle - 1).(slot_index s) <- encode dfg sched s.Binding.node)
+    binding.Binding.slots;
+  { cycles; words; slots; total_bits = cycles * slots * word_bits }
+
+let decode_mnemonic word =
+  if word land 1 = 0 then None
+  else begin
+    let opcode = (word lsr 2) land 0x1F in
+    if opcode < Array.length mnemonic_table then Some mnemonic_table.(opcode)
+    else None
+  end
+
+let utilization t =
+  let active = ref 0 in
+  Array.iter
+    (fun row -> Array.iter (fun w -> if w land 1 = 1 then incr active) row)
+    t.words;
+  if t.cycles * t.slots = 0 then 0.0
+  else float_of_int !active /. float_of_int (t.cycles * t.slots)
+
+let load_cycles t ~port_bits_per_cycle =
+  if port_bits_per_cycle <= 0 then
+    invalid_arg "Context.load_cycles: port width must be positive";
+  (t.total_bits + port_bits_per_cycle - 1) / port_bits_per_cycle

@@ -1,0 +1,37 @@
+(** CGC context words — the coarse-grain configuration stream.
+
+    The paper's CGCs "can slightly modify their functionality according
+    to the application requirements": like classic coarse-grain
+    reconfigurable arrays, each cycle of a mapped kernel is described by
+    one context word per node (which unit is active — multiplier or ALU —
+    its opcode, and where its operands are routed from: the register
+    bank, an immediate, or the chained node above).  This module encodes
+    a scheduled+bound block into its context stream and decodes it back,
+    giving the coarse-grain analogue of {!Hypar_finegrain.Bitstream}. *)
+
+type word = int
+(** A 16-bit context word:
+    bit 0 — active; bit 1 — unit (0 ALU / 1 MUL);
+    bits 2..6 — opcode; bits 7..9 — operand-A routing;
+    bits 10..12 — operand-B routing (0 register bank, 1 chained row
+    above, 2 immediate, 3 unused). *)
+
+type t = {
+  cycles : int;  (** context depth = schedule makespan *)
+  words : word array array;  (** [cycle][slot]: slot-major, CGC, row, col *)
+  slots : int;  (** node slots per cycle *)
+  total_bits : int;
+}
+
+val generate : Cgc.t -> Hypar_ir.Dfg.t -> Schedule.t -> Binding.t -> t
+
+val decode_mnemonic : word -> string option
+(** Mnemonic of the operation an active word configures; [None] for an
+    idle slot. *)
+
+val utilization : t -> float
+(** Fraction of node slots active over the whole context stream. *)
+
+val load_cycles : t -> port_bits_per_cycle:int -> int
+(** Cycles to load the whole context stream through a configuration port
+    — the CGC's (small) analogue of FPGA reconfiguration. *)

@@ -1,0 +1,240 @@
+module Ir = Hypar_ir
+
+type placement = { cycle : int; chain : int; depth : int }
+
+type t = { placements : placement array; makespan : int }
+
+exception Unsupported of string
+
+type kind = Free | Mem | Node
+
+let kind_of instr =
+  match instr with
+  | Ir.Instr.Mov _ -> Free
+  | Ir.Instr.Load _ | Ir.Instr.Store _ -> Mem
+  | Ir.Instr.Bin _ | Ir.Instr.Un _ | Ir.Instr.Mul _ | Ir.Instr.Select _ -> Node
+  | Ir.Instr.Div _ | Ir.Instr.Rem _ ->
+    raise (Unsupported "CGC nodes cannot execute division/remainder")
+
+let supported dfg =
+  List.for_all
+    (fun (nd : Ir.Dfg.node) ->
+      match nd.instr with
+      | Ir.Instr.Div _ | Ir.Instr.Rem _ -> false
+      | Ir.Instr.Mov _ | Ir.Instr.Load _ | Ir.Instr.Store _ | Ir.Instr.Bin _
+      | Ir.Instr.Un _ | Ir.Instr.Mul _ | Ir.Instr.Select _ ->
+        true)
+    (Ir.Dfg.nodes dfg)
+
+(* Priority: by default most critical first (smallest ALAP), then most
+   successors, then program order.  `Asap and `Program are the ablation
+   baselines. *)
+let priority_order ?(priority = `Alap) dfg =
+  let ids = List.init (Ir.Dfg.node_count dfg) Fun.id in
+  match priority with
+  | `Program -> ids
+  | (`Alap | `Asap) as p ->
+    let level = match p with `Alap -> Ir.Dfg.alap dfg | `Asap -> Ir.Dfg.asap dfg in
+    List.sort
+      (fun a b ->
+        match compare level.(a) level.(b) with
+        | 0 -> (
+          match
+            compare
+              (List.length (Ir.Dfg.succs dfg b))
+              (List.length (Ir.Dfg.succs dfg a))
+          with
+          | 0 -> compare a b
+          | c -> c)
+        | c -> c)
+      ids
+
+(* Per-cycle resources: [Cgc.chains cgc] columns, each with [rows] node
+   slots.  Independent operations may share a column (each node of a CGC
+   is a full compute unit); a *same-cycle dependent* operation must sit in
+   its producer's column, below it — the steering-logic chaining — and
+   only onto the current tail of that dependency chain. *)
+let schedule ?priority cgc dfg =
+  let n = Ir.Dfg.node_count dfg in
+  let kinds =
+    Array.init n (fun i -> kind_of (Ir.Dfg.node dfg i).Ir.Dfg.instr)
+  in
+  let placements = Array.make n { cycle = -1; chain = -1; depth = 0 } in
+  let finish = Array.make n (-1) in
+  let scheduled = Array.make n false in
+  let order = priority_order ?priority dfg in
+  let remaining = ref n in
+  let columns = Cgc.chains cgc in
+  let bound = (10 * n) + 100 in
+  let t = ref 1 in
+  while !remaining > 0 do
+    if !t > bound then
+      invalid_arg "Schedule.schedule: no progress (internal error)";
+    (* per-cycle resource state *)
+    let column_used = Array.make columns 0 in
+    let chain_tail = Array.make n false in
+    (* chain tails this cycle, by node id *)
+    let mem_used = ref 0 in
+    let preds_scheduled v =
+      List.for_all (fun p -> scheduled.(p)) (Ir.Dfg.preds dfg v)
+    in
+    (* emptiest column first, so later chain extensions find room *)
+    let pick_column () =
+      let best = ref (-1) in
+      for c = columns - 1 downto 0 do
+        if
+          column_used.(c) < cgc.Cgc.rows
+          && (!best = -1 || column_used.(c) < column_used.(!best))
+        then best := c
+      done;
+      !best
+    in
+    let place v column =
+      column_used.(column) <- column_used.(column) + 1;
+      placements.(v) <- { cycle = !t; chain = column; depth = column_used.(column) };
+      finish.(v) <- !t;
+      chain_tail.(v) <- true
+    in
+    let try_schedule v =
+      match kinds.(v) with
+      | Free ->
+        let f =
+          List.fold_left (fun acc p -> max acc finish.(p)) 0 (Ir.Dfg.preds dfg v)
+        in
+        placements.(v) <- { cycle = f; chain = -1; depth = 0 };
+        finish.(v) <- f;
+        true
+      | Mem ->
+        let ready =
+          List.for_all (fun p -> finish.(p) < !t) (Ir.Dfg.preds dfg v)
+        in
+        if ready && !mem_used < cgc.Cgc.mem_ports then begin
+          incr mem_used;
+          placements.(v) <- { cycle = !t; chain = -1; depth = 0 };
+          finish.(v) <- !t;
+          true
+        end
+        else false
+      | Node -> (
+        let same_cycle_node_preds =
+          List.filter
+            (fun p -> finish.(p) = !t && kinds.(p) = Node)
+            (Ir.Dfg.preds dfg v)
+        in
+        let others_ready =
+          List.for_all
+            (fun p -> finish.(p) < !t || (finish.(p) = !t && kinds.(p) = Node))
+            (Ir.Dfg.preds dfg v)
+        in
+        if not others_ready then false
+        else
+          match same_cycle_node_preds with
+          | [] -> (
+            match pick_column () with
+            | -1 -> false
+            | c ->
+              place v c;
+              true)
+          | [ p ] ->
+            let c = placements.(p).chain in
+            if c >= 0 && chain_tail.(p) && column_used.(c) < cgc.Cgc.rows
+            then begin
+              chain_tail.(p) <- false;
+              place v c;
+              true
+            end
+            else false
+          | _ :: _ :: _ -> false (* cannot chain from two producers *))
+    in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      List.iter
+        (fun v ->
+          if (not scheduled.(v)) && preds_scheduled v && try_schedule v then begin
+            scheduled.(v) <- true;
+            decr remaining;
+            progress := true
+          end)
+        order
+    done;
+    incr t
+  done;
+  let makespan = Array.fold_left max 0 finish in
+  { placements; makespan }
+
+let chains_in_cycle t cycle =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun p -> if p.cycle = cycle && p.chain >= 0 then Hashtbl.replace seen p.chain ())
+    t.placements;
+  Hashtbl.length seen
+
+let is_valid cgc dfg t =
+  let ok = ref true in
+  let n = Ir.Dfg.node_count dfg in
+  if Array.length t.placements <> n then ok := false
+  else begin
+    let kinds = Array.init n (fun i -> kind_of (Ir.Dfg.node dfg i).Ir.Dfg.instr) in
+    (* dependences *)
+    for v = 0 to n - 1 do
+      let pv = t.placements.(v) in
+      List.iter
+        (fun p ->
+          let pp = t.placements.(p) in
+          let chained =
+            kinds.(v) = Node && kinds.(p) = Node && pp.cycle = pv.cycle
+            && pp.chain = pv.chain
+            && pp.depth < pv.depth
+          in
+          let before = pp.cycle < pv.cycle in
+          let free_ok = kinds.(v) = Free && pp.cycle <= pv.cycle in
+          if not (before || chained || free_ok) then ok := false)
+        (Ir.Dfg.preds dfg v)
+    done;
+    (* per-cycle resources *)
+    let by_cycle = Hashtbl.create 16 in
+    Array.iteri
+      (fun v p ->
+        if kinds.(v) <> Free then begin
+          let l =
+            match Hashtbl.find_opt by_cycle p.cycle with Some l -> l | None -> []
+          in
+          Hashtbl.replace by_cycle p.cycle ((v, p) :: l)
+        end)
+      t.placements;
+    Hashtbl.iter
+      (fun _cycle entries ->
+        let mem = List.length (List.filter (fun (v, _) -> kinds.(v) = Mem) entries) in
+        if mem > cgc.Cgc.mem_ports then ok := false;
+        let chain_ids =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (_, (p : placement)) -> if p.chain >= 0 then Some p.chain else None)
+               entries)
+        in
+        if List.length chain_ids > Cgc.chains cgc then ok := false;
+        List.iter
+          (fun c ->
+            let depths =
+              List.sort compare
+                (List.filter_map
+                   (fun (_, (p : placement)) ->
+                     if p.chain = c then Some p.depth else None)
+                   entries)
+            in
+            if List.length depths > cgc.Cgc.rows then ok := false;
+            List.iteri (fun i d -> if d <> i + 1 then ok := false) depths)
+          chain_ids)
+      by_cycle
+  end;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule: makespan=%d@," t.makespan;
+  Array.iteri
+    (fun v p ->
+      Format.fprintf ppf "  n%-3d cycle=%-4d chain=%-3d depth=%d@," v p.cycle
+        p.chain p.depth)
+    t.placements;
+  Format.fprintf ppf "@]"

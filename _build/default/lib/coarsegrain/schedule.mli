@@ -1,0 +1,44 @@
+(** Resource-constrained list scheduling onto the CGC data-path
+    (paper §3.3, step (a) of the coarse-grain mapping).
+
+    Cycle-driven list scheduling with ALAP-based priority.  Per CGC cycle
+    the data-path offers [Cgc.chains cgc] columns of [rows] node slots:
+    independent operations may share a column (every CGC node is a full
+    compute unit), while a *same-cycle dependent* operation must extend
+    its producer's column below the current chain tail — the steering
+    logic's row chaining, realising the paper's single-cycle "complex
+    operations (like a multiply-add)".  Loads/stores use the
+    shared-memory ports; register moves are realised by the steering
+    interconnect and cost no cycle.  Divisions are not executable by CGC
+    nodes: {!schedule} rejects DFGs containing them. *)
+
+type placement = {
+  cycle : int;  (** 1-based start cycle; 0 for free moves of constants *)
+  chain : int;  (** column id within the cycle; -1 for moves and memory ops *)
+  depth : int;  (** 1-based row slot in the column; 0 for moves/memory *)
+}
+
+type t = {
+  placements : placement array;  (** per node id *)
+  makespan : int;  (** latency in CGC cycles *)
+}
+
+exception Unsupported of string
+(** Raised for DFGs containing divisions/remainders. *)
+
+val schedule : ?priority:[ `Alap | `Asap | `Program ] -> Cgc.t -> Hypar_ir.Dfg.t -> t
+(** [priority] selects the list-scheduling order (default [`Alap] —
+    most critical first, the choice the [ablation:priority] bench
+    justifies). *)
+
+val supported : Hypar_ir.Dfg.t -> bool
+(** [true] when the DFG contains no division/remainder. *)
+
+val is_valid : Cgc.t -> Hypar_ir.Dfg.t -> t -> bool
+(** Re-checks all constraints: dependences respected (same-cycle only via
+    chaining), chain count and depth per cycle, memory ports per cycle. *)
+
+val chains_in_cycle : t -> int -> int
+(** Number of distinct columns used in the given cycle. *)
+
+val pp : Format.formatter -> t -> unit

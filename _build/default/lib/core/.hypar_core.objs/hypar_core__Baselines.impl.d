@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Engine Hashtbl Hypar_analysis Hypar_ir List Option Platform Printf

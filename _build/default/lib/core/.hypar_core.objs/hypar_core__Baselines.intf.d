@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Hypar_ir Hypar_profiling Platform

@@ -1,0 +1,1 @@
+lib/core/comm.ml: Hypar_ir List

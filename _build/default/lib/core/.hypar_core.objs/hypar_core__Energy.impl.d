@@ -1,0 +1,1 @@
+lib/core/energy.ml: Array Comm Format Hypar_analysis Hypar_coarsegrain Hypar_finegrain Hypar_ir Hypar_profiling List Platform String

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Comm Format Hashtbl Hypar_analysis Hypar_coarsegrain Hypar_finegrain Hypar_ir Hypar_profiling List Option Platform

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Format Hypar_analysis Hypar_ir Hypar_profiling Platform

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Engine Hypar_ir Hypar_minic Hypar_profiling

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Engine Hypar_analysis Hypar_ir Hypar_profiling Platform

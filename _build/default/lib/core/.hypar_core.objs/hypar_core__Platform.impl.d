@@ -1,0 +1,1 @@
+lib/core/platform.ml: Comm Format Hypar_coarsegrain Hypar_finegrain Printf

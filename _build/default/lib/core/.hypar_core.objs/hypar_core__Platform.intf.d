@@ -1,0 +1,1 @@
+lib/core/platform.mli: Comm Format Hypar_coarsegrain Hypar_finegrain

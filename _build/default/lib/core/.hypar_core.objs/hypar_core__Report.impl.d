@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Engine Hypar_analysis List Platform Printf

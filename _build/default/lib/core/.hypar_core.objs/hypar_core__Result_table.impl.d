@@ -1,0 +1,1 @@
+lib/core/result_table.ml: Buffer Engine Hypar_coarsegrain Hypar_finegrain List Platform Printf String

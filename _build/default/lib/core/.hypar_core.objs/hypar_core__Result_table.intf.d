@@ -1,0 +1,1 @@
+lib/core/result_table.mli: Engine

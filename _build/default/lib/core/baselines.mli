@@ -1,0 +1,59 @@
+(** Baseline kernel-selection strategies.
+
+    The paper's engine moves kernels greedily in decreasing Eq.-1 weight.
+    This module provides the comparison points an evaluation of that
+    choice needs:
+
+    - {!Paper_greedy} — the paper's strategy (weight order, stop at first
+      feasible point);
+    - {!Benefit_greedy} — greedy on *measured* standalone benefit
+      (Eq.-2 delta of moving just that kernel) instead of the static
+      Eq.-1 weight;
+    - {!Loop_greedy} — greedy over whole innermost loops;
+    - {!Random_order} — seeded random kernel order (a sanity floor);
+    - {!Exhaustive} — optimal subset over the top-[k] kernels: the
+      feasible moved set with the fewest moves (ties broken by lowest
+      [t_total]), or the best-[t_total] subset when nothing is feasible.
+
+    All strategies skip CGC-unmappable kernels and price moved sets with
+    the same Eq.-2 evaluator as the engine. *)
+
+type strategy =
+  | Paper_greedy
+  | Benefit_greedy
+  | Loop_greedy
+      (** moves *whole innermost loops* (all mappable kernel blocks of a
+          natural loop together), heaviest loop first — multi-block loop
+          bodies like the ADPCM sample loop then never straddle the
+          fine/coarse boundary *)
+  | Random_order of int  (** seed *)
+  | Exhaustive of int  (** consider the top-k kernels (k <= 20) *)
+
+type outcome = {
+  strategy : strategy;
+  name : string;
+  moved : int list;  (** in move order (or the chosen subset) *)
+  met : bool;
+  t_total : int;
+  evaluations : int;  (** Eq.-2 evaluations spent *)
+}
+
+val name_of : strategy -> string
+
+val run :
+  Platform.t ->
+  timing_constraint:int ->
+  Hypar_ir.Cdfg.t ->
+  Hypar_profiling.Profile.t ->
+  strategy ->
+  outcome
+
+val compare_all :
+  ?strategies:strategy list ->
+  Platform.t ->
+  timing_constraint:int ->
+  Hypar_ir.Cdfg.t ->
+  Hypar_profiling.Profile.t ->
+  outcome list
+(** Defaults: paper greedy, benefit greedy, loop greedy, random (seed 1),
+    exhaustive over the top 12 kernels. *)

@@ -1,0 +1,145 @@
+module Ir = Hypar_ir
+module Analysis = Hypar_analysis
+module Profiling = Hypar_profiling
+module Finegrain = Hypar_finegrain
+
+type class_energy = { alu : int; mul : int; div : int; mem : int; move : int }
+
+type model = {
+  fpga_op : class_energy;
+  cgc_op : class_energy;
+  reconfig : int;
+  comm_word : int;
+}
+
+let default =
+  {
+    fpga_op = { alu = 10; mul = 30; div = 80; mem = 12; move = 3 };
+    cgc_op = { alu = 2; mul = 6; div = 80; mem = 12; move = 1 };
+    reconfig = 500;
+    comm_word = 8;
+  }
+
+let of_class (ce : class_energy) = function
+  | Ir.Types.Class_alu -> ce.alu
+  | Ir.Types.Class_mul -> ce.mul
+  | Ir.Types.Class_div -> ce.div
+  | Ir.Types.Class_mem -> ce.mem
+  | Ir.Types.Class_move -> ce.move
+
+let ops_energy ce dfg =
+  List.fold_left
+    (fun acc (nd : Ir.Dfg.node) -> acc + of_class ce (Ir.Instr.op_class nd.instr))
+    0 (Ir.Dfg.nodes dfg)
+
+let block_energy_fpga model (platform : Platform.t) cdfg i =
+  let dfg = (Ir.Cdfg.info cdfg i).Ir.Cdfg.dfg in
+  let mapping = Finegrain.Fine_map.map_block platform.Platform.fpga cdfg i in
+  ops_energy model.fpga_op dfg
+  + (mapping.Finegrain.Fine_map.partition_count * model.reconfig)
+
+let block_energy_cgc model cdfg i =
+  ops_energy model.cgc_op (Ir.Cdfg.info cdfg i).Ir.Cdfg.dfg
+
+let comm_energy model live i = Comm.block_words live i * model.comm_word
+
+let app_energy model platform cdfg ~freq ~moved =
+  let live = Ir.Live.analyse (Ir.Cdfg.cfg cdfg) in
+  List.fold_left
+    (fun acc i ->
+      let f = freq i in
+      if f = 0 then acc
+      else if List.mem i moved then
+        acc + (f * (block_energy_cgc model cdfg i + comm_energy model live i))
+      else acc + (f * block_energy_fpga model platform cdfg i))
+    0 (Ir.Cdfg.block_ids cdfg)
+
+type step = { moved_block : int; energy : int; meets_budget : bool }
+
+type t = {
+  model : model;
+  energy_budget : int;
+  initial_energy : int;
+  steps : step list;
+  final_energy : int;
+  moved : int list;
+  feasible : bool;
+}
+
+let partition ?weights model (platform : Platform.t) ~energy_budget cdfg profile =
+  let n = Ir.Cdfg.block_count cdfg in
+  let freq = Array.init n (fun i -> Profiling.Profile.freq profile i) in
+  let live = Ir.Live.analyse (Ir.Cdfg.cfg cdfg) in
+  let fpga_e = Array.init n (fun i -> block_energy_fpga model platform cdfg i) in
+  let cgc_e = Array.init n (fun i -> block_energy_cgc model cdfg i) in
+  let comm_e = Array.init n (fun i -> comm_energy model live i) in
+  let cgc_ok =
+    Array.init n (fun i ->
+        Hypar_coarsegrain.Schedule.supported (Ir.Cdfg.info cdfg i).Ir.Cdfg.dfg)
+  in
+  let total moved =
+    let is_moved = Array.make n false in
+    List.iter (fun i -> is_moved.(i) <- true) moved;
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      if freq.(i) > 0 then
+        if is_moved.(i) then acc := !acc + (freq.(i) * (cgc_e.(i) + comm_e.(i)))
+        else acc := !acc + (freq.(i) * fpga_e.(i))
+    done;
+    !acc
+  in
+  let initial_energy = total [] in
+  let analysis = Analysis.Kernel.analyse ?weights cdfg profile in
+  let rec go kernels steps moved current =
+    if current <= energy_budget then
+      {
+        model;
+        energy_budget;
+        initial_energy;
+        steps = List.rev steps;
+        final_energy = current;
+        moved = List.rev moved;
+        feasible = true;
+      }
+    else
+      match kernels with
+      | [] ->
+        {
+          model;
+          energy_budget;
+          initial_energy;
+          steps = List.rev steps;
+          final_energy = current;
+          moved = List.rev moved;
+          feasible = false;
+        }
+      | (k : Analysis.Kernel.entry) :: rest ->
+        if not cgc_ok.(k.block_id) then go rest steps moved current
+        else begin
+          let candidate = k.block_id :: moved in
+          let e = total candidate in
+          if e >= current then
+            (* moving this kernel does not help (communication dominates) *)
+            go rest steps moved current
+          else
+            let step =
+              { moved_block = k.block_id; energy = e; meets_budget = e <= energy_budget }
+            in
+            go rest (step :: steps) candidate e
+        end
+  in
+  go analysis.Analysis.Kernel.kernels [] [] initial_energy
+
+let reduction_percent t =
+  if t.initial_energy = 0 then 0.0
+  else
+    100.0
+    *. float_of_int (t.initial_energy - t.final_energy)
+    /. float_of_int t.initial_energy
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>energy partitioning (budget %d):@,  initial=%d final=%d (%.1f%% saved) moved=[%s] %s@]"
+    t.energy_budget t.initial_energy t.final_energy (reduction_percent t)
+    (String.concat ";" (List.map string_of_int t.moved))
+    (if t.feasible then "met" else "INFEASIBLE")

@@ -1,0 +1,62 @@
+(** Energy-constrained partitioning — the paper's "future work".
+
+    A parametric energy model prices every dynamic operation on either
+    side of the platform (coarse-grain ASIC operations are substantially
+    cheaper than their FPGA equivalents), plus the FPGA reconfiguration
+    energy per temporal partition and the shared-memory traffic of moved
+    kernels.  {!partition} runs the same greedy kernel-movement loop as
+    the timing engine, but against an energy budget. *)
+
+type class_energy = { alu : int; mul : int; div : int; mem : int; move : int }
+
+type model = {
+  fpga_op : class_energy;  (** per dynamic operation on the FPGA *)
+  cgc_op : class_energy;  (** per dynamic operation on a CGC node *)
+  reconfig : int;  (** per temporal-partition reconfiguration *)
+  comm_word : int;  (** per word through the shared memory *)
+}
+
+val default : model
+(** FPGA ops cost ~5x their CGC equivalents (the coarse-grain advantage
+    the paper cites [1]); reconfiguration 500, memory word 8 units. *)
+
+val block_energy_fpga : model -> Platform.t -> Hypar_ir.Cdfg.t -> int -> int
+(** Energy of one invocation of a block mapped on the FPGA (operations +
+    per-partition reconfiguration). *)
+
+val block_energy_cgc : model -> Hypar_ir.Cdfg.t -> int -> int
+(** Energy of one invocation on the CGC data-path (operations only). *)
+
+val comm_energy : model -> Hypar_ir.Live.t -> int -> int
+(** Shared-memory transfer energy per invocation of a moved block. *)
+
+val app_energy :
+  model -> Platform.t -> Hypar_ir.Cdfg.t -> freq:(int -> int) -> moved:int list -> int
+(** Total energy of a partitioned execution. *)
+
+type step = { moved_block : int; energy : int; meets_budget : bool }
+
+type t = {
+  model : model;
+  energy_budget : int;
+  initial_energy : int;  (** all-FPGA *)
+  steps : step list;
+  final_energy : int;
+  moved : int list;
+  feasible : bool;
+}
+
+val partition :
+  ?weights:Hypar_analysis.Weights.t ->
+  model ->
+  Platform.t ->
+  energy_budget:int ->
+  Hypar_ir.Cdfg.t ->
+  Hypar_profiling.Profile.t ->
+  t
+(** Greedy kernel movement (decreasing Eq.-1 weight) until the energy
+    budget is met; kernel movements that *increase* energy (communication
+    dominating) are rolled back and skipped. *)
+
+val reduction_percent : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,327 @@
+module Ir = Hypar_ir
+module Analysis = Hypar_analysis
+module Profiling = Hypar_profiling
+module Finegrain = Hypar_finegrain
+module Coarsegrain = Hypar_coarsegrain
+
+type times = {
+  t_fpga : int;
+  t_coarse_cgc : int;
+  t_coarse : int;
+  t_comm : int;
+  t_total : int;
+}
+
+type step = {
+  step_index : int;
+  moved_block : int;
+  kernel : Analysis.Kernel.entry;
+  on_cgc : int list;
+  times : times;
+  meets_constraint : bool;
+}
+
+type status = Met_without_partitioning | Met_after of int | Infeasible
+
+type t = {
+  platform : Platform.t;
+  timing_constraint : int;
+  cdfg_name : string;
+  initial : times;
+  analysis : Analysis.Kernel.t;
+  steps : step list;
+  skipped : (int * string) list;
+  status : status;
+  final : times;
+  moved : int list;
+  fine_cycles_per_iter : int array;
+  coarse_latency : int option array;
+  comm_cycles_per_iter : int array;
+  freq : int array;
+}
+
+let times_of platform ~pricing ~fine ~coarse ~pipeline ~entries ~comm ~live
+    ~edges ~freq ~moved n =
+  let is_moved = Array.make n false in
+  List.iter (fun i -> is_moved.(i) <- true) moved;
+  let t_fpga = ref 0 and t_coarse_cgc = ref 0 in
+  for i = 0 to n - 1 do
+    if freq.(i) > 0 then
+      if is_moved.(i) then
+        match (coarse.(i), pipeline.(i)) with
+        | _, Some (ii, lat) ->
+          (* software-pipelined kernel: each loop entry pays the full
+             latency once, every further iteration only the II *)
+          let starts = max 1 (min entries.(i) freq.(i)) in
+          t_coarse_cgc :=
+            !t_coarse_cgc + ((freq.(i) - starts) * ii) + (starts * lat)
+        | Some lat, None -> t_coarse_cgc := !t_coarse_cgc + (lat * freq.(i))
+        | None, None -> invalid_arg "Engine: moved an unmappable block"
+      else t_fpga := !t_fpga + (fine.(i) * freq.(i))
+  done;
+  let t_comm =
+    match pricing with
+    | `Transition ->
+      Comm.transition_cycles platform.Platform.comm live ~edges
+        ~on_cgc:(fun i -> is_moved.(i))
+    | `Per_invocation ->
+      List.fold_left (fun acc i -> acc + (comm.(i) * freq.(i))) 0 moved
+  in
+  let t_coarse = Platform.cgc_to_fpga_cycles platform !t_coarse_cgc in
+  {
+    t_fpga = !t_fpga;
+    t_coarse_cgc = !t_coarse_cgc;
+    t_coarse;
+    t_comm;
+    t_total = !t_fpga + t_coarse + t_comm;
+  }
+
+let characterise ?(cgc_pipelining = false) (platform : Platform.t) cdfg profile
+    =
+  let n = Ir.Cdfg.block_count cdfg in
+  let freq = Array.init n (fun i -> Profiling.Profile.freq profile i) in
+  let fine =
+    Array.init n (fun i ->
+        (Finegrain.Fine_map.map_block platform.Platform.fpga cdfg i)
+          .Finegrain.Fine_map.cycles_per_iteration)
+  in
+  let coarse =
+    Array.init n (fun i ->
+        Option.map
+          (fun (m : Coarsegrain.Coarse_map.block_mapping) ->
+            m.Coarsegrain.Coarse_map.latency)
+          (Coarsegrain.Coarse_map.map_block platform.Platform.cgc cdfg i))
+  in
+  let live = Ir.Live.analyse (Ir.Cdfg.cfg cdfg) in
+  let cfg = Ir.Cdfg.cfg cdfg in
+  (* pipelining applies to self-looping kernels only *)
+  let pipeline =
+    Array.init n (fun i ->
+        if not cgc_pipelining then None
+        else if not (List.mem i (Ir.Cfg.successors cfg i)) then None
+        else
+          match
+            Coarsegrain.Modulo.analyse platform.Platform.cgc
+              (Ir.Cdfg.info cdfg i).Ir.Cdfg.dfg
+              ~carried:(Ir.Live.live_in live i)
+          with
+          | Some m -> Some (m.Coarsegrain.Modulo.ii, m.Coarsegrain.Modulo.latency)
+          | None -> None)
+  in
+  let entries = Array.make n 0 in
+  List.iter
+    (fun (((src, dst), c) : (int * int) * int) ->
+      if src <> dst then entries.(dst) <- entries.(dst) + c)
+    profile.Profiling.Profile.edges;
+  let comm =
+    Array.init n (fun i -> Comm.block_cycles platform.Platform.comm live i)
+  in
+  let edges = profile.Profiling.Profile.edges in
+  (freq, fine, coarse, pipeline, entries, comm, live, edges)
+
+let evaluate ?(comm_pricing = `Transition) ?cgc_pipelining
+    (platform : Platform.t) cdfg profile =
+  let freq, fine, coarse, pipeline, entries, comm, live, edges =
+    characterise ?cgc_pipelining platform cdfg profile
+  in
+  let n = Ir.Cdfg.block_count cdfg in
+  fun moved ->
+    times_of platform ~pricing:comm_pricing ~fine ~coarse ~pipeline ~entries
+      ~comm ~live ~edges ~freq ~moved n
+
+let mappable (platform : Platform.t) cdfg i =
+  Coarsegrain.Schedule.supported (Ir.Cdfg.info cdfg i).Ir.Cdfg.dfg
+  && platform.Platform.cgc.Coarsegrain.Cgc.cgcs > 0
+
+(* Group the kernel worklist by innermost loop when the engine runs at
+   loop granularity: each movement then transfers a whole loop body. *)
+let group_kernels_by_loop cdfg (kernels : Analysis.Kernel.entry list) =
+  let cfg = Ir.Cdfg.cfg cdfg in
+  let loops = Ir.Loop.find cfg in
+  let innermost_of b =
+    List.fold_left
+      (fun acc (l : Ir.Loop.t) ->
+        if List.mem b l.Ir.Loop.body then
+          match acc with
+          | Some (best : Ir.Loop.t)
+            when List.length best.Ir.Loop.body <= List.length l.Ir.Loop.body ->
+            acc
+          | _ -> Some l
+        else acc)
+      None loops
+  in
+  let groups : (int, Analysis.Kernel.entry list) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (k : Analysis.Kernel.entry) ->
+      let key =
+        match innermost_of k.block_id with
+        | Some l -> l.Ir.Loop.header
+        | None -> -1 - k.block_id
+      in
+      if not (Hashtbl.mem groups key) then order := key :: !order;
+      Hashtbl.replace groups key
+        (k :: Option.value (Hashtbl.find_opt groups key) ~default:[]))
+    kernels;
+  let group_weight g =
+    List.fold_left
+      (fun acc (k : Analysis.Kernel.entry) -> acc + k.total_weight)
+      0 g
+  in
+  List.rev_map (fun key -> List.rev (Hashtbl.find groups key)) !order
+  |> List.sort (fun g1 g2 -> compare (group_weight g2) (group_weight g1))
+
+let run ?weights ?max_moves ?(comm_pricing = `Transition) ?cgc_pipelining
+    ?(granularity = `Block) (platform : Platform.t) ~timing_constraint cdfg
+    profile =
+  let n = Ir.Cdfg.block_count cdfg in
+  let freq, fine, coarse, pipeline, entries, comm, live, edges =
+    characterise ?cgc_pipelining platform cdfg profile
+  in
+  let compute moved =
+    times_of platform ~pricing:comm_pricing ~fine ~coarse ~pipeline ~entries
+      ~comm ~live ~edges ~freq ~moved n
+  in
+  let initial = compute [] in
+  let analysis = Analysis.Kernel.analyse ?weights cdfg profile in
+  let base =
+    {
+      platform;
+      timing_constraint;
+      cdfg_name = Ir.Cdfg.name cdfg;
+      initial;
+      analysis;
+      steps = [];
+      skipped = [];
+      status = Met_without_partitioning;
+      final = initial;
+      moved = [];
+      fine_cycles_per_iter = fine;
+      coarse_latency = coarse;
+      comm_cycles_per_iter = comm;
+      freq;
+    }
+  in
+  if initial.t_total <= timing_constraint then base
+  else begin
+    (* at loop granularity, each "kernel" below is a whole loop's worth of
+       blocks, still ordered by (summed) Eq.-1 weight *)
+    let worklist =
+      match granularity with
+      | `Block ->
+        List.map (fun k -> [ k ]) analysis.Analysis.Kernel.kernels
+      | `Loop -> group_kernels_by_loop cdfg analysis.Analysis.Kernel.kernels
+    in
+    let max_moves =
+      match max_moves with Some m -> m | None -> List.length worklist
+    in
+    let rec go kernels steps skipped moved count =
+      match kernels with
+      | [] ->
+        let final =
+          match steps with [] -> initial | s :: _ -> s.times
+        in
+        {
+          base with
+          steps = List.rev steps;
+          skipped = List.rev skipped;
+          status = Infeasible;
+          final;
+          moved = List.rev moved;
+        }
+      | group :: rest ->
+        if count >= max_moves then
+          let final = match steps with [] -> initial | s :: _ -> s.times in
+          {
+            base with
+            steps = List.rev steps;
+            skipped = List.rev skipped;
+            status = Infeasible;
+            final;
+            moved = List.rev moved;
+          }
+        else begin
+        let movable, unmovable =
+          List.partition
+            (fun (k : Analysis.Kernel.entry) -> coarse.(k.block_id) <> None)
+            group
+        in
+        let skipped =
+          List.fold_left
+            (fun acc (k : Analysis.Kernel.entry) ->
+              (k.block_id, "not CGC-executable (division)") :: acc)
+            skipped unmovable
+        in
+        match movable with
+        | [] -> go rest steps skipped moved count
+        | (k : Analysis.Kernel.entry) :: _ ->
+          let moved =
+            List.rev_append
+              (List.rev_map (fun (k : Analysis.Kernel.entry) -> k.block_id) movable)
+              moved
+          in
+          let times = compute moved in
+          let meets = times.t_total <= timing_constraint in
+          let step =
+            {
+              step_index = count + 1;
+              moved_block = k.block_id;
+              kernel = k;
+              on_cgc = List.rev moved;
+              times;
+              meets_constraint = meets;
+            }
+          in
+          if meets then
+            {
+              base with
+              steps = List.rev (step :: steps);
+              skipped = List.rev skipped;
+              status = Met_after (count + 1);
+              final = times;
+              moved = List.rev moved;
+            }
+          else go rest (step :: steps) skipped moved (count + 1)
+        end
+    in
+    go worklist [] [] [] 0
+  end
+
+let reduction_percent t =
+  if t.initial.t_total = 0 then 0.0
+  else
+    100.0
+    *. float_of_int (t.initial.t_total - t.final.t_total)
+    /. float_of_int t.initial.t_total
+
+let coarse_cycles_of_moved t = t.final.t_coarse_cgc
+
+let met t =
+  match t.status with
+  | Met_without_partitioning | Met_after _ -> true
+  | Infeasible -> false
+
+let pp_times ppf x =
+  Format.fprintf ppf
+    "t_fpga=%d t_coarse=%d (=%d CGC cycles) t_comm=%d t_total=%d" x.t_fpga
+    x.t_coarse x.t_coarse_cgc x.t_comm x.t_total
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>partitioning of %s on %s (constraint %d):@,"
+    t.cdfg_name t.platform.Platform.name t.timing_constraint;
+  Format.fprintf ppf "  initial (all-FPGA): %a@," pp_times t.initial;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  step %d: move BB%d -> %a%s@," s.step_index
+        s.moved_block pp_times s.times
+        (if s.meets_constraint then "  [met]" else ""))
+    t.steps;
+  List.iter
+    (fun (b, reason) -> Format.fprintf ppf "  skipped BB%d: %s@," b reason)
+    t.skipped;
+  (match t.status with
+  | Met_without_partitioning ->
+    Format.fprintf ppf "  met without partitioning@,"
+  | Met_after k -> Format.fprintf ppf "  met after %d movement(s)@," k
+  | Infeasible -> Format.fprintf ppf "  INFEASIBLE@,");
+  Format.fprintf ppf "  reduction: %.1f%%@]" (reduction_percent t)

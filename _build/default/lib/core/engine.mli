@@ -1,0 +1,102 @@
+(** The partitioning engine — the complete Figure 2 flow.
+
+    1. Map the whole application to the fine-grain hardware; exit if the
+       timing constraint is already met.
+    2. Run the analysis step (Eq. 1 kernels, decreasing total weight).
+    3. Move kernels one by one to the coarse-grain data-path; after each
+       movement recompute [t_total = t_FPGA + t_coarse + t_comm] (Eq. 2)
+       and stop at the first satisfied constraint.
+
+    All times are reported in FPGA clock-cycle units; the coarse-grain
+    contribution is additionally reported raw, in CGC cycles (the paper's
+    "Cycles in CGC" row), before conversion by the platform clock ratio.
+    Kernels whose DFGs the CGC cannot execute (divisions) are skipped and
+    recorded. *)
+
+type times = {
+  t_fpga : int;  (** Eq. 4, fine-grain part *)
+  t_coarse_cgc : int;  (** Eq. 3 in CGC cycles *)
+  t_coarse : int;  (** Eq. 3 converted to FPGA cycle units *)
+  t_comm : int;  (** shared-memory transfer cycles *)
+  t_total : int;  (** Eq. 2 *)
+}
+
+type step = {
+  step_index : int;  (** 1-based *)
+  moved_block : int;  (** kernel moved in this step *)
+  kernel : Hypar_analysis.Kernel.entry;
+  on_cgc : int list;  (** cumulative moved set, in move order *)
+  times : times;
+  meets_constraint : bool;
+}
+
+type status =
+  | Met_without_partitioning  (** all-FPGA mapping already meets timing *)
+  | Met_after of int  (** satisfied after this many kernel movements *)
+  | Infeasible  (** kernels exhausted without meeting the constraint *)
+
+type t = {
+  platform : Platform.t;
+  timing_constraint : int;
+  cdfg_name : string;
+  initial : times;  (** the all-fine-grain mapping *)
+  analysis : Hypar_analysis.Kernel.t;
+  steps : step list;  (** in execution order *)
+  skipped : (int * string) list;  (** kernels that could not move, with reason *)
+  status : status;
+  final : times;
+  moved : int list;  (** final moved set, in move order *)
+  fine_cycles_per_iter : int array;  (** per block *)
+  coarse_latency : int option array;  (** per block, CGC cycles; [None] = unmappable *)
+  comm_cycles_per_iter : int array;  (** per block *)
+  freq : int array;  (** per block *)
+}
+
+val run :
+  ?weights:Hypar_analysis.Weights.t ->
+  ?max_moves:int ->
+  ?comm_pricing:[ `Transition | `Per_invocation ] ->
+  ?cgc_pipelining:bool ->
+  ?granularity:[ `Block | `Loop ] ->
+  Platform.t ->
+  timing_constraint:int ->
+  Hypar_ir.Cdfg.t ->
+  Hypar_profiling.Profile.t ->
+  t
+(** Runs the flow. [max_moves] bounds the number of kernel movements
+    (default: all kernels); [comm_pricing] selects the [t_comm] model
+    (default [`Transition], see {!Comm}); [cgc_pipelining] (default off)
+    prices self-looping moved kernels with modulo scheduling
+    ({!Hypar_coarsegrain.Modulo}): each loop entry pays the full latency
+    once and every further iteration only the initiation interval.
+    [granularity] (default [`Block], the paper's) moves either single
+    kernels or whole innermost loops per step — the [ablation:strategy]
+    bench motivates [`Loop] for multi-block loop bodies. *)
+
+val evaluate :
+  ?comm_pricing:[ `Transition | `Per_invocation ] ->
+  ?cgc_pipelining:bool ->
+  Platform.t ->
+  Hypar_ir.Cdfg.t ->
+  Hypar_profiling.Profile.t ->
+  (int list -> times)
+(** [evaluate platform cdfg profile] precomputes the per-block
+    characterisation once and returns a function pricing any moved set
+    (Eq. 2).  Used by the baseline selection strategies
+    ({!Baselines}) and the ablation benches.  Raises [Invalid_argument]
+    when a moved block is not CGC-executable. *)
+
+val mappable : Platform.t -> Hypar_ir.Cdfg.t -> int -> bool
+(** Whether a block can execute on the platform's CGC data-path. *)
+
+val reduction_percent : t -> float
+(** Cycle reduction of the final partitioning relative to the all-FPGA
+    mapping, in percent (the paper's last table row). *)
+
+val coarse_cycles_of_moved : t -> int
+(** The "Cycles in CGC" row: Σ latency×freq over moved kernels, in CGC
+    cycles. *)
+
+val met : t -> bool
+val pp_times : Format.formatter -> times -> unit
+val pp : Format.formatter -> t -> unit

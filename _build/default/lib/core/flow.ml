@@ -1,0 +1,19 @@
+module Profiling = Hypar_profiling
+
+type prepared = {
+  cdfg : Hypar_ir.Cdfg.t;
+  profile : Profiling.Profile.t;
+  interp : Profiling.Interp.result;
+}
+
+let prepare ?name ?simplify ?(inputs = []) source =
+  let cdfg = Hypar_minic.Driver.compile_exn ?name ?simplify source in
+  let interp = Profiling.Interp.run ~inputs cdfg in
+  let profile = Profiling.Profile.of_result cdfg interp in
+  { cdfg; profile; interp }
+
+let partition ?weights platform ~timing_constraint prepared =
+  Engine.run ?weights platform ~timing_constraint prepared.cdfg prepared.profile
+
+let partition_source ?name ?inputs ?weights platform ~timing_constraint source =
+  partition ?weights platform ~timing_constraint (prepare ?name ?inputs source)

@@ -1,0 +1,36 @@
+(** One-call driver for the whole prototype framework: Mini-C source in,
+    partitioning result out (the paper's "prototype software framework"). *)
+
+type prepared = {
+  cdfg : Hypar_ir.Cdfg.t;
+  profile : Hypar_profiling.Profile.t;
+  interp : Hypar_profiling.Interp.result;
+}
+
+val prepare :
+  ?name:string ->
+  ?simplify:bool ->
+  ?inputs:(string * int array) list ->
+  string ->
+  prepared
+(** Compiles the source (frontend + clean-up passes) and profiles it on
+    the given inputs. Raises [Failure] on frontend errors and
+    {!Hypar_profiling.Interp.Runtime_error} on execution errors. *)
+
+val partition :
+  ?weights:Hypar_analysis.Weights.t ->
+  Platform.t ->
+  timing_constraint:int ->
+  prepared ->
+  Engine.t
+(** The Figure 2 flow on a prepared application. *)
+
+val partition_source :
+  ?name:string ->
+  ?inputs:(string * int array) list ->
+  ?weights:Hypar_analysis.Weights.t ->
+  Platform.t ->
+  timing_constraint:int ->
+  string ->
+  Engine.t
+(** [prepare] + [partition]. *)

@@ -1,0 +1,39 @@
+type t = {
+  frames : int;
+  sequential_total : int;
+  fine_per_frame : float;
+  coarse_comm_per_frame : float;
+  pipelined_total : float;
+  speedup : float;
+  bottleneck : [ `Fine | `Coarse ];
+}
+
+let analyse ~frames (r : Engine.t) =
+  if frames <= 0 then invalid_arg "Pipeline.analyse: frames must be positive";
+  let final = r.Engine.final in
+  let a = float_of_int final.Engine.t_fpga /. float_of_int frames in
+  let b =
+    float_of_int (final.Engine.t_coarse + final.Engine.t_comm)
+    /. float_of_int frames
+  in
+  let pipelined_total = a +. b +. (float_of_int (frames - 1) *. max a b) in
+  let sequential_total = final.Engine.t_total in
+  let speedup =
+    if pipelined_total > 0.0 then float_of_int sequential_total /. pipelined_total
+    else 1.0
+  in
+  {
+    frames;
+    sequential_total;
+    fine_per_frame = a;
+    coarse_comm_per_frame = b;
+    pipelined_total;
+    speedup;
+    bottleneck = (if a >= b then `Fine else `Coarse);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "pipeline over %d frames: seq=%d pipe=%.0f speedup=%.2fx bottleneck=%s"
+    t.frames t.sequential_total t.pipelined_total t.speedup
+    (match t.bottleneck with `Fine -> "fine" | `Coarse -> "coarse")

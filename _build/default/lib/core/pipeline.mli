@@ -1,0 +1,27 @@
+(** Frame-pipelined execution — the paper's "ongoing work" extension.
+
+    The baseline methodology assumes mutually exclusive execution of the
+    fine- and coarse-grain blocks (Eq. 2 adds the three terms).  DSP and
+    multimedia applications, however, process a stream of frames, so the
+    fine-grain part of frame [i+1] can overlap the coarse-grain part of
+    frame [i] — the pipelining the paper sketches in §3 and names as
+    ongoing work in §5.  This model splits the partitioned execution into
+    per-frame stages and reports the pipelined cycle count and speedup. *)
+
+type t = {
+  frames : int;
+  sequential_total : int;  (** Eq. 2 value for the whole run *)
+  fine_per_frame : float;
+  coarse_comm_per_frame : float;  (** coarse + communication stage *)
+  pipelined_total : float;  (** fill + steady-state *)
+  speedup : float;  (** sequential / pipelined *)
+  bottleneck : [ `Fine | `Coarse ];
+}
+
+val analyse : frames:int -> Engine.t -> t
+(** Two-stage pipeline model over the engine's final times: stage A is
+    the fine-grain part of a frame, stage B its coarse-grain part plus
+    shared-memory transfers; total = (A+B) fill + (frames-1)·max(A,B).
+    Raises [Invalid_argument] if [frames <= 0]. *)
+
+val pp : Format.formatter -> t -> unit

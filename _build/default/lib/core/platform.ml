@@ -1,0 +1,33 @@
+module Fpga = Hypar_finegrain.Fpga
+module Cgc = Hypar_coarsegrain.Cgc
+
+type t = {
+  name : string;
+  fpga : Fpga.t;
+  cgc : Cgc.t;
+  clock_ratio : int;
+  comm : Comm.model;
+}
+
+let make ?name ?(clock_ratio = 3) ?(comm = Comm.default) ~fpga ~cgc () =
+  if clock_ratio <= 0 then invalid_arg "Platform.make: clock_ratio must be positive";
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      Printf.sprintf "A_FPGA=%d, %s CGCs" fpga.Fpga.area (Cgc.describe cgc)
+  in
+  { name; fpga; cgc; clock_ratio; comm }
+
+let paper_configs () =
+  let mk area k =
+    make ~fpga:(Fpga.make ~area ()) ~cgc:(Cgc.two_by_two k) ()
+  in
+  [ mk 1500 2; mk 1500 3; mk 5000 2; mk 5000 3 ]
+
+let cgc_to_fpga_cycles t cgc_cycles =
+  (cgc_cycles + t.clock_ratio - 1) / t.clock_ratio
+
+let pp ppf t =
+  Format.fprintf ppf "platform %s: %a, %a, T_FPGA=%d*T_CGC" t.name Fpga.pp
+    t.fpga Cgc.pp t.cgc t.clock_ratio

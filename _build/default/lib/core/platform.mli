@@ -1,0 +1,31 @@
+(** The generic hybrid reconfigurable platform of Figure 1: fine-grain
+    (FPGA) blocks, a coarse-grain CGC data-path, a shared data memory and
+    the clock relationship between the two domains. *)
+
+type t = {
+  name : string;
+  fpga : Hypar_finegrain.Fpga.t;
+  cgc : Hypar_coarsegrain.Cgc.t;
+  clock_ratio : int;  (** [T_FPGA / T_CGC]; the paper assumes 3 *)
+  comm : Comm.model;
+}
+
+val make :
+  ?name:string ->
+  ?clock_ratio:int ->
+  ?comm:Comm.model ->
+  fpga:Hypar_finegrain.Fpga.t ->
+  cgc:Hypar_coarsegrain.Cgc.t ->
+  unit ->
+  t
+(** Defaults: clock ratio 3 (paper §4), {!Comm.default}. *)
+
+val paper_configs : unit -> t list
+(** The four platform configurations of Tables 2–3:
+    [A_FPGA ∈ {1500, 5000}] × data-paths of two / three 2×2 CGCs. *)
+
+val cgc_to_fpga_cycles : t -> int -> int
+(** Convert CGC cycles to FPGA cycle units (ceiling division by the clock
+    ratio). *)
+
+val pp : Format.formatter -> t -> unit

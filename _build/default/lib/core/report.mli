@@ -1,0 +1,7 @@
+(** Markdown report of a partitioning run — the artifact a user files with
+    their design review: platform, constraint, the kernel analysis, every
+    engine step, and the final block-by-block assignment. *)
+
+val markdown : ?top_kernels:int -> Engine.t -> string
+(** Renders the full report ([top_kernels] rows in the analysis table,
+    default 8). *)

@@ -1,0 +1,1 @@
+lib/finegrain/bitstream.mli: Fpga

@@ -1,0 +1,1 @@
+lib/finegrain/fine_map.ml: Array Format Fpga Hashtbl Hypar_ir List Temporal

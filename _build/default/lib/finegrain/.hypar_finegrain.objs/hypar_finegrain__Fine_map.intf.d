@@ -1,0 +1,1 @@
+lib/finegrain/fine_map.mli: Format Fpga Hypar_ir Temporal

@@ -1,0 +1,1 @@
+lib/finegrain/fpga.ml: Format Hypar_ir

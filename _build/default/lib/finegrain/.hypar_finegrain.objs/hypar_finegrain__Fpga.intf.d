@@ -1,0 +1,1 @@
+lib/finegrain/fpga.mli: Format Hypar_ir

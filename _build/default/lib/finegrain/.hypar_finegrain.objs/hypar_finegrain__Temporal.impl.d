@@ -1,0 +1,1 @@
+lib/finegrain/temporal.ml: Array Format Fun Hashtbl Hypar_ir List String

@@ -1,0 +1,1 @@
+lib/finegrain/temporal.mli: Format Hypar_ir

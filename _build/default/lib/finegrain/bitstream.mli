@@ -1,0 +1,62 @@
+(** Configuration bit-stream generation for temporal partitions.
+
+    The paper: "For each temporal segment a configuration bit-stream is
+    generated... full reconfiguration of the fine-grain hardware is
+    performed, thus the reconfiguration time has the same value for each
+    partition."  This module makes that concrete with a Virtex-style
+    frame-organised device model: the usable area maps to a CLB grid
+    configured column by column; a partition's operations are placed
+    row-major and a deterministic bit-stream (with a CRC-16 trailer) is
+    produced.  Reconfiguration time then *derives* from bit-stream length
+    and configuration-port width — full-device streams for the paper's
+    model (constant per partition, as stated), per-column partial streams
+    as the ablation alternative ([ablation:reconfig]). *)
+
+type device = {
+  clb_area : int;  (** area units per CLB *)
+  clbs : int;  (** total CLBs = usable area / clb_area *)
+  column_height : int;  (** CLBs per configuration column *)
+  columns : int;  (** configuration columns *)
+  bits_per_clb : int;  (** configuration bits per CLB *)
+  port_bits_per_cycle : int;  (** configuration-port width *)
+  header_bits : int;  (** per-stream command header *)
+}
+
+val device_of_fpga :
+  ?clb_area:int ->
+  ?column_height:int ->
+  ?bits_per_clb:int ->
+  ?port_bits_per_cycle:int ->
+  ?header_bits:int ->
+  Fpga.t ->
+  device
+(** Defaults: 4 area units/CLB, 16-CLB columns, 64 bits/CLB, a 64-bit
+    configuration port and a 256-bit header. *)
+
+type t = {
+  device : device;
+  clbs_used : int;
+  columns_used : int;
+  bit_count : int;  (** header + configured frames + CRC *)
+  words : int array;  (** the stream, 16-bit words *)
+  crc : int;  (** CRC-16 of the payload (also the last word) *)
+}
+
+val generate : device -> op_areas:int list -> t
+(** The partial (column-wise) bit-stream configuring one temporal
+    partition, operations placed row-major.  Raises [Invalid_argument] if
+    the partition does not fit the device (a single oversized operation is
+    clamped to the whole device, mirroring {!Temporal.partition}). *)
+
+val generate_full : device -> op_areas:int list -> t
+(** The full-device bit-stream (every column configured) — the paper's
+    model; its length is independent of the partition's contents. *)
+
+val reconfig_cycles : t -> int
+(** Cycles to load the stream: ceil(bit_count / port width). *)
+
+val crc16 : int array -> int
+(** CRC-16/CCITT over the 16-bit payload words (exposed for tests). *)
+
+val verify : t -> bool
+(** Recomputes the CRC over the payload and compares with the trailer. *)

@@ -1,0 +1,36 @@
+(** Mapping to the fine-grain hardware and its cycle accounting (paper
+    §3.2 and Eq. 4).
+
+    Within a temporal partition, nodes execute in increasing ASAP-level
+    order; nodes of one level inside one partition run in parallel, so a
+    (partition, level) group costs the maximum FPGA delay of its
+    operations.  Every temporal partition additionally pays the full
+    reconfiguration cost.  Application-level cycles follow Eq. 4:
+    [t_FPGA = Σ_i t_to_FPGA(BB_i) · Iter(BB_i)]. *)
+
+type block_mapping = {
+  block_id : int;
+  partition_count : int;
+  compute_cycles : int;  (** per invocation, without reconfiguration *)
+  reconfig_cycles : int;
+      (** per invocation: the sum of each partition's reconfiguration cost
+          under the device's {!Fpga.reconfig_model} *)
+  cycles_per_iteration : int;  (** compute + reconfiguration *)
+  partitions : Temporal.t;
+}
+
+val map_dfg : Fpga.t -> Hypar_ir.Dfg.t -> block_mapping
+(** Map a single DFG (block id is set to [-1]). *)
+
+val map_block : Fpga.t -> Hypar_ir.Cdfg.t -> int -> block_mapping
+
+val map_cdfg : Fpga.t -> Hypar_ir.Cdfg.t -> block_mapping array
+(** One mapping per basic block ("the mapping methodology also handles
+    CDFGs by iteratively mapping the DFGs composing the CDFG"). *)
+
+val app_cycles :
+  Fpga.t -> Hypar_ir.Cdfg.t -> freq:(int -> int) -> on_fpga:(int -> bool) -> int
+(** Eq. 4 over the blocks selected by [on_fpga], weighting each block's
+    per-iteration cycles by its execution frequency. *)
+
+val pp_block_mapping : Format.formatter -> block_mapping -> unit

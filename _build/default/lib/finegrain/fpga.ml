@@ -1,0 +1,86 @@
+module Ir = Hypar_ir
+
+type frame_params = {
+  clb_area : int;
+  column_height : int;
+  bits_per_clb : int;
+  port_bits_per_cycle : int;
+  header_bits : int;
+}
+
+type reconfig_model =
+  | Flat
+  | Frame_full of frame_params
+  | Frame_partial of frame_params
+
+type t = {
+  area : int;
+  area_scale : int;
+  reconfig_cycles : int;
+  reconfig_model : reconfig_model;
+  alu_delay : int;
+  mul_delay : int;
+  div_delay : int;
+  mem_delay : int;
+  move_delay : int;
+}
+
+let default_frame_params =
+  { clb_area = 4; column_height = 16; bits_per_clb = 64;
+    port_bits_per_cycle = 64; header_bits = 256 }
+
+let make ?(area_scale = 4) ?(reconfig_cycles = 24) ?(reconfig_model = Flat)
+    ?(alu_delay = 1) ?(mul_delay = 2) ?(div_delay = 8) ?(mem_delay = 1)
+    ?(move_delay = 1) ~area () =
+  if area <= 0 then invalid_arg "Fpga.make: area must be positive";
+  if area_scale <= 0 then invalid_arg "Fpga.make: area_scale must be positive";
+  { area; area_scale; reconfig_cycles; reconfig_model; alu_delay; mul_delay;
+    div_delay; mem_delay; move_delay }
+
+let ceil_div a b = (a + b - 1) / b
+
+let frame_cycles fp ~clbs_configured =
+  let bits = fp.header_bits + (clbs_configured * fp.bits_per_clb) + 16 in
+  ceil_div bits fp.port_bits_per_cycle
+
+let partition_reconfig_cycles t ~partition_area =
+  match t.reconfig_model with
+  | Flat -> t.reconfig_cycles
+  | Frame_full fp ->
+    let clbs = max 1 (t.area / fp.clb_area) in
+    let columns = ceil_div clbs fp.column_height in
+    frame_cycles fp ~clbs_configured:(columns * fp.column_height)
+  | Frame_partial fp ->
+    let device_clbs = max 1 (t.area / fp.clb_area) in
+    let clbs = min device_clbs (max 1 (ceil_div partition_area fp.clb_area)) in
+    let columns = ceil_div clbs fp.column_height in
+    frame_cycles fp ~clbs_configured:(columns * fp.column_height)
+
+let width_of_instr instr =
+  match Ir.Instr.def instr with
+  | Some v -> v.Ir.Instr.vwidth
+  | None -> (
+    (* stores: width of the stored value *)
+    match Ir.Instr.uses instr with
+    | [ _; Ir.Instr.Var v ] -> v.Ir.Instr.vwidth
+    | _ -> 16)
+
+let op_area t instr =
+  let w = width_of_instr instr * t.area_scale in
+  match Ir.Instr.op_class instr with
+  | Ir.Types.Class_alu -> w
+  | Ir.Types.Class_mul -> 2 * w
+  | Ir.Types.Class_div -> 4 * w
+  | Ir.Types.Class_mem -> w
+  | Ir.Types.Class_move -> max 1 (w / 2)
+
+let op_delay t instr =
+  match Ir.Instr.op_class instr with
+  | Ir.Types.Class_alu -> t.alu_delay
+  | Ir.Types.Class_mul -> t.mul_delay
+  | Ir.Types.Class_div -> t.div_delay
+  | Ir.Types.Class_mem -> t.mem_delay
+  | Ir.Types.Class_move -> t.move_delay
+
+let pp ppf t =
+  Format.fprintf ppf "fpga{area=%d reconfig=%d}" t.area t.reconfig_cycles

@@ -1,0 +1,146 @@
+module Ir = Hypar_ir
+
+type partition = { index : int; node_ids : int list; area_used : int }
+
+type t = { partitions : partition list; assignment : int array }
+
+(* Direct transcription of Figure 3:
+     i = 1; area_covered = 0;
+     for level = 1 .. max_level:
+       for each node u with level(u) = level:
+         if area_covered + size(u) <= A then partition(u) = i; accumulate
+         else i = i+1; partition(u) = i; area_covered = size(u) *)
+let partition ~area ~size dfg =
+  if area <= 0 then invalid_arg "Temporal.partition: area must be positive";
+  let n = Ir.Dfg.node_count dfg in
+  let assignment = Array.make n 0 in
+  let current = ref 1 in
+  let area_covered = ref 0 in
+  let members : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  let areas : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let assign node_id node_area part =
+    assignment.(node_id) <- part;
+    let prev = match Hashtbl.find_opt members part with Some l -> l | None -> [] in
+    Hashtbl.replace members part (node_id :: prev);
+    let a = match Hashtbl.find_opt areas part with Some a -> a | None -> 0 in
+    Hashtbl.replace areas part (a + node_area)
+  in
+  for level = 1 to Ir.Dfg.max_level dfg do
+    List.iter
+      (fun u ->
+        let current_area = size (Ir.Dfg.node dfg u).Ir.Dfg.instr in
+        if !area_covered + current_area <= area then begin
+          assign u current_area !current;
+          area_covered := !area_covered + current_area
+        end
+        else begin
+          incr current;
+          assign u current_area !current;
+          area_covered := current_area
+        end)
+      (Ir.Dfg.nodes_at_level dfg level)
+  done;
+  (* The paper's pseudocode can leave the first partition empty (an
+     oversized first node immediately opens partition 2); only non-empty
+     partitions exist physically, so empty ones are dropped. *)
+  let partitions =
+    if n = 0 then []
+    else
+      List.filter_map
+        (fun k ->
+          let index = k + 1 in
+          match Hashtbl.find_opt members index with
+          | Some l ->
+            Some
+              {
+                index;
+                node_ids = List.rev l;
+                area_used =
+                  (match Hashtbl.find_opt areas index with
+                  | Some a -> a
+                  | None -> 0);
+              }
+          | None -> None)
+        (List.init !current Fun.id)
+  in
+  { partitions; assignment }
+
+(* Baseline: first-fit with backfill.  Visiting nodes in the same
+   level-by-level order, place each node into the lowest-indexed
+   partition with room, at or after all its predecessors' partitions. *)
+let partition_best_fit ~area ~size dfg =
+  if area <= 0 then invalid_arg "Temporal.partition_best_fit: area must be positive";
+  let n = Ir.Dfg.node_count dfg in
+  let assignment = Array.make n 0 in
+  let used : int array ref = ref (Array.make 8 0) in
+  let highest = ref 0 in
+  let ensure p =
+    if p >= Array.length !used then begin
+      let bigger = Array.make (2 * (p + 1)) 0 in
+      Array.blit !used 0 bigger 0 (Array.length !used);
+      used := bigger
+    end
+  in
+  let members : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  for level = 1 to Ir.Dfg.max_level dfg do
+    List.iter
+      (fun u ->
+        let node_area = size (Ir.Dfg.node dfg u).Ir.Dfg.instr in
+        let earliest =
+          List.fold_left
+            (fun acc p -> max acc assignment.(p))
+            1 (Ir.Dfg.preds dfg u)
+        in
+        let rec place p =
+          ensure p;
+          if p > !highest then begin
+            (* a fresh partition always accepts the node *)
+            highest := p;
+            p
+          end
+          else if !used.(p) + node_area <= area then p
+          else place (p + 1)
+        in
+        let p = place earliest in
+        ensure p;
+        !used.(p) <- !used.(p) + node_area;
+        assignment.(u) <- p;
+        let prev = match Hashtbl.find_opt members p with Some l -> l | None -> [] in
+        Hashtbl.replace members p (u :: prev))
+      (Ir.Dfg.nodes_at_level dfg level)
+  done;
+  let partitions =
+    if n = 0 then []
+    else
+      List.filter_map
+        (fun k ->
+          let index = k + 1 in
+          match Hashtbl.find_opt members index with
+          | Some l ->
+            Some
+              { index; node_ids = List.rev l; area_used = !used.(index) }
+          | None -> None)
+        (List.init !highest Fun.id)
+  in
+  { partitions; assignment }
+
+let count t = List.length t.partitions
+
+let is_valid dfg t =
+  let ok = ref true in
+  List.iter
+    (fun (nd : Ir.Dfg.node) ->
+      List.iter
+        (fun v -> if t.assignment.(nd.id) > t.assignment.(v) then ok := false)
+        (Ir.Dfg.succs dfg nd.id))
+    (Ir.Dfg.nodes dfg);
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d temporal partition(s):@," (count t);
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  #%d area=%-5d nodes=[%s]@," p.index p.area_used
+        (String.concat ";" (List.map string_of_int p.node_ids)))
+    t.partitions;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Block Cdfg Cfg Dfg Instr List

@@ -1,0 +1,1 @@
+lib/ir/builder.mli: Block Cdfg Dfg Instr Types

@@ -1,0 +1,1 @@
+lib/ir/cdfg.ml: Array Block Cfg Dfg Format Fun Instr List Loop Types

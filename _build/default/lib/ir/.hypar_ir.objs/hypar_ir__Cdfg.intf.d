@@ -1,0 +1,1 @@
+lib/ir/cdfg.mli: Block Cfg Dfg Format Types

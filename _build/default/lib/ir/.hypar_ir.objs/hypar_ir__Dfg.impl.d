@@ -1,0 +1,1 @@
+lib/ir/dfg.ml: Array Fun Hashtbl Instr Int List Set Types

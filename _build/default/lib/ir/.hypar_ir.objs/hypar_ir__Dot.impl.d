@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Block Buffer Cdfg Cfg Dfg Instr List Printf String

@@ -1,0 +1,1 @@
+lib/ir/live.ml: Array Block Cfg Instr Int List Map

@@ -1,0 +1,1 @@
+lib/ir/live.mli: Cfg Instr

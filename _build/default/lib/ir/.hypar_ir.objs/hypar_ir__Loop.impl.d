@@ -1,0 +1,1 @@
+lib/ir/loop.ml: Array Cfg Format Hashtbl List String

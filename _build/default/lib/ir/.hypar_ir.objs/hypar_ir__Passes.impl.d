@@ -1,0 +1,1 @@
+lib/ir/passes.ml: Array Block Cdfg Cfg Hashtbl Instr Int List Live Loop Map Option Printf Types

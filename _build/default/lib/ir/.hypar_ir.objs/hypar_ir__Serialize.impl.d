@@ -1,0 +1,1 @@
+lib/ir/serialize.ml: Array Block Buffer Cdfg Cfg Format Instr List String Types

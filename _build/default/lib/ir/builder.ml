@@ -1,0 +1,63 @@
+type t = {
+  mutable next_id : int;
+  mutable pending : Instr.t list;  (* reversed *)
+  mutable blocks : Block.t list;  (* reversed *)
+  mutable arrays : Cdfg.array_decl list;  (* reversed *)
+}
+
+let create () = { next_id = 0; pending = []; blocks = []; arrays = [] }
+
+let fresh_var ?(width = 16) t name =
+  let v = { Instr.vname = name; vid = t.next_id; vwidth = width } in
+  t.next_id <- t.next_id + 1;
+  v
+
+let var v = Instr.Var v
+let imm n = Instr.Imm n
+
+let emit t instr = t.pending <- instr :: t.pending
+
+let bin ?width t op name a b =
+  let dst = fresh_var ?width t name in
+  emit t (Instr.Bin { dst; op; a; b });
+  dst
+
+let mul ?width t name a b =
+  let dst = fresh_var ?width t name in
+  emit t (Instr.Mul { dst; a; b });
+  dst
+
+let un ?width t op name a =
+  let dst = fresh_var ?width t name in
+  emit t (Instr.Un { dst; op; a });
+  dst
+
+let mov ?width t name src =
+  let dst = fresh_var ?width t name in
+  emit t (Instr.Mov { dst; src });
+  dst
+
+let load ?width t name ~arr index =
+  let dst = fresh_var ?width t name in
+  emit t (Instr.Load { dst; arr; index });
+  dst
+
+let store t ~arr index value = emit t (Instr.Store { arr; index; value })
+
+let finish_block t ~label ~term =
+  let instrs = List.rev t.pending in
+  t.pending <- [];
+  t.blocks <- Block.make ~label ~instrs ~term :: t.blocks
+
+let declare_array ?init ?(is_const = false) ?(elem_width = 16) t aname size =
+  t.arrays <-
+    { Cdfg.aname; size; init; is_const; elem_width } :: t.arrays
+
+let cdfg ?name t =
+  let cfg = Cfg.of_blocks (List.rev t.blocks) in
+  Cdfg.make ?name ~arrays:(List.rev t.arrays) cfg
+
+let dfg_of f =
+  let t = create () in
+  f t;
+  Dfg.of_instrs (List.rev t.pending)

@@ -1,0 +1,70 @@
+type array_decl = {
+  aname : string;
+  size : int;
+  init : int array option;
+  is_const : bool;
+  elem_width : Types.width;
+}
+
+type block_info = { block : Block.t; dfg : Dfg.t; loop_depth : int }
+
+type t = {
+  name : string;
+  cfg : Cfg.t;
+  arrays : array_decl list;
+  infos : block_info array;
+}
+
+let make ?(name = "program") ~arrays cfg =
+  let depth = Loop.depth_map cfg in
+  let infos =
+    Array.mapi
+      (fun i (b : Block.t) ->
+        { block = b; dfg = Dfg.of_instrs b.instrs; loop_depth = depth.(i) })
+      (Cfg.blocks cfg)
+  in
+  { name; cfg; arrays; infos }
+
+let name t = t.name
+let cfg t = t.cfg
+let arrays t = t.arrays
+
+let array_decl t aname =
+  List.find_opt (fun d -> d.aname = aname) t.arrays
+
+let block_count t = Array.length t.infos
+let info t i = t.infos.(i)
+let infos t = t.infos
+let block_ids t = List.init (Array.length t.infos) Fun.id
+let total_instrs t = Cfg.instr_count t.cfg
+
+let validate t =
+  let error = ref None in
+  let fail fmt = Format.kasprintf (fun s -> if !error = None then error := Some s) fmt in
+  Array.iter
+    (fun bi ->
+      List.iter
+        (fun instr ->
+          match Instr.accessed_array instr with
+          | None -> ()
+          | Some arr -> (
+            match array_decl t arr with
+            | None -> fail "block %s: access to undeclared array %S" bi.block.Block.label arr
+            | Some d ->
+              if d.is_const && Instr.is_store instr then
+                fail "block %s: store to const array %S" bi.block.Block.label arr))
+        bi.block.Block.instrs)
+    t.infos;
+  match !error with None -> Ok () | Some msg -> Error msg
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>CDFG %s: %d blocks, %d instrs@," t.name
+    (block_count t) (total_instrs t);
+  Array.iteri
+    (fun i bi ->
+      Format.fprintf ppf "  BB%-3d %-16s instrs=%-4d levels=%-3d loop-depth=%d@,"
+        i bi.block.Block.label
+        (Block.instr_count bi.block)
+        (Dfg.max_level bi.dfg) bi.loop_depth)
+    t.infos;
+  Format.fprintf ppf "@]"

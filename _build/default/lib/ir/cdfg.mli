@@ -1,0 +1,45 @@
+(** The Control-Data Flow Graph: the paper's model of computation
+    (step 1 of the methodology).
+
+    A CDFG couples a control-flow graph of basic blocks with one data-flow
+    graph per block, plus the array (memory) declarations the program
+    touches.  This is the single input consumed by the analysis step, both
+    mappers and the partitioning engine. *)
+
+type array_decl = {
+  aname : string;
+  size : int;
+  init : int array option;  (** initial contents; ROM tables set this *)
+  is_const : bool;  (** ROM: stores to it are rejected by validation *)
+  elem_width : Types.width;
+}
+
+type block_info = {
+  block : Block.t;
+  dfg : Dfg.t;
+  loop_depth : int;  (** number of natural loops containing the block *)
+}
+
+type t
+
+val make : ?name:string -> arrays:array_decl list -> Cfg.t -> t
+(** Builds per-block DFGs and loop information. Raises {!Cfg.Malformed}
+    on inconsistencies found by {!validate}. *)
+
+val name : t -> string
+val cfg : t -> Cfg.t
+val arrays : t -> array_decl list
+val array_decl : t -> string -> array_decl option
+val block_count : t -> int
+val info : t -> int -> block_info
+val infos : t -> block_info array
+val block_ids : t -> int list
+val total_instrs : t -> int
+
+val validate : t -> (unit, string) result
+(** Structural checks: every accessed array is declared, no store to a
+    const array, branch conditions are defined or block-live-in. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line per block: id, label, instruction count, DFG depth, loop
+    depth. *)

@@ -1,0 +1,55 @@
+(** Per-basic-block data-flow graphs.
+
+    One node per instruction; edges are true (read-after-write) data
+    dependences plus the ordering edges needed for correct hardware
+    execution: write-after-write and write-after-read on scalar registers,
+    and load/store ordering on each array.  ASAP levelling over this graph
+    is the backbone of both mapping algorithms: the fine-grain temporal
+    partitioner consumes ASAP levels directly (paper §3.2, Figure 3), and
+    the coarse-grain list scheduler uses ALAP-based priorities. *)
+
+type node = { id : int; instr : Instr.t }
+
+type t
+
+val of_instrs : Instr.t list -> t
+(** Build the DFG of a straight-line instruction sequence (program order
+    is the order of the list). *)
+
+val node_count : t -> int
+val node : t -> int -> node
+val nodes : t -> node list
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+
+val asap : t -> int array
+(** Unit-delay ASAP level of every node, starting at 1 (paper convention:
+    nodes with no predecessors are level 1). *)
+
+val alap : t -> int array
+(** Unit-delay ALAP level of every node within [max_level]. *)
+
+val max_level : t -> int
+(** Highest ASAP level ([0] for an empty graph). *)
+
+val slack : t -> int array
+(** [alap - asap], per node; critical nodes have slack 0. *)
+
+val nodes_at_level : t -> int -> int list
+(** Node ids whose ASAP level equals the given level, in program order. *)
+
+val critical_path : t -> int
+(** Longest path length in nodes — equals [max_level]. *)
+
+val topological : t -> int list
+(** A topological order (program order is always one). *)
+
+val live_in_vars : t -> Instr.var list
+(** Variables read before any definition in the block (operand inputs). *)
+
+val is_well_formed : t -> bool
+(** All edges point forward in program order (guaranteed by construction;
+    exposed for property tests). *)
+
+val op_counts : t -> (Types.op_class * int) list
+(** Instruction count per operation class, in a fixed class order. *)

@@ -1,0 +1,54 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let cfg_to_dot ?(highlight = []) cdfg =
+  let buf = Buffer.create 1024 in
+  let cfg = Cdfg.cfg cdfg in
+  Buffer.add_string buf "digraph cfg {\n  node [shape=box fontname=\"monospace\"];\n";
+  for i = 0 to Cfg.block_count cfg - 1 do
+    let b = Cfg.block cfg i in
+    let extra =
+      if List.mem i highlight then " style=filled fillcolor=lightblue" else ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"BB%d %s\\n%d instrs\"%s];\n" i i
+         (escape b.Block.label)
+         (Block.instr_count b) extra)
+  done;
+  for i = 0 to Cfg.block_count cfg - 1 do
+    List.iter
+      (fun j -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i j))
+      (Cfg.successors cfg i)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let dfg_to_dot ?(title = "dfg") dfg =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph \"%s\" {\n  node [shape=ellipse fontname=\"monospace\"];\n"
+       (escape title));
+  let asap = Dfg.asap dfg in
+  List.iter
+    (fun (nd : Dfg.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%d: %s (L%d)\"];\n" nd.id nd.id
+           (escape (Instr.mnemonic nd.instr))
+           asap.(nd.id)))
+    (Dfg.nodes dfg);
+  List.iter
+    (fun (nd : Dfg.node) ->
+      List.iter
+        (fun j ->
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" nd.id j))
+        (Dfg.succs dfg nd.id))
+    (Dfg.nodes dfg);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

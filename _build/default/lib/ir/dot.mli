@@ -1,0 +1,8 @@
+(** Graphviz (DOT) export of CFGs and DFGs, for inspection and docs. *)
+
+val cfg_to_dot : ?highlight:int list -> Cdfg.t -> string
+(** The control-flow graph; blocks in [highlight] (e.g. kernels moved to
+    the coarse-grain data-path) are drawn filled. *)
+
+val dfg_to_dot : ?title:string -> Dfg.t -> string
+(** One DFG, ranked by ASAP level. *)

@@ -1,0 +1,83 @@
+module Var_map = Map.Make (Int)
+
+type var_set = Instr.var Var_map.t
+
+type t = { cfg : Cfg.t; live_in : var_set array; live_out : var_set array }
+
+let to_sorted_list set = List.map snd (Var_map.bindings set)
+
+(* use = upward-exposed reads; def = all variables written in the block. *)
+let use_def_sets (b : Block.t) =
+  let defs = ref Var_map.empty in
+  let uses = ref Var_map.empty in
+  let see_use (v : Instr.var) =
+    if not (Var_map.mem v.vid !defs) then uses := Var_map.add v.vid v !uses
+  in
+  List.iter
+    (fun instr ->
+      List.iter see_use (Instr.used_vars instr);
+      match Instr.def instr with
+      | Some v -> defs := Var_map.add v.vid v !defs
+      | None -> ())
+    b.Block.instrs;
+  List.iter see_use (Block.terminator_uses b);
+  (!uses, !defs)
+
+let use_set cfg i = to_sorted_list (fst (use_def_sets (Cfg.block cfg i)))
+
+let analyse cfg =
+  let n = Cfg.block_count cfg in
+  let use = Array.make n Var_map.empty in
+  let def = Array.make n Var_map.empty in
+  for i = 0 to n - 1 do
+    let u, d = use_def_sets (Cfg.block cfg i) in
+    use.(i) <- u;
+    def.(i) <- d
+  done;
+  let live_in = Array.make n Var_map.empty in
+  let live_out = Array.make n Var_map.empty in
+  let changed = ref true in
+  (* Standard backward data-flow fixpoint; iterating blocks in reverse
+     postorder reversed converges quickly on reducible CFGs. *)
+  let order = List.rev (Cfg.reverse_postorder cfg) in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        let out =
+          List.fold_left
+            (fun acc s -> Var_map.union (fun _ v _ -> Some v) acc live_in.(s))
+            Var_map.empty (Cfg.successors cfg i)
+        in
+        let inn =
+          Var_map.union
+            (fun _ v _ -> Some v)
+            use.(i)
+            (Var_map.filter (fun vid _ -> not (Var_map.mem vid def.(i))) out)
+        in
+        if not (Var_map.equal (fun _ _ -> true) out live_out.(i)) then begin
+          live_out.(i) <- out;
+          changed := true
+        end;
+        if not (Var_map.equal (fun _ _ -> true) inn live_in.(i)) then begin
+          live_in.(i) <- inn;
+          changed := true
+        end)
+      order
+  done;
+  { cfg; live_in; live_out }
+
+let live_in t i = to_sorted_list t.live_in.(i)
+let live_out t i = to_sorted_list t.live_out.(i)
+
+let defs_live_out t i =
+  let b = Cfg.block t.cfg i in
+  let defs = ref Var_map.empty in
+  List.iter
+    (fun instr ->
+      match Instr.def instr with
+      | Some v -> defs := Var_map.add v.vid v !defs
+      | None -> ())
+    b.Block.instrs;
+  to_sorted_list
+    (Var_map.filter (fun vid _ -> Var_map.mem vid t.live_out.(i)) !defs)

@@ -1,0 +1,46 @@
+type t = { header : int; latches : int list; body : int list }
+
+(* Natural loop of a back edge n->h: h plus all blocks that reach n
+   without passing through h (standard worklist over predecessors). *)
+let body_of_back_edges cfg header latches =
+  let in_body = Hashtbl.create 16 in
+  Hashtbl.replace in_body header ();
+  let rec add n =
+    if not (Hashtbl.mem in_body n) then begin
+      Hashtbl.replace in_body n ();
+      List.iter add (Cfg.predecessors cfg n)
+    end
+  in
+  List.iter add latches;
+  Hashtbl.fold (fun b () acc -> b :: acc) in_body [] |> List.sort compare
+
+let find cfg =
+  let edges = Cfg.back_edges cfg in
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (n, h) ->
+      let existing =
+        match Hashtbl.find_opt by_header h with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_header h (n :: existing))
+    edges;
+  Hashtbl.fold
+    (fun header latches acc ->
+      let latches = List.sort compare latches in
+      { header; latches; body = body_of_back_edges cfg header latches } :: acc)
+    by_header []
+  |> List.sort (fun l1 l2 -> compare l1.header l2.header)
+
+let depth_map cfg =
+  let depth = Array.make (Cfg.block_count cfg) 0 in
+  List.iter
+    (fun loop -> List.iter (fun b -> depth.(b) <- depth.(b) + 1) loop.body)
+    (find cfg);
+  depth
+
+let in_loop cfg i = (depth_map cfg).(i) > 0
+
+let pp ppf l =
+  Format.fprintf ppf "loop header=%d latches=[%s] body=[%s]" l.header
+    (String.concat ";" (List.map string_of_int l.latches))
+    (String.concat ";" (List.map string_of_int l.body))

@@ -1,0 +1,24 @@
+(** Natural-loop detection.
+
+    The paper's kernels are "basic blocks inside loops"; this module finds
+    the natural loops of a CFG (via back edges) and the loop-nesting depth
+    of each block, which drives kernel identification in the analysis
+    step. *)
+
+type t = {
+  header : int;  (** loop header block id *)
+  latches : int list;  (** sources of back edges into [header] *)
+  body : int list;  (** all block ids in the loop, including the header *)
+}
+
+val find : Cfg.t -> t list
+(** All natural loops, one per header (back edges sharing a header are
+    merged into a single loop, as usual). *)
+
+val depth_map : Cfg.t -> int array
+(** [depth_map cfg] gives for every block the number of loops containing
+    it (0 = not in any loop). *)
+
+val in_loop : Cfg.t -> int -> bool
+
+val pp : Format.formatter -> t -> unit

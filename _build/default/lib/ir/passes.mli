@@ -1,0 +1,66 @@
+(** Classic scalar optimisation passes over the CDFG.
+
+    The frontend's lowering is deliberately naive (one temporary per
+    expression node); these passes clean the result up before analysis and
+    mapping, playing the role of the SUIF/MachineSUIF optimisation passes
+    the authors relied on.  All passes are semantics-preserving, per-block
+    (with a global liveness fixpoint backing dead-code elimination), and
+    idempotent at the {!simplify} fixpoint. *)
+
+val const_fold : Cdfg.t -> Cdfg.t
+(** Propagates constants within each block and folds operations whose
+    operands are all constant (divisions by a constant zero are left in
+    place). *)
+
+val copy_propagate : Cdfg.t -> Cdfg.t
+(** Forwards [Mov] sources to later uses within the block. *)
+
+val algebraic_simplify : Cdfg.t -> Cdfg.t
+(** Identity/absorption rewrites and strength reduction within each
+    block: [x+0], [x-0], [x*1], [x/1], [x&x], [x|x], [x^x], [x*0],
+    [x&0], shifts by 0, multiplication by a power of two (to a shift),
+    [min]/[max]/[select] with equal operands, and comparisons of a
+    variable with itself. *)
+
+val common_subexpressions : Cdfg.t -> Cdfg.t
+(** Local (per-block) common-subexpression elimination: a pure operation
+    recomputing an available expression becomes a move from the earlier
+    result.  Loads are reused only while no store to the same array
+    intervenes; expressions are invalidated when an operand is
+    redefined. *)
+
+val dead_code_eliminate : Cdfg.t -> Cdfg.t
+(** Removes instructions whose result is never used (backed by global
+    liveness); stores and division/remainder instructions are always
+    kept. *)
+
+val simplify_cfg : Cdfg.t -> Cdfg.t
+(** Control-flow clean-up, to a fixpoint:
+    - unreachable blocks are deleted;
+    - a jump to an empty forwarding block is threaded past it;
+    - a block whose unique successor has no other predecessor is merged
+      with it (the entry block keeps its position and label);
+    - branches with identical targets become jumps.
+    Runs after branch folding leaves dead arms behind. *)
+
+val loop_invariant_motion : Cdfg.t -> Cdfg.t
+(** Hoists loop-invariant computations into the loop preheader.
+
+    A pure instruction (no load/store/division) is hoisted from a natural
+    loop when: every variable it reads is defined outside the loop (or by
+    an instruction already hoisted), its destination has exactly one
+    definition in the loop, and the destination is not live into the loop
+    header (not loop-carried).  Loads are additionally hoisted when no
+    store in the loop touches their array.  The preheader must be the
+    unique out-of-loop predecessor of the header — which the frontend's
+    rotated-loop shape guarantees. *)
+
+val simplify : ?max_rounds:int -> Cdfg.t -> Cdfg.t
+(** [const_fold → algebraic_simplify → copy_propagate →
+    common_subexpressions → dead_code_eliminate] to a fixpoint (at most
+    [max_rounds] rounds, default 8). *)
+
+val optimize : Cdfg.t -> Cdfg.t
+(** The default frontend pipeline: {!simplify} → {!simplify_cfg} →
+    {!loop_invariant_motion} (innermost loops first) → {!simplify} →
+    {!simplify_cfg}. *)

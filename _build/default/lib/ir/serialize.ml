@@ -1,0 +1,306 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- a tiny s-expression layer ----------------------------------------- *)
+
+type sexp = Atom of string | Str of string | List of sexp list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write buf = function
+  | Atom a -> Buffer.add_string buf a
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ' ';
+        write buf item)
+      items;
+    Buffer.add_char buf ')'
+
+let tokenize src =
+  let toks = ref [] in
+  let i = ref 0 in
+  let n = String.length src in
+  while !i < n do
+    (match src.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' ->
+      toks := `Lparen :: !toks;
+      incr i
+    | ')' ->
+      toks := `Rparen :: !toks;
+      incr i
+    | '"' ->
+      let buf = Buffer.create 16 in
+      incr i;
+      let rec scan () =
+        if !i >= n then fail "unterminated string"
+        else
+          match src.[!i] with
+          | '"' -> incr i
+          | '\\' ->
+            if !i + 1 >= n then fail "dangling escape";
+            Buffer.add_char buf src.[!i + 1];
+            i := !i + 2;
+            scan ()
+          | c ->
+            Buffer.add_char buf c;
+            incr i;
+            scan ()
+      in
+      scan ();
+      toks := `Str (Buffer.contents buf) :: !toks
+    | _ ->
+      let start = !i in
+      while
+        !i < n
+        && not
+             (match src.[!i] with
+             | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' -> true
+             | _ -> false)
+      do
+        incr i
+      done;
+      toks := `Atom (String.sub src start (!i - start)) :: !toks);
+    ()
+  done;
+  List.rev !toks
+
+let parse_sexp src =
+  let toks = ref (tokenize src) in
+  let rec parse_one () =
+    match !toks with
+    | [] -> fail "unexpected end of input"
+    | `Lparen :: rest ->
+      toks := rest;
+      let items = ref [] in
+      let rec items_loop () =
+        match !toks with
+        | `Rparen :: rest ->
+          toks := rest;
+          List (List.rev !items)
+        | [] -> fail "missing ')'"
+        | _ ->
+          items := parse_one () :: !items;
+          items_loop ()
+      in
+      items_loop ()
+    | `Rparen :: _ -> fail "unexpected ')'"
+    | `Atom a :: rest ->
+      toks := rest;
+      Atom a
+    | `Str s :: rest ->
+      toks := rest;
+      Str s
+  in
+  let result = parse_one () in
+  (match !toks with [] -> () | _ -> fail "trailing input");
+  result
+
+(* --- encoding ------------------------------------------------------------ *)
+
+let int_atom n = Atom (string_of_int n)
+
+let sexp_of_var (v : Instr.var) =
+  List [ Atom "var"; Str v.vname; int_atom v.vid; int_atom v.vwidth ]
+
+let sexp_of_operand = function
+  | Instr.Var v -> sexp_of_var v
+  | Instr.Imm n -> List [ Atom "imm"; int_atom n ]
+
+let sexp_of_instr (instr : Instr.t) =
+  match instr with
+  | Instr.Bin { dst; op; a; b } ->
+    List
+      [ Atom "bin"; Atom (Types.string_of_alu_op op); sexp_of_var dst;
+        sexp_of_operand a; sexp_of_operand b ]
+  | Instr.Mul { dst; a; b } ->
+    List [ Atom "mul"; sexp_of_var dst; sexp_of_operand a; sexp_of_operand b ]
+  | Instr.Div { dst; a; b } ->
+    List [ Atom "div"; sexp_of_var dst; sexp_of_operand a; sexp_of_operand b ]
+  | Instr.Rem { dst; a; b } ->
+    List [ Atom "rem"; sexp_of_var dst; sexp_of_operand a; sexp_of_operand b ]
+  | Instr.Un { dst; op; a } ->
+    List
+      [ Atom "un"; Atom (Types.string_of_un_op op); sexp_of_var dst;
+        sexp_of_operand a ]
+  | Instr.Mov { dst; src } ->
+    List [ Atom "mov"; sexp_of_var dst; sexp_of_operand src ]
+  | Instr.Select { dst; cond; if_true; if_false } ->
+    List
+      [ Atom "select"; sexp_of_var dst; sexp_of_operand cond;
+        sexp_of_operand if_true; sexp_of_operand if_false ]
+  | Instr.Load { dst; arr; index } ->
+    List [ Atom "load"; sexp_of_var dst; Str arr; sexp_of_operand index ]
+  | Instr.Store { arr; index; value } ->
+    List [ Atom "store"; Str arr; sexp_of_operand index; sexp_of_operand value ]
+
+let sexp_of_terminator = function
+  | Block.Jump l -> List [ Atom "jump"; Str l ]
+  | Block.Branch { cond; if_true; if_false } ->
+    List [ Atom "branch"; sexp_of_operand cond; Str if_true; Str if_false ]
+  | Block.Return None -> List [ Atom "return" ]
+  | Block.Return (Some op) -> List [ Atom "return"; sexp_of_operand op ]
+
+let sexp_of_block (b : Block.t) =
+  List
+    [
+      Atom "block";
+      Str b.label;
+      List (Atom "instrs" :: List.map sexp_of_instr b.instrs);
+      List [ Atom "term"; sexp_of_terminator b.term ];
+    ]
+
+let sexp_of_array (d : Cdfg.array_decl) =
+  let base =
+    [
+      Atom "array"; Str d.aname; int_atom d.size; int_atom d.elem_width;
+      Atom (if d.is_const then "const" else "mutable");
+    ]
+  in
+  match d.init with
+  | None -> List base
+  | Some init ->
+    List (base @ [ List (Atom "init" :: Array.to_list (Array.map int_atom init)) ])
+
+let to_string cdfg =
+  let buf = Buffer.create 4096 in
+  let sexp =
+    List
+      [
+        Atom "cdfg";
+        Str (Cdfg.name cdfg);
+        List (Atom "arrays" :: List.map sexp_of_array (Cdfg.arrays cdfg));
+        List
+          (Atom "blocks"
+          :: Array.to_list (Array.map sexp_of_block (Cfg.blocks (Cdfg.cfg cdfg))));
+      ]
+  in
+  write buf sexp;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------------ *)
+
+let as_int = function
+  | Atom a -> (
+    match int_of_string_opt a with Some n -> n | None -> fail "expected integer, got %S" a)
+  | Str _ | List _ -> fail "expected integer"
+
+let as_string = function
+  | Str s -> s
+  | Atom a -> a
+  | List _ -> fail "expected string"
+
+let var_of_sexp = function
+  | List [ Atom "var"; name; vid; width ] ->
+    { Instr.vname = as_string name; vid = as_int vid; vwidth = as_int width }
+  | _ -> fail "malformed variable"
+
+let operand_of_sexp = function
+  | List [ Atom "imm"; n ] -> Instr.Imm (as_int n)
+  | List (Atom "var" :: _) as v -> Instr.Var (var_of_sexp v)
+  | _ -> fail "malformed operand"
+
+let alu_op_of_string s =
+  match List.find_opt (fun op -> Types.string_of_alu_op op = s) Types.all_alu_ops with
+  | Some op -> op
+  | None -> fail "unknown ALU op %S" s
+
+let un_op_of_string s =
+  match List.find_opt (fun op -> Types.string_of_un_op op = s) Types.all_un_ops with
+  | Some op -> op
+  | None -> fail "unknown unary op %S" s
+
+let instr_of_sexp = function
+  | List [ Atom "bin"; Atom op; dst; a; b ] ->
+    Instr.Bin
+      { dst = var_of_sexp dst; op = alu_op_of_string op;
+        a = operand_of_sexp a; b = operand_of_sexp b }
+  | List [ Atom "mul"; dst; a; b ] ->
+    Instr.Mul { dst = var_of_sexp dst; a = operand_of_sexp a; b = operand_of_sexp b }
+  | List [ Atom "div"; dst; a; b ] ->
+    Instr.Div { dst = var_of_sexp dst; a = operand_of_sexp a; b = operand_of_sexp b }
+  | List [ Atom "rem"; dst; a; b ] ->
+    Instr.Rem { dst = var_of_sexp dst; a = operand_of_sexp a; b = operand_of_sexp b }
+  | List [ Atom "un"; Atom op; dst; a ] ->
+    Instr.Un { dst = var_of_sexp dst; op = un_op_of_string op; a = operand_of_sexp a }
+  | List [ Atom "mov"; dst; src ] ->
+    Instr.Mov { dst = var_of_sexp dst; src = operand_of_sexp src }
+  | List [ Atom "select"; dst; cond; t; f ] ->
+    Instr.Select
+      { dst = var_of_sexp dst; cond = operand_of_sexp cond;
+        if_true = operand_of_sexp t; if_false = operand_of_sexp f }
+  | List [ Atom "load"; dst; arr; index ] ->
+    Instr.Load
+      { dst = var_of_sexp dst; arr = as_string arr; index = operand_of_sexp index }
+  | List [ Atom "store"; arr; index; value ] ->
+    Instr.Store
+      { arr = as_string arr; index = operand_of_sexp index;
+        value = operand_of_sexp value }
+  | _ -> fail "malformed instruction"
+
+let terminator_of_sexp = function
+  | List [ Atom "jump"; l ] -> Block.Jump (as_string l)
+  | List [ Atom "branch"; cond; t; f ] ->
+    Block.Branch
+      { cond = operand_of_sexp cond; if_true = as_string t; if_false = as_string f }
+  | List [ Atom "return" ] -> Block.Return None
+  | List [ Atom "return"; op ] -> Block.Return (Some (operand_of_sexp op))
+  | _ -> fail "malformed terminator"
+
+let block_of_sexp = function
+  | List [ Atom "block"; label; List (Atom "instrs" :: instrs); List [ Atom "term"; term ] ]
+    ->
+    Block.make ~label:(as_string label)
+      ~instrs:(List.map instr_of_sexp instrs)
+      ~term:(terminator_of_sexp term)
+  | _ -> fail "malformed block"
+
+let array_of_sexp = function
+  | List (Atom "array" :: name :: size :: width :: Atom kind :: rest) ->
+    let init =
+      match rest with
+      | [] -> None
+      | [ List (Atom "init" :: values) ] ->
+        Some (Array.of_list (List.map as_int values))
+      | _ -> fail "malformed array initialiser"
+    in
+    let is_const =
+      match kind with
+      | "const" -> true
+      | "mutable" -> false
+      | other -> fail "unknown array kind %S" other
+    in
+    {
+      Cdfg.aname = as_string name;
+      size = as_int size;
+      init;
+      is_const;
+      elem_width = as_int width;
+    }
+  | _ -> fail "malformed array declaration"
+
+let of_string src =
+  match parse_sexp src with
+  | List [ Atom "cdfg"; name; List (Atom "arrays" :: arrays); List (Atom "blocks" :: blocks) ]
+    ->
+    let arrays = List.map array_of_sexp arrays in
+    let blocks = List.map block_of_sexp blocks in
+    Cdfg.make ~name:(as_string name) ~arrays (Cfg.of_blocks blocks)
+  | _ -> fail "expected (cdfg ...)"

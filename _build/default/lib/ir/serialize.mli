@@ -1,0 +1,17 @@
+(** Textual serialisation of CDFGs (an s-expression format).
+
+    The authors' framework passed SUIF IR files between its tools; this
+    module plays that role: a CDFG can be dumped after frontend +
+    optimisation and re-loaded by any later stage (analysis, mapping,
+    partitioning) without recompiling the source.  The format round-trips
+    exactly: [of_string (to_string g)] reproduces the same blocks,
+    terminators and array declarations. *)
+
+exception Parse_error of string
+
+val to_string : Cdfg.t -> string
+(** Serialise, including array initialisers. *)
+
+val of_string : string -> Cdfg.t
+(** Parse back. Raises {!Parse_error} on malformed input and
+    {!Cfg.Malformed} on structurally invalid graphs. *)

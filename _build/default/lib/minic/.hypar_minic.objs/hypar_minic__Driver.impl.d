@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Hypar_ir Inline Lexer Lower Parser Printf Token Typecheck

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Array Ast Hashtbl Hypar_ir List Option Printf Token

@@ -1,0 +1,30 @@
+type error = { line : int; col : int; msg : string }
+
+let string_of_error e = Printf.sprintf "%d:%d: %s" e.line e.col e.msg
+
+let of_pos (pos : Token.pos) msg = { line = pos.line; col = pos.col; msg }
+
+let compile ?name ?(simplify = true) src =
+  try
+    let ast = Parser.parse_program src in
+    match Typecheck.check ast with
+    | Error e -> Error (of_pos e.Typecheck.pos e.Typecheck.msg)
+    | Ok () ->
+      let inlined = Inline.program ast in
+      let cdfg = Lower.program ?name inlined in
+      (match Hypar_ir.Cdfg.validate cdfg with
+      | Error msg -> Error { line = 0; col = 0; msg = "lowering produced: " ^ msg }
+      | Ok () ->
+        let cdfg = if simplify then Hypar_ir.Passes.optimize cdfg else cdfg in
+        Ok cdfg)
+  with
+  | Lexer.Error { pos; msg } -> Error (of_pos pos msg)
+  | Parser.Error { pos; msg } -> Error (of_pos pos msg)
+  | Inline.Recursive f ->
+    Error { line = 0; col = 0; msg = Printf.sprintf "recursive function %S" f }
+  | Invalid_argument msg -> Error { line = 0; col = 0; msg }
+
+let compile_exn ?name ?simplify src =
+  match compile ?name ?simplify src with
+  | Ok cdfg -> cdfg
+  | Error e -> failwith (string_of_error e)

@@ -1,0 +1,14 @@
+(** One-call frontend: source text to CDFG. *)
+
+type error = { line : int; col : int; msg : string }
+
+val compile : ?name:string -> ?simplify:bool -> string -> (Hypar_ir.Cdfg.t, error) result
+(** [compile src] lexes, parses, type checks, inlines and lowers a Mini-C
+    program.  With [simplify] (default [true]) the optimisation pipeline
+    ({!Hypar_ir.Passes.optimize}: clean-up passes + loop-invariant code
+    motion) runs on the result. *)
+
+val compile_exn : ?name:string -> ?simplify:bool -> string -> Hypar_ir.Cdfg.t
+(** Like {!compile} but raises [Failure] with a formatted message. *)
+
+val string_of_error : error -> string

@@ -1,0 +1,199 @@
+exception Error of { pos : Token.pos; msg : string }
+
+let error pos fmt = Format.kasprintf (fun msg -> raise (Error { pos; msg })) fmt
+
+let keywords =
+  [
+    ("int", Token.Kw_int);
+    ("int8", Token.Kw_int8);
+    ("int16", Token.Kw_int);
+    ("int32", Token.Kw_int32);
+    ("void", Token.Kw_void);
+    ("const", Token.Kw_const);
+    ("if", Token.Kw_if);
+    ("else", Token.Kw_else);
+    ("while", Token.Kw_while);
+    ("do", Token.Kw_do);
+    ("for", Token.Kw_for);
+    ("return", Token.Kw_return);
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+type state = { src : string; mutable i : int; mutable line : int; mutable col : int }
+
+let peek st k =
+  let j = st.i + k in
+  if j < String.length st.src then Some st.src.[j] else None
+
+let advance st =
+  (match peek st 0 with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.i <- st.i + 1
+
+let current_pos st = { Token.line = st.line; col = st.col }
+
+let rec skip_ws_and_comments st =
+  match peek st 0 with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws_and_comments st
+  | Some '/' -> (
+    match peek st 1 with
+    | Some '/' ->
+      let rec to_eol () =
+        match peek st 0 with
+        | Some '\n' | None -> ()
+        | Some _ ->
+          advance st;
+          to_eol ()
+      in
+      to_eol ();
+      skip_ws_and_comments st
+    | Some '*' ->
+      let start = current_pos st in
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st 0, peek st 1) with
+        | Some '*', Some '/' ->
+          advance st;
+          advance st
+        | Some _, _ ->
+          advance st;
+          to_close ()
+        | None, _ -> error start "unterminated block comment"
+      in
+      to_close ();
+      skip_ws_and_comments st
+    | Some _ | None -> ())
+  | Some _ | None -> ()
+
+let lex_number st =
+  let pos = current_pos st in
+  let start = st.i in
+  let hex =
+    match (peek st 0, peek st 1) with
+    | Some '0', Some ('x' | 'X') ->
+      advance st;
+      advance st;
+      true
+    | _ -> false
+  in
+  let valid = if hex then is_hex else is_digit in
+  let rec consume () =
+    match peek st 0 with
+    | Some c when valid c ->
+      advance st;
+      consume ()
+    | Some _ | None -> ()
+  in
+  consume ();
+  let text = String.sub st.src start (st.i - start) in
+  match int_of_string_opt text with
+  | Some n -> { Token.tok = Int_lit n; pos }
+  | None -> error pos "invalid integer literal %S" text
+
+let lex_ident st =
+  let pos = current_pos st in
+  let start = st.i in
+  let rec consume () =
+    match peek st 0 with
+    | Some c when is_ident_char c ->
+      advance st;
+      consume ()
+    | Some _ | None -> ()
+  in
+  consume ();
+  let text = String.sub st.src start (st.i - start) in
+  let tok =
+    match List.assoc_opt text keywords with
+    | Some kw -> kw
+    | None -> Token.Ident text
+  in
+  { Token.tok; pos }
+
+let lex_symbol st =
+  let pos = current_pos st in
+  let two tok =
+    advance st;
+    advance st;
+    { Token.tok; pos }
+  in
+  let one tok =
+    advance st;
+    { Token.tok; pos }
+  in
+  let three tok =
+    advance st;
+    advance st;
+    advance st;
+    { Token.tok; pos }
+  in
+  match (peek st 0, peek st 1, peek st 2) with
+  | Some '<', Some '<', Some '=' -> three Token.Shl_assign
+  | Some '>', Some '>', Some '=' -> three Token.Shr_assign
+  | _ -> (
+  match (peek st 0, peek st 1) with
+  | Some '<', Some '<' -> two Token.Shl
+  | Some '>', Some '>' -> two Token.Shr
+  | Some '<', Some '=' -> two Token.Le
+  | Some '>', Some '=' -> two Token.Ge
+  | Some '=', Some '=' -> two Token.Eq_eq
+  | Some '!', Some '=' -> two Token.Bang_eq
+  | Some '&', Some '&' -> two Token.Amp_amp
+  | Some '|', Some '|' -> two Token.Bar_bar
+  | Some '+', Some '=' -> two Token.Plus_assign
+  | Some '-', Some '=' -> two Token.Minus_assign
+  | Some '*', Some '=' -> two Token.Star_assign
+  | Some '&', Some '=' -> two Token.Amp_assign
+  | Some '|', Some '=' -> two Token.Bar_assign
+  | Some '^', Some '=' -> two Token.Caret_assign
+  | Some '+', Some '+' -> two Token.Plus_plus
+  | Some '-', Some '-' -> two Token.Minus_minus
+  | Some c, _ -> (
+    match c with
+    | '(' -> one Token.Lparen
+    | ')' -> one Token.Rparen
+    | '{' -> one Token.Lbrace
+    | '}' -> one Token.Rbrace
+    | '[' -> one Token.Lbracket
+    | ']' -> one Token.Rbracket
+    | ';' -> one Token.Semi
+    | ',' -> one Token.Comma
+    | '=' -> one Token.Assign
+    | '+' -> one Token.Plus
+    | '-' -> one Token.Minus
+    | '*' -> one Token.Star
+    | '/' -> one Token.Slash
+    | '%' -> one Token.Percent
+    | '&' -> one Token.Amp
+    | '|' -> one Token.Bar
+    | '^' -> one Token.Caret
+    | '~' -> one Token.Tilde
+    | '!' -> one Token.Bang
+    | '<' -> one Token.Lt
+    | '>' -> one Token.Gt
+    | '?' -> one Token.Question
+    | ':' -> one Token.Colon
+    | c -> error pos "unexpected character %C" c)
+  | None, _ -> { Token.tok = Eof; pos })
+
+let tokenize src =
+  let st = { src; i = 0; line = 1; col = 1 } in
+  let rec go acc =
+    skip_ws_and_comments st;
+    match peek st 0 with
+    | None -> List.rev ({ Token.tok = Eof; pos = current_pos st } :: acc)
+    | Some c when is_digit c -> go (lex_number st :: acc)
+    | Some c when is_ident_start c -> go (lex_ident st :: acc)
+    | Some _ -> go (lex_symbol st :: acc)
+  in
+  go []

@@ -1,0 +1,369 @@
+module Ir = Hypar_ir
+
+type state = {
+  mutable next_var : int;
+  mutable next_label : int;
+  vars : (string, Ir.Instr.var) Hashtbl.t;  (* source name -> register *)
+  bool_vars : (int, unit) Hashtbl.t;  (* vids known to hold 0/1 *)
+  mutable pending : Ir.Instr.t list;  (* reversed *)
+  mutable current_label : string;
+  mutable block_open : bool;
+  mutable blocks : Ir.Block.t list;  (* reversed *)
+}
+
+let fresh_var st ?(width = 16) name =
+  let v = { Ir.Instr.vname = name; vid = st.next_var; vwidth = width } in
+  st.next_var <- st.next_var + 1;
+  v
+
+let new_label st hint =
+  let l = Printf.sprintf "L%d_%s" st.next_label hint in
+  st.next_label <- st.next_label + 1;
+  l
+
+let emit st i = st.pending <- i :: st.pending
+
+let finish st term =
+  let instrs = List.rev st.pending in
+  st.pending <- [];
+  st.block_open <- false;
+  st.blocks <-
+    Ir.Block.make ~label:st.current_label ~instrs ~term :: st.blocks
+
+let start st label =
+  st.current_label <- label;
+  st.block_open <- true
+
+let source_var st name ~width =
+  match Hashtbl.find_opt st.vars name with
+  | Some v -> v
+  | None ->
+    let v = fresh_var st ~width name in
+    Hashtbl.replace st.vars name v;
+    v
+
+let lookup_var st name =
+  match Hashtbl.find_opt st.vars name with
+  | Some v -> v
+  | None -> invalid_arg ("lower: unbound variable " ^ name)
+
+(* --- widths ------------------------------------------------------------ *)
+
+let width_of_int n =
+  let n = abs n in
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  let w = 1 + bits 0 n in
+  if w > 32 then 32 else w
+
+let width_of_operand = function
+  | Ir.Instr.Var v -> v.Ir.Instr.vwidth
+  | Ir.Instr.Imm n -> width_of_int n
+
+let clamp_width w = if w > 32 then 32 else if w < 1 then 1 else w
+
+(* --- expressions -------------------------------------------------------- *)
+
+let is_bool_operand st = function
+  | Ir.Instr.Imm (0 | 1) -> true
+  | Ir.Instr.Imm _ -> false
+  | Ir.Instr.Var v -> Hashtbl.mem st.bool_vars v.Ir.Instr.vid
+
+let alu_of_binop = function
+  | Ast.Add -> Some Ir.Types.Add
+  | Ast.Sub -> Some Ir.Types.Sub
+  | Ast.Band -> Some Ir.Types.And
+  | Ast.Bor -> Some Ir.Types.Or
+  | Ast.Bxor -> Some Ir.Types.Xor
+  | Ast.Shl -> Some Ir.Types.Shl
+  | Ast.Shr -> Some Ir.Types.Ashr (* C '>>' on signed ints: arithmetic *)
+  | Ast.Lt -> Some Ir.Types.Lt
+  | Ast.Le -> Some Ir.Types.Le
+  | Ast.Gt -> Some Ir.Types.Gt
+  | Ast.Ge -> Some Ir.Types.Ge
+  | Ast.Eq -> Some Ir.Types.Eq
+  | Ast.Ne -> Some Ir.Types.Ne
+  | Ast.Mul | Ast.Div | Ast.Mod | Ast.Land | Ast.Lor -> None
+
+let is_comparison = function
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> true
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor
+  | Ast.Bxor | Ast.Shl | Ast.Shr | Ast.Land | Ast.Lor ->
+    false
+
+let result_width op a b =
+  match op with
+  | Ast.Mul -> clamp_width (width_of_operand a + width_of_operand b)
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.Land | Ast.Lor -> 1
+  | Ast.Add | Ast.Sub ->
+    clamp_width (1 + max (width_of_operand a) (width_of_operand b))
+  | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+    clamp_width (max (width_of_operand a) (width_of_operand b))
+
+let rec lower_expr st (e : Ast.expr) : Ir.Instr.operand =
+  match e.Ast.desc with
+  | Ast.Num n -> Ir.Instr.Imm n
+  | Ast.Ident name -> Ir.Instr.Var (lookup_var st name)
+  | Ast.Index (arr, ix) ->
+    let index = lower_expr st ix in
+    let dst = fresh_var st ~width:16 "t_load" in
+    emit st (Ir.Instr.Load { dst; arr; index });
+    Ir.Instr.Var dst
+  | Ast.Call (fname, args) -> lower_builtin st e.Ast.epos fname args
+  | Ast.Unary (op, a) -> lower_unary st op a
+  | Ast.Binary (op, a, b) -> lower_binary st op a b
+  | Ast.Ternary (c, t, f) ->
+    let cond = lower_expr st c in
+    let if_true = lower_expr st t in
+    let if_false = lower_expr st f in
+    let width = max (width_of_operand if_true) (width_of_operand if_false) in
+    let dst = fresh_var st ~width "t_sel" in
+    emit st (Ir.Instr.Select { dst; cond; if_true; if_false });
+    Ir.Instr.Var dst
+
+and lower_builtin st pos fname args =
+  match (fname, args) with
+  | "min", [ a; b ] | "max", [ a; b ] ->
+    let a = lower_expr st a and b = lower_expr st b in
+    let op = if fname = "min" then Ir.Types.Min else Ir.Types.Max in
+    let width = max (width_of_operand a) (width_of_operand b) in
+    let dst = fresh_var st ~width ("t_" ^ fname) in
+    emit st (Ir.Instr.Bin { dst; op; a; b });
+    Ir.Instr.Var dst
+  | "abs", [ a ] ->
+    let a = lower_expr st a in
+    let dst = fresh_var st ~width:(width_of_operand a) "t_abs" in
+    emit st (Ir.Instr.Un { dst; op = Ir.Types.Abs; a });
+    Ir.Instr.Var dst
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "lower: unexpected call to %S at %d:%d (program not inlined?)"
+         fname pos.Token.line pos.Token.col)
+
+and lower_unary st op a =
+  match op with
+  | Ast.Neg ->
+    let a = lower_expr st a in
+    let dst = fresh_var st ~width:(clamp_width (1 + width_of_operand a)) "t_neg" in
+    emit st (Ir.Instr.Un { dst; op = Ir.Types.Neg; a });
+    Ir.Instr.Var dst
+  | Ast.Bitnot ->
+    let a = lower_expr st a in
+    let dst = fresh_var st ~width:(width_of_operand a) "t_not" in
+    emit st (Ir.Instr.Un { dst; op = Ir.Types.Not; a });
+    Ir.Instr.Var dst
+  | Ast.Lognot ->
+    let a = lower_expr st a in
+    let dst = fresh_var st ~width:1 "t_lnot" in
+    emit st (Ir.Instr.Bin { dst; op = Ir.Types.Eq; a; b = Ir.Instr.Imm 0 });
+    Hashtbl.replace st.bool_vars dst.Ir.Instr.vid ();
+    Ir.Instr.Var dst
+
+and as_bool st op =
+  if is_bool_operand st op then op
+  else begin
+    let dst = fresh_var st ~width:1 "t_bool" in
+    emit st (Ir.Instr.Bin { dst; op = Ir.Types.Ne; a = op; b = Ir.Instr.Imm 0 });
+    Hashtbl.replace st.bool_vars dst.Ir.Instr.vid ();
+    Ir.Instr.Var dst
+  end
+
+and lower_binary st op a b =
+  match op with
+  | Ast.Land | Ast.Lor ->
+    let a = as_bool st (lower_expr st a) in
+    let b = as_bool st (lower_expr st b) in
+    let ir_op = if op = Ast.Land then Ir.Types.And else Ir.Types.Or in
+    let dst = fresh_var st ~width:1 "t_log" in
+    emit st (Ir.Instr.Bin { dst; op = ir_op; a; b });
+    Hashtbl.replace st.bool_vars dst.Ir.Instr.vid ();
+    Ir.Instr.Var dst
+  | Ast.Mul ->
+    let a = lower_expr st a and b = lower_expr st b in
+    let dst = fresh_var st ~width:(result_width Ast.Mul a b) "t_mul" in
+    emit st (Ir.Instr.Mul { dst; a; b });
+    Ir.Instr.Var dst
+  | Ast.Div ->
+    let a = lower_expr st a and b = lower_expr st b in
+    let dst = fresh_var st ~width:(result_width Ast.Div a b) "t_div" in
+    emit st (Ir.Instr.Div { dst; a; b });
+    Ir.Instr.Var dst
+  | Ast.Mod ->
+    let a = lower_expr st a and b = lower_expr st b in
+    let dst = fresh_var st ~width:(result_width Ast.Mod a b) "t_mod" in
+    emit st (Ir.Instr.Rem { dst; a; b });
+    Ir.Instr.Var dst
+  | other -> (
+    match alu_of_binop other with
+    | Some ir_op ->
+      let a = lower_expr st a and b = lower_expr st b in
+      let dst = fresh_var st ~width:(result_width other a b) "t" in
+      emit st (Ir.Instr.Bin { dst; op = ir_op; a; b });
+      if is_comparison other then Hashtbl.replace st.bool_vars dst.Ir.Instr.vid ();
+      Ir.Instr.Var dst
+    | None -> assert false)
+
+(* Lower [e] directly into destination register [dst] (avoids a trailing
+   move for the common "x = a op b" statements). *)
+let lower_expr_into st (dst : Ir.Instr.var) (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Binary (op, a, b) when alu_of_binop op <> None && op <> Ast.Land && op <> Ast.Lor ->
+    let ir_op = Option.get (alu_of_binop op) in
+    let a = lower_expr st a and b = lower_expr st b in
+    emit st (Ir.Instr.Bin { dst; op = ir_op; a; b });
+    if is_comparison op then Hashtbl.replace st.bool_vars dst.Ir.Instr.vid ()
+    else Hashtbl.remove st.bool_vars dst.Ir.Instr.vid
+  | Ast.Binary (Ast.Mul, a, b) ->
+    let a = lower_expr st a and b = lower_expr st b in
+    Hashtbl.remove st.bool_vars dst.Ir.Instr.vid;
+    emit st (Ir.Instr.Mul { dst; a; b })
+  | Ast.Binary (Ast.Div, a, b) ->
+    let a = lower_expr st a and b = lower_expr st b in
+    Hashtbl.remove st.bool_vars dst.Ir.Instr.vid;
+    emit st (Ir.Instr.Div { dst; a; b })
+  | Ast.Binary (Ast.Mod, a, b) ->
+    let a = lower_expr st a and b = lower_expr st b in
+    Hashtbl.remove st.bool_vars dst.Ir.Instr.vid;
+    emit st (Ir.Instr.Rem { dst; a; b })
+  | Ast.Index (arr, ix) ->
+    let index = lower_expr st ix in
+    Hashtbl.remove st.bool_vars dst.Ir.Instr.vid;
+    emit st (Ir.Instr.Load { dst; arr; index })
+  | _ ->
+    let src = lower_expr st e in
+    if is_bool_operand st src then Hashtbl.replace st.bool_vars dst.Ir.Instr.vid ()
+    else Hashtbl.remove st.bool_vars dst.Ir.Instr.vid;
+    emit st (Ir.Instr.Mov { dst; src })
+
+(* --- statements ---------------------------------------------------------- *)
+
+let rec lower_stmt st (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Decl { name; width; init } -> (
+    let v = source_var st name ~width in
+    match init with
+    | Some e -> lower_expr_into st v e
+    | None -> emit st (Ir.Instr.Mov { dst = v; src = Ir.Instr.Imm 0 }))
+  | Ast.Assign { name; value } -> lower_expr_into st (lookup_var st name) value
+  | Ast.Array_assign { arr; index; value } ->
+    let index = lower_expr st index in
+    let value = lower_expr st value in
+    emit st (Ir.Instr.Store { arr; index; value })
+  | Ast.If { cond; then_branch; else_branch } ->
+    let cond_op = lower_expr st cond in
+    let then_l = new_label st "then" in
+    let join_l = new_label st "join" in
+    let else_l =
+      if else_branch = [] then join_l else new_label st "else"
+    in
+    finish st (Ir.Block.Branch { cond = cond_op; if_true = then_l; if_false = else_l });
+    start st then_l;
+    lower_stmts st then_branch;
+    finish st (Ir.Block.Jump join_l);
+    if else_branch <> [] then begin
+      start st else_l;
+      lower_stmts st else_branch;
+      finish st (Ir.Block.Jump join_l)
+    end;
+    start st join_l
+  | Ast.While { cond; body } ->
+    (* Loop rotation: guard at entry, latch condition at the body's tail,
+       so simple loop bodies become single self-looping basic blocks (the
+       shape of the paper's CDFG kernels). *)
+    let body_l = new_label st "while_body" in
+    let exit_l = new_label st "while_exit" in
+    let guard = lower_expr st cond in
+    finish st (Ir.Block.Branch { cond = guard; if_true = body_l; if_false = exit_l });
+    start st body_l;
+    lower_stmts st body;
+    let latch = lower_expr st cond in
+    finish st (Ir.Block.Branch { cond = latch; if_true = body_l; if_false = exit_l });
+    start st exit_l
+  | Ast.Do_while { body; cond } ->
+    let body_l = new_label st "do_body" in
+    let exit_l = new_label st "do_exit" in
+    finish st (Ir.Block.Jump body_l);
+    start st body_l;
+    lower_stmts st body;
+    let cond_op = lower_expr st cond in
+    finish st (Ir.Block.Branch { cond = cond_op; if_true = body_l; if_false = exit_l });
+    start st exit_l
+  | Ast.For { init; cond; step; body } ->
+    (* Rotated like [while]: init and guard in the preheader; body, step
+       and latch condition in one tail block. *)
+    (match init with Some s0 -> lower_stmt st s0 | None -> ());
+    let body_l = new_label st "for_body" in
+    let exit_l = new_label st "for_exit" in
+    let guard =
+      match cond with Some c -> lower_expr st c | None -> Ir.Instr.Imm 1
+    in
+    finish st (Ir.Block.Branch { cond = guard; if_true = body_l; if_false = exit_l });
+    start st body_l;
+    lower_stmts st body;
+    (match step with Some s0 -> lower_stmt st s0 | None -> ());
+    let latch =
+      match cond with Some c -> lower_expr st c | None -> Ir.Instr.Imm 1
+    in
+    finish st (Ir.Block.Branch { cond = latch; if_true = body_l; if_false = exit_l });
+    start st exit_l
+  | Ast.Return value ->
+    (* typecheck guarantees this is the last statement of the program *)
+    let op = Option.map (lower_expr st) value in
+    finish st (Ir.Block.Return op)
+  | Ast.Expr_stmt e ->
+    (* evaluated for effect only; loads/ops are dead and cleaned by DCE *)
+    ignore (lower_expr st e)
+  | Ast.Block body -> lower_stmts st body
+
+and lower_stmts st stmts = List.iter (lower_stmt st) stmts
+
+(* --- program ------------------------------------------------------------- *)
+
+let array_decl_of_global = function
+  | Ast.Global_array { gname; size; ginit; is_const; gelem_width } ->
+    let init =
+      Option.map
+        (fun vals ->
+          let arr = Array.make size 0 in
+          List.iteri (fun i v -> if i < size then arr.(i) <- v) vals;
+          arr)
+        ginit
+    in
+    Some
+      { Ir.Cdfg.aname = gname; size; init; is_const; elem_width = gelem_width }
+  | Ast.Global_scalar _ -> None
+
+let program ?name (prog : Ast.program) =
+  let main =
+    match prog.Ast.funcs with
+    | [ f ] when f.Ast.fname = "main" -> f
+    | _ -> invalid_arg "lower: expected a single inlined 'main'"
+  in
+  let st =
+    {
+      next_var = 0;
+      next_label = 0;
+      vars = Hashtbl.create 64;
+      bool_vars = Hashtbl.create 64;
+      pending = [];
+      current_label = "entry";
+      block_open = true;
+      blocks = [];
+    }
+  in
+  (* global scalar initialisation belongs to the entry block *)
+  List.iter
+    (fun g ->
+      match g with
+      | Ast.Global_scalar { gname; gwidth; gvalue } ->
+        let v = source_var st gname ~width:gwidth in
+        emit st (Ir.Instr.Mov { dst = v; src = Ir.Instr.Imm (Option.value gvalue ~default:0) })
+      | Ast.Global_array _ -> ())
+    prog.Ast.globals;
+  lower_stmts st main.Ast.body;
+  if st.block_open then finish st (Ir.Block.Return None);
+  let blocks = List.rev st.blocks in
+  let arrays = List.filter_map array_decl_of_global prog.Ast.globals in
+  let cdfg_name =
+    match name with Some n -> n | None -> "minic"
+  in
+  Ir.Cdfg.make ~name:cdfg_name ~arrays (Ir.Cfg.of_blocks blocks)

@@ -1,0 +1,434 @@
+exception Error of { pos : Token.pos; msg : string }
+
+let error pos fmt = Format.kasprintf (fun msg -> raise (Error { pos; msg })) fmt
+
+type state = { toks : Token.located array; mutable k : int }
+
+let peek st = st.toks.(st.k)
+let peek2 st = st.toks.(min (st.k + 1) (Array.length st.toks - 1))
+
+let next st =
+  let t = st.toks.(st.k) in
+  if st.k < Array.length st.toks - 1 then st.k <- st.k + 1;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t.Token.tok <> tok then
+    error t.Token.pos "expected %s but found %s" (Token.describe tok)
+      (Token.describe t.Token.tok)
+
+let accept st tok =
+  if (peek st).Token.tok = tok then begin
+    ignore (next st);
+    true
+  end
+  else false
+
+let expect_ident st =
+  let t = next st in
+  match t.Token.tok with
+  | Token.Ident s -> (s, t.Token.pos)
+  | other -> error t.Token.pos "expected identifier, found %s" (Token.describe other)
+
+let expect_int st =
+  let t = next st in
+  match t.Token.tok with
+  | Token.Int_lit n -> n
+  | Token.Minus -> (
+    let t2 = next st in
+    match t2.Token.tok with
+    | Token.Int_lit n -> -n
+    | other ->
+      error t2.Token.pos "expected integer, found %s" (Token.describe other))
+  | other -> error t.Token.pos "expected integer, found %s" (Token.describe other)
+
+let width_of_kw = function
+  | Token.Kw_int8 -> Some 8
+  | Token.Kw_int -> Some 16
+  | Token.Kw_int32 -> Some 32
+  | _ -> None
+
+(* --- expressions ------------------------------------------------------ *)
+
+let mk pos desc = { Ast.desc; epos = pos }
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let cond = parse_lor st in
+  if accept st Token.Question then begin
+    let t = parse_expr st in
+    expect st Token.Colon;
+    let f = parse_ternary st in
+    mk cond.Ast.epos (Ast.Ternary (cond, t, f))
+  end
+  else cond
+
+and parse_binary_level st ops sub =
+  let lhs = sub st in
+  let rec loop lhs =
+    let t = peek st in
+    match List.assoc_opt t.Token.tok ops with
+    | Some op ->
+      ignore (next st);
+      let rhs = sub st in
+      loop (mk lhs.Ast.epos (Ast.Binary (op, lhs, rhs)))
+    | None -> lhs
+  in
+  loop lhs
+
+and parse_lor st =
+  parse_binary_level st [ (Token.Bar_bar, Ast.Lor) ] parse_land
+
+and parse_land st =
+  parse_binary_level st [ (Token.Amp_amp, Ast.Land) ] parse_bor
+
+and parse_bor st = parse_binary_level st [ (Token.Bar, Ast.Bor) ] parse_bxor
+and parse_bxor st = parse_binary_level st [ (Token.Caret, Ast.Bxor) ] parse_band
+and parse_band st = parse_binary_level st [ (Token.Amp, Ast.Band) ] parse_equality
+
+and parse_equality st =
+  parse_binary_level st
+    [ (Token.Eq_eq, Ast.Eq); (Token.Bang_eq, Ast.Ne) ]
+    parse_relational
+
+and parse_relational st =
+  parse_binary_level st
+    [ (Token.Lt, Ast.Lt); (Token.Le, Ast.Le); (Token.Gt, Ast.Gt); (Token.Ge, Ast.Ge) ]
+    parse_shift
+
+and parse_shift st =
+  parse_binary_level st [ (Token.Shl, Ast.Shl); (Token.Shr, Ast.Shr) ] parse_additive
+
+and parse_additive st =
+  parse_binary_level st [ (Token.Plus, Ast.Add); (Token.Minus, Ast.Sub) ]
+    parse_multiplicative
+
+and parse_multiplicative st =
+  parse_binary_level st
+    [ (Token.Star, Ast.Mul); (Token.Slash, Ast.Div); (Token.Percent, Ast.Mod) ]
+    parse_unary
+
+and parse_unary st =
+  let t = peek st in
+  match t.Token.tok with
+  | Token.Minus ->
+    ignore (next st);
+    mk t.Token.pos (Ast.Unary (Ast.Neg, parse_unary st))
+  | Token.Bang ->
+    ignore (next st);
+    mk t.Token.pos (Ast.Unary (Ast.Lognot, parse_unary st))
+  | Token.Tilde ->
+    ignore (next st);
+    mk t.Token.pos (Ast.Unary (Ast.Bitnot, parse_unary st))
+  | Token.Plus ->
+    ignore (next st);
+    parse_unary st
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = next st in
+  match t.Token.tok with
+  | Token.Int_lit n -> mk t.Token.pos (Ast.Num n)
+  | Token.Lparen ->
+    let e = parse_expr st in
+    expect st Token.Rparen;
+    e
+  | Token.Ident name -> (
+    match (peek st).Token.tok with
+    | Token.Lbracket ->
+      ignore (next st);
+      let ix = parse_expr st in
+      expect st Token.Rbracket;
+      mk t.Token.pos (Ast.Index (name, ix))
+    | Token.Lparen ->
+      ignore (next st);
+      let args =
+        if (peek st).Token.tok = Token.Rparen then []
+        else
+          let rec more acc =
+            let e = parse_expr st in
+            if accept st Token.Comma then more (e :: acc)
+            else List.rev (e :: acc)
+          in
+          more []
+      in
+      expect st Token.Rparen;
+      mk t.Token.pos (Ast.Call (name, args))
+    | _ -> mk t.Token.pos (Ast.Ident name))
+  | other ->
+    error t.Token.pos "expected expression, found %s" (Token.describe other)
+
+(* --- statements ------------------------------------------------------- *)
+
+let mk_stmt pos sdesc = { Ast.sdesc; spos = pos }
+
+(* Compound assignments desugar in the parser: [x op= e] becomes
+   [x = x op e]; for array stores the (pure) index is duplicated. *)
+let compound_op = function
+  | Token.Plus_assign -> Some Ast.Add
+  | Token.Minus_assign -> Some Ast.Sub
+  | Token.Star_assign -> Some Ast.Mul
+  | Token.Shl_assign -> Some Ast.Shl
+  | Token.Shr_assign -> Some Ast.Shr
+  | Token.Amp_assign -> Some Ast.Band
+  | Token.Bar_assign -> Some Ast.Bor
+  | Token.Caret_assign -> Some Ast.Bxor
+  | _ -> None
+
+(* A "simple" statement: declaration, assignment (plain, compound, ++/--),
+   array store or call — no trailing ';' (used for 'for' init/step and
+   reused with ';' for ordinary statements). *)
+let rec parse_simple_stmt st =
+  let t = peek st in
+  match width_of_kw t.Token.tok with
+  | Some width ->
+    ignore (next st);
+    let name, pos = expect_ident st in
+    let init = if accept st Token.Assign then Some (parse_expr st) else None in
+    mk_stmt pos (Ast.Decl { name; width; init })
+  | None -> (
+    match (t.Token.tok, (peek2 st).Token.tok) with
+    | Token.Ident name, Token.Assign ->
+      ignore (next st);
+      ignore (next st);
+      let value = parse_expr st in
+      mk_stmt t.Token.pos (Ast.Assign { name; value })
+    | Token.Ident name, op_tok when compound_op op_tok <> None ->
+      ignore (next st);
+      ignore (next st);
+      let op = Option.get (compound_op op_tok) in
+      let rhs = parse_expr st in
+      let value =
+        mk t.Token.pos (Ast.Binary (op, mk t.Token.pos (Ast.Ident name), rhs))
+      in
+      mk_stmt t.Token.pos (Ast.Assign { name; value })
+    | Token.Ident name, (Token.Plus_plus | Token.Minus_minus) ->
+      ignore (next st);
+      let op_tok = (next st).Token.tok in
+      let op = if op_tok = Token.Plus_plus then Ast.Add else Ast.Sub in
+      let value =
+        mk t.Token.pos
+          (Ast.Binary (op, mk t.Token.pos (Ast.Ident name), mk t.Token.pos (Ast.Num 1)))
+      in
+      mk_stmt t.Token.pos (Ast.Assign { name; value })
+    | Token.Ident arr, Token.Lbracket ->
+      (* A store "a[i] = e" / "a[i] op= e" / "a[i]++", or an expression
+         starting with a[i]. *)
+      let save = st.k in
+      ignore (next st);
+      ignore (next st);
+      let index = parse_expr st in
+      expect st Token.Rbracket;
+      let store_of value = mk_stmt t.Token.pos (Ast.Array_assign { arr; index; value }) in
+      let current = (peek st).Token.tok in
+      if accept st Token.Assign then store_of (parse_expr st)
+      else if compound_op current <> None then begin
+        ignore (next st);
+        let op = Option.get (compound_op current) in
+        let rhs = parse_expr st in
+        store_of
+          (mk t.Token.pos (Ast.Binary (op, mk t.Token.pos (Ast.Index (arr, index)), rhs)))
+      end
+      else if current = Token.Plus_plus || current = Token.Minus_minus then begin
+        ignore (next st);
+        let op = if current = Token.Plus_plus then Ast.Add else Ast.Sub in
+        store_of
+          (mk t.Token.pos
+             (Ast.Binary
+                (op, mk t.Token.pos (Ast.Index (arr, index)), mk t.Token.pos (Ast.Num 1))))
+      end
+      else begin
+        st.k <- save;
+        let e = parse_expr st in
+        mk_stmt t.Token.pos (Ast.Expr_stmt e)
+      end
+    | _ ->
+      let e = parse_expr st in
+      mk_stmt t.Token.pos (Ast.Expr_stmt e))
+
+and parse_stmt st =
+  let t = peek st in
+  match t.Token.tok with
+  | Token.Lbrace -> mk_stmt t.Token.pos (Ast.Block (parse_block st))
+  | Token.Kw_if ->
+    ignore (next st);
+    expect st Token.Lparen;
+    let cond = parse_expr st in
+    expect st Token.Rparen;
+    let then_branch = parse_branch st in
+    let else_branch =
+      if accept st Token.Kw_else then parse_branch st else []
+    in
+    mk_stmt t.Token.pos (Ast.If { cond; then_branch; else_branch })
+  | Token.Kw_while ->
+    ignore (next st);
+    expect st Token.Lparen;
+    let cond = parse_expr st in
+    expect st Token.Rparen;
+    let body = parse_branch st in
+    mk_stmt t.Token.pos (Ast.While { cond; body })
+  | Token.Kw_do ->
+    ignore (next st);
+    let body = parse_branch st in
+    let kw = next st in
+    if kw.Token.tok <> Token.Kw_while then
+      error kw.Token.pos "expected 'while' after 'do' body";
+    expect st Token.Lparen;
+    let cond = parse_expr st in
+    expect st Token.Rparen;
+    expect st Token.Semi;
+    mk_stmt t.Token.pos (Ast.Do_while { body; cond })
+  | Token.Kw_for ->
+    ignore (next st);
+    expect st Token.Lparen;
+    let init =
+      if (peek st).Token.tok = Token.Semi then None else Some (parse_simple_stmt st)
+    in
+    expect st Token.Semi;
+    let cond =
+      if (peek st).Token.tok = Token.Semi then None else Some (parse_expr st)
+    in
+    expect st Token.Semi;
+    let step =
+      if (peek st).Token.tok = Token.Rparen then None
+      else Some (parse_simple_stmt st)
+    in
+    expect st Token.Rparen;
+    let body = parse_branch st in
+    mk_stmt t.Token.pos (Ast.For { init; cond; step; body })
+  | Token.Kw_return ->
+    ignore (next st);
+    let value =
+      if (peek st).Token.tok = Token.Semi then None else Some (parse_expr st)
+    in
+    expect st Token.Semi;
+    mk_stmt t.Token.pos (Ast.Return value)
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect st Token.Semi;
+    s
+
+and parse_branch st =
+  if (peek st).Token.tok = Token.Lbrace then parse_block st else [ parse_stmt st ]
+
+and parse_block st =
+  expect st Token.Lbrace;
+  let rec stmts acc =
+    if accept st Token.Rbrace then List.rev acc else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+(* --- top level --------------------------------------------------------- *)
+
+let parse_params st =
+  expect st Token.Lparen;
+  if accept st Token.Rparen then []
+  else begin
+    let rec more acc =
+      let t = next st in
+      match width_of_kw t.Token.tok with
+      | Some width ->
+        let name, _ = expect_ident st in
+        let param =
+          if accept st Token.Lbracket then begin
+            expect st Token.Rbracket;
+            Ast.Array_param { pname = name; pelem_width = width }
+          end
+          else Ast.Scalar_param { pname = name; pwidth = width }
+        in
+        if accept st Token.Comma then more (param :: acc)
+        else begin
+          expect st Token.Rparen;
+          List.rev (param :: acc)
+        end
+      | None ->
+        error t.Token.pos "expected parameter type, found %s"
+          (Token.describe t.Token.tok)
+    in
+    more []
+  end
+
+let parse_array_init st =
+  expect st Token.Lbrace;
+  if accept st Token.Rbrace then []
+  else begin
+    let rec more acc =
+      let n = expect_int st in
+      if accept st Token.Comma then
+        if (peek st).Token.tok = Token.Rbrace then begin
+          ignore (next st);
+          List.rev (n :: acc)
+        end
+        else more (n :: acc)
+      else begin
+        expect st Token.Rbrace;
+        List.rev (n :: acc)
+      end
+    in
+    more []
+  end
+
+let parse_top_level st =
+  let t = peek st in
+  let is_const = t.Token.tok = Token.Kw_const in
+  if is_const then ignore (next st);
+  let t = next st in
+  match (width_of_kw t.Token.tok, t.Token.tok) with
+  | Some width, _ -> (
+    let name, pos = expect_ident st in
+    match (peek st).Token.tok with
+    | Token.Lparen ->
+      if is_const then error pos "functions cannot be 'const'";
+      let params = parse_params st in
+      let body = parse_block st in
+      `Func { Ast.fname = name; params; returns_value = true; body; fpos = pos }
+    | Token.Lbracket ->
+      ignore (next st);
+      let size = expect_int st in
+      expect st Token.Rbracket;
+      let ginit =
+        if accept st Token.Assign then Some (parse_array_init st) else None
+      in
+      expect st Token.Semi;
+      `Global
+        (Ast.Global_array
+           { gname = name; size; ginit; is_const; gelem_width = width })
+    | Token.Assign ->
+      ignore (next st);
+      let v = expect_int st in
+      expect st Token.Semi;
+      `Global (Ast.Global_scalar { gname = name; gwidth = width; gvalue = Some v })
+    | Token.Semi ->
+      ignore (next st);
+      `Global (Ast.Global_scalar { gname = name; gwidth = width; gvalue = None })
+    | other ->
+      error pos "unexpected %s after global declaration" (Token.describe other))
+  | None, Token.Kw_void ->
+    let name, pos = expect_ident st in
+    let params = parse_params st in
+    let body = parse_block st in
+    `Func { Ast.fname = name; params; returns_value = false; body; fpos = pos }
+  | None, other ->
+    error t.Token.pos "expected a declaration, found %s" (Token.describe other)
+
+let parse_program src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; k = 0 } in
+  let rec go globals funcs =
+    if (peek st).Token.tok = Token.Eof then
+      { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    else
+      match parse_top_level st with
+      | `Global g -> go (g :: globals) funcs
+      | `Func f -> go globals (f :: funcs)
+  in
+  go [] []
+
+let parse_expr_string src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; k = 0 } in
+  let e = parse_expr st in
+  expect st Token.Eof;
+  e

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for Mini-C. *)
+
+exception Error of { pos : Token.pos; msg : string }
+
+val parse_program : string -> Ast.program
+(** Parses a full translation unit. Raises {!Error} (or {!Lexer.Error})
+    on malformed input. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parses a single expression (used by unit tests). *)

@@ -1,0 +1,117 @@
+type pos = { line : int; col : int }
+
+type t =
+  | Int_lit of int
+  | Ident of string
+  | Kw_int
+  | Kw_int8
+  | Kw_int32
+  | Kw_void
+  | Kw_const
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_do
+  | Kw_for
+  | Kw_return
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Shl_assign
+  | Shr_assign
+  | Amp_assign
+  | Bar_assign
+  | Caret_assign
+  | Plus_plus
+  | Minus_minus
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Bar
+  | Caret
+  | Tilde
+  | Bang
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq_eq
+  | Bang_eq
+  | Amp_amp
+  | Bar_bar
+  | Question
+  | Colon
+  | Eof
+
+type located = { tok : t; pos : pos }
+
+let describe = function
+  | Int_lit n -> Printf.sprintf "integer %d" n
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Kw_int -> "'int'"
+  | Kw_int8 -> "'int8'"
+  | Kw_int32 -> "'int32'"
+  | Kw_void -> "'void'"
+  | Kw_const -> "'const'"
+  | Kw_if -> "'if'"
+  | Kw_else -> "'else'"
+  | Kw_while -> "'while'"
+  | Kw_do -> "'do'"
+  | Kw_for -> "'for'"
+  | Kw_return -> "'return'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Assign -> "'='"
+  | Plus_assign -> "'+='"
+  | Minus_assign -> "'-='"
+  | Star_assign -> "'*='"
+  | Shl_assign -> "'<<='"
+  | Shr_assign -> "'>>='"
+  | Amp_assign -> "'&='"
+  | Bar_assign -> "'|='"
+  | Caret_assign -> "'^='"
+  | Plus_plus -> "'++'"
+  | Minus_minus -> "'--'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Percent -> "'%'"
+  | Amp -> "'&'"
+  | Bar -> "'|'"
+  | Caret -> "'^'"
+  | Tilde -> "'~'"
+  | Bang -> "'!'"
+  | Shl -> "'<<'"
+  | Shr -> "'>>'"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Gt -> "'>'"
+  | Ge -> "'>='"
+  | Eq_eq -> "'=='"
+  | Bang_eq -> "'!='"
+  | Amp_amp -> "'&&'"
+  | Bar_bar -> "'||'"
+  | Question -> "'?'"
+  | Colon -> "':'"
+  | Eof -> "end of input"

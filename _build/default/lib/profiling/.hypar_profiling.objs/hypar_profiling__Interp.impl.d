@@ -1,0 +1,1 @@
+lib/profiling/interp.ml: Array Bytes Format Hashtbl Hypar_ir List Option

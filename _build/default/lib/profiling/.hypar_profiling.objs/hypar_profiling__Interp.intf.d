@@ -1,0 +1,1 @@
+lib/profiling/interp.mli: Hypar_ir

@@ -1,0 +1,1 @@
+lib/profiling/profile.ml: Array Format Hypar_ir Interp List

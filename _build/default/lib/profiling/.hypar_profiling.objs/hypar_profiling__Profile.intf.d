@@ -1,0 +1,1 @@
+lib/profiling/profile.mli: Format Hypar_ir Interp

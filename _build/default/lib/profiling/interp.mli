@@ -1,0 +1,35 @@
+(** CDFG interpreter — the dynamic-analysis substrate.
+
+    The paper gathers per-basic-block execution frequencies by compiling
+    Lex-instrumented source and running it on typical inputs.  Here the
+    lowered CDFG itself is executed: each block's visit count is the
+    paper's [exec_freq], and the final array/return state doubles as a
+    functional oracle for the benchmark applications. *)
+
+exception Runtime_error of string
+(** Division by zero, out-of-bounds access, read of an undefined scalar,
+    store to a const array, or fuel exhaustion. *)
+
+type result = {
+  exec_freq : int array;  (** per-block visit counts *)
+  mem_reads : int array;  (** per-block dynamic load counts *)
+  mem_writes : int array;  (** per-block dynamic store counts *)
+  edge_freq : ((int * int) * int) list;  (** CFG edge traversal counts *)
+  instrs_executed : int;
+  blocks_executed : int;
+  return_value : int option;
+  arrays : (string * int array) list;  (** final contents, including ROMs *)
+}
+
+val run :
+  ?fuel:int -> ?inputs:(string * int array) list -> Hypar_ir.Cdfg.t -> result
+(** Executes the program from its entry block.
+
+    [inputs] preloads (non-const) arrays before execution; shorter inputs
+    fill the array prefix.  [fuel] bounds the number of executed
+    instructions + blocks (default [400_000_000]).
+
+    @raise Runtime_error on the conditions above. *)
+
+val array_exn : result -> string -> int array
+(** Final contents of a named array. Raises [Not_found]. *)

@@ -1,0 +1,9 @@
+  $ hypar analyze fir.mc --top 3
+  $ hypar partition fir.mc -t 8000
+  $ hypar partition fir.mc -t 1
+  $ hypar dot fir.mc | head -3
+  $ hypar dump fir.mc > fir.ir
+  $ hypar analyze fir.ir --top 1
+  $ hypar ranges fir.mc
+  $ hypar baselines fir.mc -t 8000
+  $ hypar sweep fir.mc -t 8000 | head -4

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Hypar_analysis Hypar_ir Hypar_minic Hypar_profiling List Printf Str_contains String

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Hypar_analysis Hypar_apps Hypar_core Hypar_ir Hypar_minic Hypar_profiling List Printf

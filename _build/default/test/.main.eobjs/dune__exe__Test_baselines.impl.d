@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Buffer Hypar_apps Hypar_core Hypar_finegrain Hypar_ir Lazy List Printf

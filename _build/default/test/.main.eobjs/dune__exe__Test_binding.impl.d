@@ -1,0 +1,1 @@
+test/test_binding.ml: Alcotest Hashtbl Hypar_apps Hypar_coarsegrain Hypar_ir List

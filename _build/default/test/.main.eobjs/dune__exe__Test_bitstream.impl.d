@@ -1,0 +1,1 @@
+test/test_bitstream.ml: Alcotest Array Hypar_apps Hypar_core Hypar_finegrain Hypar_ir List

@@ -1,0 +1,1 @@
+test/test_cfg_simplify.ml: Alcotest Array Hypar_apps Hypar_ir Hypar_minic Hypar_profiling List Printf

@@ -1,0 +1,1 @@
+test/test_coarse_map.ml: Alcotest Array Hypar_apps Hypar_coarsegrain Hypar_ir Hypar_minic Hypar_profiling List Printf

@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Hypar_core Hypar_ir Hypar_minic Hypar_profiling List Printf

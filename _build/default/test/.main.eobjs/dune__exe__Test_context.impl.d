@@ -1,0 +1,1 @@
+test/test_context.ml: Alcotest Array Hypar_apps Hypar_coarsegrain Hypar_core Hypar_ir List

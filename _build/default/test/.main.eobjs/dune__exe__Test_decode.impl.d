@@ -1,0 +1,1 @@
+test/test_decode.ml: Alcotest Array Hypar_apps Hypar_core Hypar_minic Hypar_profiling List Printf

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Array Hypar_apps Hypar_ir List

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Array Hypar_coarsegrain Hypar_core Hypar_finegrain Hypar_ir Hypar_profiling Lazy List Printf

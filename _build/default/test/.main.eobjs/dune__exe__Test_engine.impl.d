@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Hypar_analysis Hypar_apps Hypar_coarsegrain Hypar_core Hypar_finegrain Hypar_ir Lazy List Printf Str_contains

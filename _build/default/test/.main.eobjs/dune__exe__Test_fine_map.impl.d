@@ -1,0 +1,1 @@
+test/test_fine_map.ml: Alcotest Array Hypar_finegrain Hypar_ir Hypar_minic Hypar_profiling List

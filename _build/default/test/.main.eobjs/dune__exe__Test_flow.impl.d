@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Hypar_core Hypar_ir Hypar_profiling List Str_contains

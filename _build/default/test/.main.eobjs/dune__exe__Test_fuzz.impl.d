@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Hypar_minic List Printexc Printf String

@@ -1,0 +1,1 @@
+test/test_instr.ml: Alcotest Hypar_ir List

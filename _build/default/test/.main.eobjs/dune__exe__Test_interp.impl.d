@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Hypar_apps Hypar_core Hypar_ir Hypar_minic Hypar_profiling List Str_contains

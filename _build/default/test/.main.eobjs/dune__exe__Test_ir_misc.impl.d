@@ -1,0 +1,1 @@
+test/test_ir_misc.ml: Alcotest Format Hypar_ir Hypar_minic List Str_contains

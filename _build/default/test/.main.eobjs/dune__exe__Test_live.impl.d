@@ -1,0 +1,1 @@
+test/test_live.ml: Alcotest Array Hypar_ir Hypar_minic List String

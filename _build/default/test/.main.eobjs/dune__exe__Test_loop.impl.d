@@ -1,0 +1,1 @@
+test/test_loop.ml: Alcotest Array Hypar_ir Hypar_minic List

@@ -1,0 +1,1 @@
+test/test_modulo.ml: Alcotest Hypar_coarsegrain Hypar_core Hypar_ir Lazy List Printf

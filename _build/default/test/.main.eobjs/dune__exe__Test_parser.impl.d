@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Format Hypar_minic List Printf String

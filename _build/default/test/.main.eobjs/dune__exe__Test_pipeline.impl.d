@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Hypar_apps Hypar_coarsegrain Hypar_core Hypar_finegrain Lazy Printf

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Hypar_coarsegrain Hypar_core Hypar_finegrain List Str_contains

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Hypar_apps Hypar_core Hypar_ir Hypar_minic Hypar_profiling List Printf

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Fun Hypar_apps Hypar_coarsegrain Hypar_core Hypar_finegrain Hypar_ir Hypar_minic Hypar_profiling List Printf QCheck QCheck_alcotest String

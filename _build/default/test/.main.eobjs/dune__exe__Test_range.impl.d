@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Hypar_analysis Hypar_apps Hypar_core Hypar_ir Hypar_minic List Printf String

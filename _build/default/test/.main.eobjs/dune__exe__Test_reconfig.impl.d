@@ -1,0 +1,1 @@
+test/test_reconfig.ml: Alcotest Hypar_finegrain Hypar_ir Printf

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Hypar_coarsegrain Hypar_core Hypar_ir Lazy List Printf Str_contains String

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Hypar_apps Hypar_coarsegrain Hypar_ir List Printf QCheck

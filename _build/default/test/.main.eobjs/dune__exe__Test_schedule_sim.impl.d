@@ -1,0 +1,1 @@
+test/test_schedule_sim.ml: Alcotest Array Fun Hashtbl Hypar_apps Hypar_coarsegrain Hypar_core Hypar_ir List Printf

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Hypar_apps Hypar_core Hypar_ir Hypar_minic Hypar_profiling List

@@ -1,0 +1,1 @@
+test/test_sobel.ml: Alcotest Array Hypar_apps Hypar_core Hypar_ir Hypar_profiling List

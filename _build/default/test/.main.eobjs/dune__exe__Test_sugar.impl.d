@@ -1,0 +1,1 @@
+test/test_sugar.ml: Alcotest Array Hypar_minic Hypar_profiling

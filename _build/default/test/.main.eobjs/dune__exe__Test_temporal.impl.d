@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Array Hypar_apps Hypar_finegrain Hypar_ir List Printf

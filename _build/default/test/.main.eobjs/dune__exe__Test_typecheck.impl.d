@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Hypar_minic Str_contains String

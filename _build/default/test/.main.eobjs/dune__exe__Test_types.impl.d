@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Hypar_ir List

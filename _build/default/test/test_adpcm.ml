@@ -1,0 +1,83 @@
+(* End-to-end tests of the ADPCM workload (branchy multi-block kernel). *)
+
+module Ir = Hypar_ir
+module Flow = Hypar_core.Flow
+module Engine = Hypar_core.Engine
+module Platform = Hypar_core.Platform
+module Interp = Hypar_profiling.Interp
+module Adpcm = Hypar_apps.Adpcm
+
+let test_golden () =
+  let p = Adpcm.prepared () in
+  let g = Adpcm.golden (Adpcm.inputs ()) in
+  Alcotest.(check bool) "codes bit-exact" true
+    (Interp.array_exn p.Flow.interp "adpcm" = g.Adpcm.codes);
+  let st = Interp.array_exn p.Flow.interp "state" in
+  Alcotest.(check int) "final predictor" g.Adpcm.final_predicted st.(0);
+  Alcotest.(check int) "final index" g.Adpcm.final_index st.(1)
+
+let test_silence_encodes_to_zeros () =
+  let g = Adpcm.golden [ ("pcm", Array.make Adpcm.samples 0) ] in
+  Alcotest.(check int) "silent input, zero codes" 0
+    (Array.fold_left ( + ) 0 g.Adpcm.codes);
+  Alcotest.(check int) "predictor stays put" 0 g.Adpcm.final_predicted;
+  Alcotest.(check int) "index floors at 0" 0 g.Adpcm.final_index
+
+let test_step_index_saturates () =
+  (* a full-scale square wave drives the step index to its ceiling *)
+  let square =
+    Array.init Adpcm.samples (fun n -> if n land 1 = 0 then 32767 else -32768)
+  in
+  let g = Adpcm.golden [ ("pcm", square) ] in
+  Alcotest.(check int) "index saturates at 88" 88 g.Adpcm.final_index
+
+let test_nibbles_in_range () =
+  let g = Adpcm.golden (Adpcm.inputs ()) in
+  Array.iter
+    (fun byte ->
+      if byte < 0 || byte > 255 then Alcotest.fail "packed byte out of range")
+    g.Adpcm.codes
+
+let test_predictor_tracks_signal () =
+  (* decode-side sanity: predictor must stay within 16-bit range *)
+  let g = Adpcm.golden (Adpcm.inputs ()) in
+  Alcotest.(check bool) "predictor in range" true
+    (g.Adpcm.final_predicted >= -32768 && g.Adpcm.final_predicted <= 32767)
+
+let test_loop_body_is_multi_block () =
+  (* the kernel loop spans several blocks (the stress case for t_comm) *)
+  let p = Adpcm.prepared () in
+  let cfg = Ir.Cdfg.cfg p.Flow.cdfg in
+  let in_loop =
+    List.filter
+      (fun i -> (Ir.Loop.depth_map cfg).(i) > 0)
+      (Ir.Cdfg.block_ids p.Flow.cdfg)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d blocks in the loop" (List.length in_loop))
+    true
+    (List.length in_loop >= 6)
+
+let test_partitioning_clusters () =
+  let p = Adpcm.prepared () in
+  let r =
+    Flow.partition
+      (List.hd (Platform.paper_configs ()))
+      ~timing_constraint:Adpcm.timing_constraint p
+  in
+  Alcotest.(check bool) "needs partitioning" true
+    (r.Engine.initial.Engine.t_total > Adpcm.timing_constraint);
+  Alcotest.(check bool) "met" true (Engine.met r);
+  Alcotest.(check bool) "moves several loop blocks" true
+    (List.length r.Engine.moved >= 3)
+
+let suite =
+  [
+    Alcotest.test_case "golden model" `Quick test_golden;
+    Alcotest.test_case "silence" `Quick test_silence_encodes_to_zeros;
+    Alcotest.test_case "index saturation" `Quick test_step_index_saturates;
+    Alcotest.test_case "nibble packing" `Quick test_nibbles_in_range;
+    Alcotest.test_case "predictor range" `Quick test_predictor_tracks_signal;
+    Alcotest.test_case "multi-block loop" `Quick test_loop_body_is_multi_block;
+    Alcotest.test_case "partitioning clusters" `Quick test_partitioning_clusters;
+  ]

@@ -1,0 +1,210 @@
+(* Unit tests for the kernel-selection baselines and the temporal
+   partitioning baseline. *)
+
+module Ir = Hypar_ir
+module Baselines = Hypar_core.Baselines
+module Engine = Hypar_core.Engine
+module Platform = Hypar_core.Platform
+module Flow = Hypar_core.Flow
+module Temporal = Hypar_finegrain.Temporal
+module Fpga = Hypar_finegrain.Fpga
+
+let platform () = List.hd (Platform.paper_configs ())
+
+let prepared = lazy (Flow.prepare ~name:"two-loops" {|
+int out[1];
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 4000; i = i + 1) {
+    s = s + i * i;
+  }
+  int j;
+  for (j = 0; j < 900; j = j + 1) {
+    s = s + (j << 2) - 1;
+  }
+  out[0] = s;
+}
+|})
+
+let budget prepared =
+  let e = Engine.evaluate (platform ()) prepared.Flow.cdfg prepared.Flow.profile in
+  (e []).Engine.t_total / 2
+
+let test_paper_greedy_matches_engine () =
+  let p = Lazy.force prepared in
+  let timing_constraint = budget p in
+  let engine = Flow.partition (platform ()) ~timing_constraint p in
+  let baseline =
+    Baselines.run (platform ()) ~timing_constraint p.Flow.cdfg p.Flow.profile
+      Baselines.Paper_greedy
+  in
+  Alcotest.(check (list int)) "same moved set" engine.Engine.moved
+    baseline.Baselines.moved;
+  Alcotest.(check int) "same final total" engine.Engine.final.Engine.t_total
+    baseline.Baselines.t_total
+
+let test_exhaustive_no_worse_than_greedy () =
+  let p = Lazy.force prepared in
+  let timing_constraint = budget p in
+  let run s = Baselines.run (platform ()) ~timing_constraint p.Flow.cdfg p.Flow.profile s in
+  let greedy = run Baselines.Paper_greedy in
+  let optimal = run (Baselines.Exhaustive 10) in
+  Alcotest.(check bool) "both met" true (greedy.Baselines.met && optimal.Baselines.met);
+  Alcotest.(check bool) "optimal needs <= moves" true
+    (List.length optimal.Baselines.moved <= List.length greedy.Baselines.moved)
+
+let test_random_is_met_eventually () =
+  let p = Lazy.force prepared in
+  let timing_constraint = budget p in
+  let r =
+    Baselines.run (platform ()) ~timing_constraint p.Flow.cdfg p.Flow.profile
+      (Baselines.Random_order 7)
+  in
+  Alcotest.(check bool) "random order still converges" true r.Baselines.met
+
+let test_compare_all () =
+  let p = Lazy.force prepared in
+  let timing_constraint = budget p in
+  let outcomes =
+    Baselines.compare_all (platform ()) ~timing_constraint p.Flow.cdfg
+      p.Flow.profile
+  in
+  Alcotest.(check int) "five strategies" 5 (List.length outcomes);
+  List.iter
+    (fun (o : Baselines.outcome) ->
+      Alcotest.(check bool) (o.name ^ " evaluations counted") true
+        (o.evaluations > 0))
+    outcomes
+
+let test_exhaustive_cap () =
+  (* a program with 22 distinct loop kernels trips the top-20 cap *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "int out[1];\nvoid main() {\n  int s = 0;\n";
+  for k = 0 to 21 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  int i%d;\n  for (i%d = 0; i%d < %d; i%d = i%d + 1) { s = s + i%d * %d; }\n"
+         k k k (10 + k) k k k (k + 1))
+  done;
+  Buffer.add_string buf "  out[0] = s;\n}\n";
+  let p = Flow.prepare ~name:"many-loops" (Buffer.contents buf) in
+  (match
+     Baselines.run (platform ()) ~timing_constraint:1 p.Flow.cdfg p.Flow.profile
+       (Baselines.Exhaustive 25)
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected top-20 cap");
+  (* but asking for fewer than 20 of them is fine *)
+  let o =
+    Baselines.run (platform ()) ~timing_constraint:1 p.Flow.cdfg p.Flow.profile
+      (Baselines.Exhaustive 8)
+  in
+  Alcotest.(check bool) "bounded search ran" true (o.Baselines.evaluations = 256)
+
+(* --- temporal baseline -------------------------------------------------- *)
+
+let test_backfill_no_worse () =
+  for seed = 1 to 10 do
+    let dfg = Hypar_apps.Synth.random_dfg ~seed ~nodes:120 () in
+    let fpga = Fpga.make ~area:1500 () in
+    let size = Fpga.op_area fpga in
+    let paper = Temporal.partition ~area:1500 ~size dfg in
+    let bf = Temporal.partition_best_fit ~area:1500 ~size dfg in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: backfill %d <= paper %d" seed
+         (Temporal.count bf) (Temporal.count paper))
+      true
+      (Temporal.count bf <= Temporal.count paper);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: backfill respects dependences" seed)
+      true (Temporal.is_valid dfg bf)
+  done
+
+let test_backfill_area_bound () =
+  let dfg = Hypar_apps.Synth.random_dfg ~seed:31 ~nodes:100 () in
+  let fpga = Fpga.make ~area:800 () in
+  let bf = Temporal.partition_best_fit ~area:800 ~size:(Fpga.op_area fpga) dfg in
+  List.iter
+    (fun (p : Temporal.partition) ->
+      Alcotest.(check bool) "area respected (or one oversized node)" true
+        (p.area_used <= 800 || List.length p.node_ids = 1))
+    bf.Temporal.partitions
+
+let test_backfill_strictly_better_sometimes () =
+  (* alternating big/small independent nodes: Figure 3 never returns to a
+     partly filled partition, backfill does.  Sizes: mul 120, alu 60,
+     area 130 -> Figure 3 opens 4 partitions, backfill only 3. *)
+  let dfg =
+    Ir.Builder.dfg_of (fun b ->
+        let x = Ir.Builder.fresh_var b "x" in
+        ignore (Ir.Builder.mul b "m1" (Ir.Builder.var x) (Ir.Builder.imm 3));
+        ignore (Ir.Builder.bin b Ir.Types.Add "a1" (Ir.Builder.var x) (Ir.Builder.imm 1));
+        ignore (Ir.Builder.mul b "m2" (Ir.Builder.var x) (Ir.Builder.imm 5));
+        ignore (Ir.Builder.bin b Ir.Types.Add "a2" (Ir.Builder.var x) (Ir.Builder.imm 2)))
+  in
+  let size instr =
+    match Ir.Instr.op_class instr with
+    | Ir.Types.Class_mul -> 120
+    | Ir.Types.Class_alu | Ir.Types.Class_div | Ir.Types.Class_mem
+    | Ir.Types.Class_move ->
+      60
+  in
+  let paper = Temporal.partition ~area:130 ~size dfg in
+  let bf = Temporal.partition_best_fit ~area:130 ~size dfg in
+  Alcotest.(check int) "Figure 3 opens 4 partitions" 4 (Temporal.count paper);
+  Alcotest.(check int) "backfill packs into 3" 3 (Temporal.count bf)
+
+let suite =
+  [
+    Alcotest.test_case "paper greedy = engine" `Quick test_paper_greedy_matches_engine;
+    Alcotest.test_case "exhaustive no worse" `Quick test_exhaustive_no_worse_than_greedy;
+    Alcotest.test_case "random converges" `Quick test_random_is_met_eventually;
+    Alcotest.test_case "compare_all" `Quick test_compare_all;
+    Alcotest.test_case "exhaustive cap" `Quick test_exhaustive_cap;
+    Alcotest.test_case "backfill no worse" `Quick test_backfill_no_worse;
+    Alcotest.test_case "backfill area bound" `Quick test_backfill_area_bound;
+    Alcotest.test_case "backfill strictly better" `Quick test_backfill_strictly_better_sometimes;
+  ]
+
+let adpcm_platform = platform
+
+let test_loop_greedy_on_branchy_kernel () =
+  (* the ADPCM loop spans many blocks: moving it whole avoids intra-loop
+     fine/coarse transitions and beats per-block greedy by a wide margin *)
+  let p = Hypar_apps.Adpcm.prepared () in
+  let timing_constraint = Hypar_apps.Adpcm.timing_constraint in
+  let run s =
+    Baselines.run (adpcm_platform ()) ~timing_constraint
+      p.Flow.cdfg p.Flow.profile s
+  in
+  let per_block = run Baselines.Paper_greedy in
+  let whole_loop = run Baselines.Loop_greedy in
+  Alcotest.(check bool) "both met" true
+    (per_block.Baselines.met && whole_loop.Baselines.met);
+  Alcotest.(check bool)
+    (Printf.sprintf "loop greedy final %d < per-block final %d"
+       whole_loop.Baselines.t_total per_block.Baselines.t_total)
+    true
+    (whole_loop.Baselines.t_total < per_block.Baselines.t_total);
+  Alcotest.(check bool) "fewer evaluations" true
+    (whole_loop.Baselines.evaluations <= per_block.Baselines.evaluations)
+
+let test_loop_greedy_single_block_loops () =
+  (* on single-block kernels, loop greedy degenerates to per-loop = per
+     block and still converges *)
+  let p = Lazy.force prepared in
+  let timing_constraint = budget p in
+  let r =
+    Baselines.run (platform ()) ~timing_constraint p.Flow.cdfg p.Flow.profile
+      Baselines.Loop_greedy
+  in
+  Alcotest.(check bool) "met" true r.Baselines.met
+
+let extra_suite =
+  [
+    Alcotest.test_case "loop greedy on ADPCM" `Quick test_loop_greedy_on_branchy_kernel;
+    Alcotest.test_case "loop greedy degenerate" `Quick test_loop_greedy_single_block_loops;
+  ]
+
+let suite = suite @ extra_suite

@@ -1,0 +1,101 @@
+(* Unit tests for CGC binding: physical placement, port assignment and
+   register-bank pressure. *)
+
+module Ir = Hypar_ir
+module Cgc = Hypar_coarsegrain.Cgc
+module Schedule = Hypar_coarsegrain.Schedule
+module Binding = Hypar_coarsegrain.Binding
+
+let cgc2 = Cgc.two_by_two 2
+
+let bind_of dfg =
+  let s = Schedule.schedule cgc2 dfg in
+  (s, Binding.bind cgc2 dfg s)
+
+let test_slots_within_bounds () =
+  let dfg = Hypar_apps.Synth.random_dfg ~seed:4 ~nodes:60 () in
+  let _, b = bind_of dfg in
+  Alcotest.(check bool) "binding valid" true (Binding.is_valid cgc2 b);
+  List.iter
+    (fun (s : Binding.slot) ->
+      Alcotest.(check bool) "cgc in range" true (s.cgc >= 0 && s.cgc < 2);
+      Alcotest.(check bool) "row in range" true (s.row >= 0 && s.row < 2);
+      Alcotest.(check bool) "col in range" true (s.col >= 0 && s.col < 2))
+    b.Binding.slots
+
+let test_no_double_occupancy () =
+  let dfg = Hypar_apps.Synth.random_dfg ~seed:9 ~nodes:100 () in
+  let _, b = bind_of dfg in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Binding.slot) ->
+      let key = (s.cycle, s.cgc, s.row, s.col) in
+      if Hashtbl.mem seen key then Alcotest.fail "slot used twice";
+      Hashtbl.replace seen key ())
+    b.Binding.slots
+
+let test_chained_ops_same_column () =
+  let dfg =
+    Ir.Builder.dfg_of (fun b ->
+        let a = Ir.Builder.fresh_var b "a" in
+        let t = Ir.Builder.mul b "t" (Ir.Builder.var a) (Ir.Builder.var a) in
+        ignore (Ir.Builder.bin b Ir.Types.Add "u" (Ir.Builder.var t) (Ir.Builder.imm 1)))
+  in
+  let _, b = bind_of dfg in
+  match b.Binding.slots with
+  | [ s0; s1 ] ->
+    Alcotest.(check int) "same cgc" s0.Binding.cgc s1.Binding.cgc;
+    Alcotest.(check int) "same column" s0.Binding.col s1.Binding.col;
+    Alcotest.(check int) "rows 0 and 1" 0 s0.Binding.row;
+    Alcotest.(check int) "second row" 1 s1.Binding.row
+  | l -> Alcotest.failf "expected 2 slots, got %d" (List.length l)
+
+let test_mem_ports_assigned () =
+  let dfg =
+    Ir.Builder.dfg_of (fun b ->
+        for i = 0 to 3 do
+          ignore (Ir.Builder.load b "t" ~arr:"m" (Ir.Builder.imm i))
+        done)
+  in
+  let _, b = bind_of dfg in
+  Alcotest.(check int) "4 memory ops" 4 (List.length b.Binding.mem_ports);
+  List.iter
+    (fun (_, port) ->
+      Alcotest.(check bool) "port id < 2" true (port >= 0 && port < 2))
+    b.Binding.mem_ports
+
+let test_register_pressure () =
+  (* a value produced in cycle 1 and consumed only after a long chain
+     stays in the register bank *)
+  let dfg =
+    Ir.Builder.dfg_of (fun b ->
+        let a = Ir.Builder.fresh_var b "a" in
+        let early = Ir.Builder.bin b Ir.Types.Add "early" (Ir.Builder.var a) (Ir.Builder.imm 1) in
+        let prev = ref (Ir.Builder.var a) in
+        for _ = 1 to 6 do
+          let v = Ir.Builder.mul b "c" !prev !prev in
+          prev := Ir.Builder.var v
+        done;
+        ignore (Ir.Builder.bin b Ir.Types.Add "last" (Ir.Builder.var early) !prev))
+  in
+  let _, b = bind_of dfg in
+  Alcotest.(check bool) "live value tracked" true (b.Binding.max_live >= 1);
+  Alcotest.(check bool) "fits default bank" true b.Binding.fits_register_bank
+
+let test_tiny_register_bank_overflows () =
+  let tiny = Cgc.make ~register_bank:1 ~cgcs:2 ~rows:2 ~cols:2 () in
+  let dfg = Hypar_apps.Synth.random_dfg ~seed:21 ~nodes:120 () in
+  let s = Schedule.schedule tiny dfg in
+  let b = Binding.bind tiny dfg s in
+  Alcotest.(check bool) "pressure detected" true (b.Binding.max_live > 1);
+  Alcotest.(check bool) "spill reported" false b.Binding.fits_register_bank
+
+let suite =
+  [
+    Alcotest.test_case "slots within bounds" `Quick test_slots_within_bounds;
+    Alcotest.test_case "no double occupancy" `Quick test_no_double_occupancy;
+    Alcotest.test_case "chained ops share a column" `Quick test_chained_ops_same_column;
+    Alcotest.test_case "memory ports assigned" `Quick test_mem_ports_assigned;
+    Alcotest.test_case "register pressure" `Quick test_register_pressure;
+    Alcotest.test_case "tiny register bank overflows" `Quick test_tiny_register_bank_overflows;
+  ]

@@ -1,0 +1,109 @@
+(* Unit tests for the control-flow graph: construction, validation,
+   orders, dominators and back edges. *)
+
+module Ir = Hypar_ir
+
+let block label ~term = Ir.Block.make ~label ~instrs:[] ~term
+
+let jump l = Ir.Block.Jump l
+let ret = Ir.Block.Return None
+
+let branch l1 l2 =
+  Ir.Block.Branch { cond = Ir.Instr.Imm 1; if_true = l1; if_false = l2 }
+
+(* entry -> (a | b) -> exit *)
+let diamond () =
+  Ir.Cfg.of_blocks
+    [
+      block "entry" ~term:(branch "a" "b");
+      block "a" ~term:(jump "exit");
+      block "b" ~term:(jump "exit");
+      block "exit" ~term:ret;
+    ]
+
+(* entry -> header; header -> (body | exit); body -> header *)
+let simple_loop () =
+  Ir.Cfg.of_blocks
+    [
+      block "entry" ~term:(jump "header");
+      block "header" ~term:(branch "body" "exit");
+      block "body" ~term:(jump "header");
+      block "exit" ~term:ret;
+    ]
+
+let test_construction () =
+  let cfg = diamond () in
+  Alcotest.(check int) "4 blocks" 4 (Ir.Cfg.block_count cfg);
+  Alcotest.(check int) "entry id" 0 (Ir.Cfg.entry cfg);
+  Alcotest.(check (list int)) "entry succs" [ 1; 2 ] (Ir.Cfg.successors cfg 0);
+  Alcotest.(check (list int)) "exit preds" [ 1; 2 ] (Ir.Cfg.predecessors cfg 3);
+  Alcotest.(check int) "label lookup" 2 (Ir.Cfg.id_of_label cfg "b")
+
+let test_malformed () =
+  let raises f =
+    match f () with
+    | exception Ir.Cfg.Malformed _ -> ()
+    | _ -> Alcotest.fail "expected Malformed"
+  in
+  raises (fun () -> Ir.Cfg.of_blocks []);
+  raises (fun () ->
+      Ir.Cfg.of_blocks [ block "a" ~term:ret; block "a" ~term:ret ]);
+  raises (fun () -> Ir.Cfg.of_blocks [ block "a" ~term:(jump "nowhere") ])
+
+let test_reverse_postorder () =
+  let cfg = diamond () in
+  let rpo = Ir.Cfg.reverse_postorder cfg in
+  Alcotest.(check int) "covers all blocks" 4 (List.length rpo);
+  (match rpo with
+  | first :: _ -> Alcotest.(check int) "starts at entry" 0 first
+  | [] -> Alcotest.fail "empty order");
+  (* entry before its successors, successors before exit *)
+  let pos x = Option.get (List.find_index (Int.equal x) rpo) in
+  Alcotest.(check bool) "entry before a" true (pos 0 < pos 1);
+  Alcotest.(check bool) "a before exit" true (pos 1 < pos 3)
+
+let test_dominators_diamond () =
+  let cfg = diamond () in
+  let idom = Ir.Cfg.idom cfg in
+  Alcotest.(check int) "idom entry" 0 idom.(0);
+  Alcotest.(check int) "idom a" 0 idom.(1);
+  Alcotest.(check int) "idom b" 0 idom.(2);
+  Alcotest.(check int) "idom exit" 0 idom.(3);
+  Alcotest.(check bool) "entry dominates all" true (Ir.Cfg.dominates cfg 0 3);
+  Alcotest.(check bool) "a does not dominate exit" false (Ir.Cfg.dominates cfg 1 3)
+
+let test_back_edges () =
+  let cfg = simple_loop () in
+  Alcotest.(check (list (pair int int))) "body->header is the back edge"
+    [ (2, 1) ] (Ir.Cfg.back_edges cfg);
+  Alcotest.(check (list (pair int int))) "diamond has no back edges" []
+    (Ir.Cfg.back_edges (diamond ()))
+
+let test_unreachable () =
+  let cfg =
+    Ir.Cfg.of_blocks [ block "entry" ~term:ret; block "island" ~term:ret ]
+  in
+  let reach = Ir.Cfg.reachable cfg in
+  Alcotest.(check bool) "entry reachable" true reach.(0);
+  Alcotest.(check bool) "island unreachable" false reach.(1);
+  Alcotest.(check int) "unreachable idom is -1" (-1) (Ir.Cfg.idom cfg).(1)
+
+let test_self_loop () =
+  let cfg =
+    Ir.Cfg.of_blocks
+      [ block "entry" ~term:(jump "spin"); block "spin" ~term:(branch "spin" "done");
+        block "done" ~term:ret ]
+  in
+  Alcotest.(check (list (pair int int))) "self back edge" [ (1, 1) ]
+    (Ir.Cfg.back_edges cfg)
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "malformed graphs" `Quick test_malformed;
+    Alcotest.test_case "reverse postorder" `Quick test_reverse_postorder;
+    Alcotest.test_case "dominators (diamond)" `Quick test_dominators_diamond;
+    Alcotest.test_case "back edges" `Quick test_back_edges;
+    Alcotest.test_case "unreachable blocks" `Quick test_unreachable;
+    Alcotest.test_case "self loop" `Quick test_self_loop;
+  ]

@@ -1,0 +1,105 @@
+(* Unit tests for the energy extension (the paper's future work). *)
+
+module Ir = Hypar_ir
+module Energy = Hypar_core.Energy
+module Platform = Hypar_core.Platform
+module Flow = Hypar_core.Flow
+module Fpga = Hypar_finegrain.Fpga
+module Cgc = Hypar_coarsegrain.Cgc
+
+let platform () =
+  Platform.make ~fpga:(Fpga.make ~area:1500 ()) ~cgc:(Cgc.two_by_two 2) ()
+
+let prepared = lazy (Flow.prepare ~name:"hot" {|
+int out[1];
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 5000; i = i + 1) {
+    s = s + i * i;
+  }
+  out[0] = s;
+}
+|})
+
+let test_default_model_sane () =
+  let m = Energy.default in
+  Alcotest.(check bool) "CGC ops cheaper than FPGA ops" true
+    (m.Energy.cgc_op.Energy.alu < m.Energy.fpga_op.Energy.alu
+    && m.Energy.cgc_op.Energy.mul < m.Energy.fpga_op.Energy.mul)
+
+let test_block_energy_positive () =
+  let p = Lazy.force prepared in
+  let cdfg = p.Flow.cdfg in
+  List.iter
+    (fun i ->
+      let fpga_e = Energy.block_energy_fpga Energy.default (platform ()) cdfg i in
+      Alcotest.(check bool) "fpga energy includes reconfiguration" true
+        (fpga_e >= Energy.default.Energy.reconfig))
+    (Ir.Cdfg.block_ids cdfg)
+
+let test_moving_kernels_saves_energy () =
+  let p = Lazy.force prepared in
+  let cdfg = p.Flow.cdfg in
+  let freqs = p.Flow.interp.Hypar_profiling.Interp.exec_freq in
+  let freq i = freqs.(i) in
+  let body =
+    match
+      List.find_opt
+        (fun i -> (Ir.Cdfg.info cdfg i).Ir.Cdfg.loop_depth > 0)
+        (Ir.Cdfg.block_ids cdfg)
+    with
+    | Some i -> i
+    | None -> Alcotest.fail "no loop"
+  in
+  let base = Energy.app_energy Energy.default (platform ()) cdfg ~freq ~moved:[] in
+  let moved = Energy.app_energy Energy.default (platform ()) cdfg ~freq ~moved:[ body ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "energy drops (%d -> %d)" base moved)
+    true (moved < base)
+
+let test_partition_meets_budget () =
+  let p = Lazy.force prepared in
+  let base =
+    (Energy.partition Energy.default (platform ()) ~energy_budget:0 p.Flow.cdfg
+       p.Flow.profile)
+      .Energy.initial_energy
+  in
+  let budget = base / 2 in
+  let r =
+    Energy.partition Energy.default (platform ()) ~energy_budget:budget
+      p.Flow.cdfg p.Flow.profile
+  in
+  Alcotest.(check bool) "feasible" true r.Energy.feasible;
+  Alcotest.(check bool) "final within budget" true (r.Energy.final_energy <= budget);
+  Alcotest.(check bool) "kernels were moved" true (r.Energy.moved <> []);
+  Alcotest.(check bool) "reduction positive" true (Energy.reduction_percent r > 0.0)
+
+let test_partition_trivially_met () =
+  let p = Lazy.force prepared in
+  let r =
+    Energy.partition Energy.default (platform ()) ~energy_budget:max_int
+      p.Flow.cdfg p.Flow.profile
+  in
+  Alcotest.(check (list int)) "nothing moved" [] r.Energy.moved;
+  Alcotest.(check bool) "feasible" true r.Energy.feasible
+
+let test_partition_infeasible () =
+  let p = Lazy.force prepared in
+  let r =
+    Energy.partition Energy.default (platform ()) ~energy_budget:1 p.Flow.cdfg
+      p.Flow.profile
+  in
+  Alcotest.(check bool) "budget 1 infeasible" false r.Energy.feasible;
+  Alcotest.(check bool) "still improved" true
+    (r.Energy.final_energy <= r.Energy.initial_energy)
+
+let suite =
+  [
+    Alcotest.test_case "default model" `Quick test_default_model_sane;
+    Alcotest.test_case "block energies" `Quick test_block_energy_positive;
+    Alcotest.test_case "moving kernels saves energy" `Quick test_moving_kernels_saves_energy;
+    Alcotest.test_case "meets budget" `Quick test_partition_meets_budget;
+    Alcotest.test_case "trivially met" `Quick test_partition_trivially_met;
+    Alcotest.test_case "infeasible" `Quick test_partition_infeasible;
+  ]

@@ -1,0 +1,236 @@
+(* Unit tests for the partitioning engine (the Figure-2 flow). *)
+
+module Ir = Hypar_ir
+module Engine = Hypar_core.Engine
+module Platform = Hypar_core.Platform
+module Flow = Hypar_core.Flow
+module Fpga = Hypar_finegrain.Fpga
+module Cgc = Hypar_coarsegrain.Cgc
+
+let platform ?(area = 1500) ?(cgcs = 2) () =
+  Platform.make ~fpga:(Fpga.make ~area ()) ~cgc:(Cgc.two_by_two cgcs) ()
+
+let hot_loop_src = {|
+int out[1];
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 5000; i = i + 1) {
+    s = s + i * i + (i >> 1);
+  }
+  out[0] = s;
+}
+|}
+
+let prepared_hot = lazy (Flow.prepare ~name:"hot" hot_loop_src)
+
+let test_early_exit () =
+  (* a huge budget is met by the all-FPGA mapping: no kernels move *)
+  let r =
+    Flow.partition (platform ()) ~timing_constraint:1_000_000_000
+      (Lazy.force prepared_hot)
+  in
+  Alcotest.(check bool) "met" true (Engine.met r);
+  (match r.Engine.status with
+  | Engine.Met_without_partitioning -> ()
+  | Engine.Met_after _ | Engine.Infeasible -> Alcotest.fail "expected early exit");
+  Alcotest.(check (list int)) "nothing moved" [] r.Engine.moved;
+  Alcotest.(check int) "no steps" 0 (List.length r.Engine.steps)
+
+let test_moves_hot_kernel () =
+  let prepared = Lazy.force prepared_hot in
+  let all_fine =
+    (Flow.partition (platform ()) ~timing_constraint:max_int prepared)
+      .Engine.initial
+  in
+  let budget = all_fine.Engine.t_total / 3 in
+  let r = Flow.partition (platform ()) ~timing_constraint:budget prepared in
+  Alcotest.(check bool) "met by moving the loop" true (Engine.met r);
+  (match r.Engine.moved with
+  | [ moved ] ->
+    let entry = Hypar_analysis.Kernel.entry r.Engine.analysis moved in
+    Alcotest.(check int) "moved block ran 5000 times" 5000
+      entry.Hypar_analysis.Kernel.exec_freq
+  | l -> Alcotest.failf "expected a single move, got %d" (List.length l));
+  Alcotest.(check bool) "total decreased" true
+    (r.Engine.final.Engine.t_total < all_fine.Engine.t_total)
+
+let test_eq2_consistency () =
+  let prepared = Lazy.force prepared_hot in
+  let r = Flow.partition (platform ()) ~timing_constraint:1 prepared in
+  let check_times (x : Engine.times) =
+    Alcotest.(check int) "Eq. 2" x.Engine.t_total
+      (x.Engine.t_fpga + x.Engine.t_coarse + x.Engine.t_comm)
+  in
+  check_times r.Engine.initial;
+  List.iter (fun (s : Engine.step) -> check_times s.Engine.times) r.Engine.steps
+
+let test_infeasible () =
+  let prepared = Lazy.force prepared_hot in
+  let r = Flow.partition (platform ()) ~timing_constraint:1 prepared in
+  Alcotest.(check bool) "cannot meet 1 cycle" false (Engine.met r);
+  (match r.Engine.status with
+  | Engine.Infeasible -> ()
+  | Engine.Met_without_partitioning | Engine.Met_after _ ->
+    Alcotest.fail "expected infeasible");
+  (* every kernel was tried *)
+  Alcotest.(check int) "all kernels moved"
+    (List.length r.Engine.analysis.Hypar_analysis.Kernel.kernels)
+    (List.length r.Engine.moved + List.length r.Engine.skipped)
+
+let test_greedy_order_follows_weights () =
+  let prepared = Lazy.force prepared_hot in
+  let r = Flow.partition (platform ()) ~timing_constraint:1 prepared in
+  let weights =
+    List.map
+      (fun (s : Engine.step) -> s.Engine.kernel.Hypar_analysis.Kernel.total_weight)
+      r.Engine.steps
+  in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a >= b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "steps follow decreasing Eq.1 weight" true
+    (decreasing weights)
+
+let test_t_fpga_decreases_monotonically () =
+  let prepared = Lazy.force prepared_hot in
+  let r = Flow.partition (platform ()) ~timing_constraint:1 prepared in
+  let rec check prev = function
+    | (s : Engine.step) :: rest ->
+      Alcotest.(check bool) "t_fpga never grows" true
+        (s.Engine.times.Engine.t_fpga <= prev);
+      check s.Engine.times.Engine.t_fpga rest
+    | [] -> ()
+  in
+  check r.Engine.initial.Engine.t_fpga r.Engine.steps
+
+let test_division_kernels_skipped () =
+  let prepared =
+    Flow.prepare ~name:"divloop"
+      {|
+int out[1];
+int in[1];
+void main() {
+  int s = 0;
+  int i;
+  for (i = 1; i < 2000; i = i + 1) {
+    s = s + in[0] / i;
+  }
+  out[0] = s;
+}
+|}
+      ~inputs:[ ("in", [| 1000 |]) ]
+  in
+  let r = Flow.partition (platform ()) ~timing_constraint:1 prepared in
+  Alcotest.(check bool) "the division loop was skipped" true
+    (List.exists
+       (fun (_, reason) -> Str_contains.contains reason "division")
+       r.Engine.skipped);
+  (* skipped blocks never appear in the moved set *)
+  List.iter
+    (fun (b, _) ->
+      Alcotest.(check bool) "not moved" false (List.mem b r.Engine.moved))
+    r.Engine.skipped
+
+let test_max_moves () =
+  let prepared = Lazy.force prepared_hot in
+  let r = Engine.run ~max_moves:0 (platform ()) ~timing_constraint:1
+      prepared.Flow.cdfg prepared.Flow.profile in
+  Alcotest.(check int) "no moves allowed" 0 (List.length r.Engine.moved)
+
+let test_comm_pricing_ablation () =
+  let prepared = Lazy.force prepared_hot in
+  let transition =
+    Engine.run ~comm_pricing:`Transition (platform ()) ~timing_constraint:1
+      prepared.Flow.cdfg prepared.Flow.profile
+  in
+  let per_inv =
+    Engine.run ~comm_pricing:`Per_invocation (platform ()) ~timing_constraint:1
+      prepared.Flow.cdfg prepared.Flow.profile
+  in
+  (* with the same moved set, per-invocation pricing is pessimistic *)
+  Alcotest.(check bool) "per-invocation costs at least as much" true
+    (per_inv.Engine.final.Engine.t_comm >= transition.Engine.final.Engine.t_comm)
+
+let test_reduction_percent () =
+  let prepared = Lazy.force prepared_hot in
+  let r = Flow.partition (platform ()) ~timing_constraint:1 prepared in
+  let expected =
+    100.0
+    *. float_of_int (r.Engine.initial.Engine.t_total - r.Engine.final.Engine.t_total)
+    /. float_of_int r.Engine.initial.Engine.t_total
+  in
+  Alcotest.(check (float 0.001)) "reduction formula" expected
+    (Engine.reduction_percent r)
+
+let test_area_effect_on_initial () =
+  (* the paper's §4 observation: larger A_FPGA, fewer initial cycles *)
+  let prepared = (fun () -> Hypar_apps.Ofdm.prepared ()) () in
+  let at area =
+    (Flow.partition (platform ~area ()) ~timing_constraint:1 prepared)
+      .Engine.initial.Engine.t_total
+  in
+  Alcotest.(check bool) "initial(1500) > initial(5000)" true (at 1500 > at 5000)
+
+let suite =
+  [
+    Alcotest.test_case "early exit" `Quick test_early_exit;
+    Alcotest.test_case "moves hot kernel" `Quick test_moves_hot_kernel;
+    Alcotest.test_case "Eq. 2 consistency" `Quick test_eq2_consistency;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "greedy order" `Quick test_greedy_order_follows_weights;
+    Alcotest.test_case "t_fpga monotone" `Quick test_t_fpga_decreases_monotonically;
+    Alcotest.test_case "division kernels skipped" `Quick test_division_kernels_skipped;
+    Alcotest.test_case "max moves" `Quick test_max_moves;
+    Alcotest.test_case "comm pricing ablation" `Quick test_comm_pricing_ablation;
+    Alcotest.test_case "reduction percent" `Quick test_reduction_percent;
+    Alcotest.test_case "area effect on initial cycles" `Quick test_area_effect_on_initial;
+  ]
+
+let test_loop_granularity () =
+  (* the ADPCM loop spans many blocks: loop granularity moves them as a
+     unit and lands far below the per-block result *)
+  let prepared = Hypar_apps.Adpcm.prepared () in
+  let pl = platform () in
+  let timing_constraint = Hypar_apps.Adpcm.timing_constraint in
+  let block =
+    Engine.run ~granularity:`Block pl ~timing_constraint prepared.Flow.cdfg
+      prepared.Flow.profile
+  in
+  let loop =
+    Engine.run ~granularity:`Loop pl ~timing_constraint prepared.Flow.cdfg
+      prepared.Flow.profile
+  in
+  Alcotest.(check bool) "both met" true (Engine.met block && Engine.met loop);
+  Alcotest.(check bool)
+    (Printf.sprintf "loop granularity wins (%d < %d)"
+       loop.Engine.final.Engine.t_total block.Engine.final.Engine.t_total)
+    true
+    (loop.Engine.final.Engine.t_total < block.Engine.final.Engine.t_total);
+  Alcotest.(check bool) "fewer steps" true
+    (List.length loop.Engine.steps <= List.length block.Engine.steps)
+
+let test_loop_granularity_same_on_single_block_loops () =
+  (* when every loop is a single block, the two granularities coincide *)
+  let prepared = Lazy.force prepared_hot in
+  let pl = platform () in
+  let block =
+    Engine.run ~granularity:`Block pl ~timing_constraint:1 prepared.Flow.cdfg
+      prepared.Flow.profile
+  in
+  let loop =
+    Engine.run ~granularity:`Loop pl ~timing_constraint:1 prepared.Flow.cdfg
+      prepared.Flow.profile
+  in
+  Alcotest.(check (list int)) "same moved set"
+    (List.sort compare block.Engine.moved)
+    (List.sort compare loop.Engine.moved)
+
+let granularity_suite =
+  [
+    Alcotest.test_case "loop granularity on ADPCM" `Quick test_loop_granularity;
+    Alcotest.test_case "granularities coincide" `Quick test_loop_granularity_same_on_single_block_loops;
+  ]
+
+let suite = suite @ granularity_suite

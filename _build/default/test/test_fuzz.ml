@@ -1,0 +1,95 @@
+(* Robustness fuzzing of the frontend: arbitrary input must produce a
+   clean, documented error (or compile), never a crash or an undocumented
+   exception. *)
+
+module Driver = Hypar_minic.Driver
+module Lexer = Hypar_minic.Lexer
+module Parser = Hypar_minic.Parser
+
+let lcg seed =
+  let state = ref (if seed = 0 then 1 else seed) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+(* random bytes over a Mini-C-flavoured alphabet *)
+let random_source seed len =
+  let next = lcg seed in
+  let alphabet = "abixy0159 +-*/%&|^<>=!~?:;,(){}[]\n\"intvoidforwhilereturn" in
+  String.init len (fun _ -> alphabet.[next (String.length alphabet)])
+
+let compiles_or_reports src =
+  match Driver.compile ~name:"fuzz" src with
+  | Ok _ -> true
+  | Error _ -> true
+  | exception Lexer.Error _ -> true (* documented *)
+  | exception Parser.Error _ -> true (* documented *)
+  | exception _ -> false
+
+let test_lexer_total () =
+  for seed = 1 to 200 do
+    let src = random_source seed (1 + (seed mod 120)) in
+    match Lexer.tokenize src with
+    | _tokens -> ()
+    | exception Lexer.Error _ -> ()
+    | exception e ->
+      Alcotest.failf "lexer crashed on seed %d: %s" seed (Printexc.to_string e)
+  done
+
+let test_parser_total () =
+  for seed = 1 to 200 do
+    let src = random_source seed (1 + (seed mod 200)) in
+    match Parser.parse_program src with
+    | _ast -> ()
+    | exception Lexer.Error _ -> ()
+    | exception Parser.Error _ -> ()
+    | exception e ->
+      Alcotest.failf "parser crashed on seed %d: %s" seed (Printexc.to_string e)
+  done
+
+let test_driver_total () =
+  for seed = 201 to 320 do
+    let src = random_source seed (1 + (seed mod 160)) in
+    if not (compiles_or_reports src) then
+      Alcotest.failf "driver leaked an exception on seed %d" seed
+  done
+
+let test_mutated_valid_programs () =
+  (* single-character mutations of a valid program keep errors clean *)
+  let base = {|
+int out[4];
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 9; i++) { s += i * 2; }
+  out[0] = s;
+}
+|} in
+  let next = lcg 99 in
+  for _ = 1 to 150 do
+    let b = Bytes.of_string base in
+    let pos = next (Bytes.length b) in
+    Bytes.set b pos "+-;)({".[next 6];
+    if not (compiles_or_reports (Bytes.to_string b)) then
+      Alcotest.failf "mutation at %d leaked an exception" pos
+  done
+
+let test_deep_nesting () =
+  (* deeply nested expressions and blocks must not blow the stack *)
+  let deep_expr = String.make 400 '(' ^ "1" ^ String.make 400 ')' in
+  let src = Printf.sprintf "int out[1];\nvoid main() { out[0] = %s; }" deep_expr in
+  Alcotest.(check bool) "deep parens" true (compiles_or_reports src);
+  let deep_blocks =
+    "int out[1];\nvoid main() { " ^ String.concat "" (List.init 200 (fun _ -> "{ "))
+    ^ "out[0] = 1; " ^ String.concat "" (List.init 200 (fun _ -> "} ")) ^ "}"
+  in
+  Alcotest.(check bool) "deep blocks" true (compiles_or_reports deep_blocks)
+
+let suite =
+  [
+    Alcotest.test_case "lexer total" `Quick test_lexer_total;
+    Alcotest.test_case "parser total" `Quick test_parser_total;
+    Alcotest.test_case "driver total" `Quick test_driver_total;
+    Alcotest.test_case "mutated programs" `Quick test_mutated_valid_programs;
+    Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+  ]

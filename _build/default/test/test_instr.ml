@@ -1,0 +1,73 @@
+(* Unit tests for Hypar_ir.Instr: def/use sets, classification, printing. *)
+
+module Ir = Hypar_ir
+
+let v name id = { Ir.Instr.vname = name; vid = id; vwidth = 16 }
+
+let test_def () =
+  let x = v "x" 0 and a = v "a" 1 in
+  let bin = Ir.Instr.Bin { dst = x; op = Ir.Types.Add; a = Var a; b = Imm 1 } in
+  (match Ir.Instr.def bin with
+  | Some d -> Alcotest.(check int) "bin defines dst" 0 d.Ir.Instr.vid
+  | None -> Alcotest.fail "bin must define");
+  let st = Ir.Instr.Store { arr = "m"; index = Imm 0; value = Var a } in
+  Alcotest.(check bool) "store defines nothing" true (Ir.Instr.def st = None)
+
+let test_uses () =
+  let x = v "x" 0 and a = v "a" 1 and b = v "b" 2 in
+  let sel =
+    Ir.Instr.Select { dst = x; cond = Var a; if_true = Var b; if_false = Imm 3 }
+  in
+  Alcotest.(check int) "select uses 3 operands" 3 (List.length (Ir.Instr.uses sel));
+  Alcotest.(check int) "select uses 2 vars" 2 (List.length (Ir.Instr.used_vars sel));
+  let ld = Ir.Instr.Load { dst = x; arr = "m"; index = Var a } in
+  Alcotest.(check int) "load uses index" 1 (List.length (Ir.Instr.used_vars ld))
+
+let test_classification () =
+  let x = v "x" 0 in
+  let checks =
+    [
+      (Ir.Instr.Bin { dst = x; op = Ir.Types.Add; a = Imm 1; b = Imm 2 }, Ir.Types.Class_alu);
+      (Ir.Instr.Un { dst = x; op = Ir.Types.Abs; a = Imm 1 }, Ir.Types.Class_alu);
+      (Ir.Instr.Mul { dst = x; a = Imm 1; b = Imm 2 }, Ir.Types.Class_mul);
+      (Ir.Instr.Div { dst = x; a = Imm 1; b = Imm 2 }, Ir.Types.Class_div);
+      (Ir.Instr.Rem { dst = x; a = Imm 1; b = Imm 2 }, Ir.Types.Class_div);
+      (Ir.Instr.Mov { dst = x; src = Imm 1 }, Ir.Types.Class_move);
+      (Ir.Instr.Load { dst = x; arr = "m"; index = Imm 0 }, Ir.Types.Class_mem);
+      (Ir.Instr.Store { arr = "m"; index = Imm 0; value = Imm 1 }, Ir.Types.Class_mem);
+    ]
+  in
+  List.iter
+    (fun (instr, expected) ->
+      Alcotest.(check string)
+        (Ir.Instr.mnemonic instr)
+        (Ir.Types.string_of_op_class expected)
+        (Ir.Types.string_of_op_class (Ir.Instr.op_class instr)))
+    checks
+
+let test_arrays_and_predicates () =
+  let x = v "x" 0 in
+  let ld = Ir.Instr.Load { dst = x; arr = "mem"; index = Imm 0 } in
+  let st = Ir.Instr.Store { arr = "mem"; index = Imm 0; value = Imm 1 } in
+  let mv = Ir.Instr.Mov { dst = x; src = Imm 1 } in
+  Alcotest.(check (option string)) "load array" (Some "mem") (Ir.Instr.accessed_array ld);
+  Alcotest.(check (option string)) "mov array" None (Ir.Instr.accessed_array mv);
+  Alcotest.(check bool) "is_load" true (Ir.Instr.is_load ld);
+  Alcotest.(check bool) "is_store" true (Ir.Instr.is_store st);
+  Alcotest.(check bool) "load is not store" false (Ir.Instr.is_store ld)
+
+let test_pp () =
+  let x = v "x" 0 and a = v "a" 1 in
+  let bin = Ir.Instr.Bin { dst = x; op = Ir.Types.Add; a = Var a; b = Imm 1 } in
+  Alcotest.(check string) "pp bin" "x#0 = add a#1, 1" (Ir.Instr.to_string bin);
+  let st = Ir.Instr.Store { arr = "m"; index = Imm 2; value = Var a } in
+  Alcotest.(check string) "pp store" "m[2] = a#1" (Ir.Instr.to_string st)
+
+let suite =
+  [
+    Alcotest.test_case "def" `Quick test_def;
+    Alcotest.test_case "uses" `Quick test_uses;
+    Alcotest.test_case "classification" `Quick test_classification;
+    Alcotest.test_case "arrays and predicates" `Quick test_arrays_and_predicates;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+  ]

@@ -1,0 +1,115 @@
+(* Coverage for the smaller IR API surface: block printing, CDFG
+   validation, builder conveniences, summary rendering. *)
+
+module Ir = Hypar_ir
+
+let contains = Str_contains.contains
+
+let test_block_pp () =
+  let b =
+    Ir.Block.make ~label:"body"
+      ~instrs:[ Ir.Instr.Mov { dst = { vname = "x"; vid = 0; vwidth = 16 }; src = Imm 7 } ]
+      ~term:(Ir.Block.Jump "exit")
+  in
+  let s = Format.asprintf "%a" Ir.Block.pp b in
+  Alcotest.(check bool) "label shown" true (contains s "body:");
+  Alcotest.(check bool) "instr shown" true (contains s "x#0 = 7");
+  Alcotest.(check bool) "terminator shown" true (contains s "jump exit")
+
+let test_terminator_pp () =
+  let cases =
+    [
+      (Ir.Block.Jump "a", "jump a");
+      ( Ir.Block.Branch { cond = Imm 1; if_true = "t"; if_false = "f" },
+        "branch 1 ? t : f" );
+      (Ir.Block.Return None, "return");
+      (Ir.Block.Return (Some (Imm 3)), "return 3");
+    ]
+  in
+  List.iter
+    (fun (t, expected) ->
+      Alcotest.(check string) expected expected
+        (Format.asprintf "%a" Ir.Block.pp_terminator t))
+    cases
+
+let test_cdfg_validate_undeclared_array () =
+  let b = Ir.Builder.create () in
+  ignore (Ir.Builder.load b "t" ~arr:"ghost" (Ir.Builder.imm 0));
+  Ir.Builder.finish_block b ~label:"entry" ~term:(Ir.Block.Return None);
+  let cdfg = Ir.Builder.cdfg b in
+  match Ir.Cdfg.validate cdfg with
+  | Error msg ->
+    Alcotest.(check bool) "names the array" true (contains msg "ghost")
+  | Ok () -> Alcotest.fail "expected validation error"
+
+let test_cdfg_validate_const_store () =
+  let b = Ir.Builder.create () in
+  Ir.Builder.declare_array ~init:[| 1 |] ~is_const:true b "rom" 1;
+  Ir.Builder.store b ~arr:"rom" (Ir.Builder.imm 0) (Ir.Builder.imm 9);
+  Ir.Builder.finish_block b ~label:"entry" ~term:(Ir.Block.Return None);
+  match Ir.Cdfg.validate (Ir.Builder.cdfg b) with
+  | Error msg -> Alcotest.(check bool) "mentions const" true (contains msg "const")
+  | Ok () -> Alcotest.fail "expected validation error"
+
+let test_cdfg_summary () =
+  let cdfg =
+    Hypar_minic.Driver.compile_exn ~name:"summary-demo" {|
+int out[1];
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 4; i++) { s += i; }
+  out[0] = s;
+}
+|}
+  in
+  let s = Format.asprintf "%a" Ir.Cdfg.pp_summary cdfg in
+  Alcotest.(check bool) "names the program" true (contains s "summary-demo");
+  Alcotest.(check bool) "reports loop depth" true (contains s "loop-depth=1")
+
+let test_builder_helpers () =
+  let dfg =
+    Ir.Builder.dfg_of (fun b ->
+        let x = Ir.Builder.fresh_var ~width:8 b "x" in
+        Alcotest.(check int) "explicit width" 8 x.Ir.Instr.vwidth;
+        let m = Ir.Builder.mov b "m" (Ir.Builder.imm 5) in
+        let u = Ir.Builder.un b Ir.Types.Neg "u" (Ir.Builder.var m) in
+        ignore (Ir.Builder.bin b Ir.Types.Add "a" (Ir.Builder.var u) (Ir.Builder.var x)))
+  in
+  Alcotest.(check int) "three instructions" 3 (Ir.Dfg.node_count dfg)
+
+let test_cfg_instr_count () =
+  let cdfg =
+    Hypar_minic.Driver.compile_exn ~simplify:false {|
+int out[1];
+void main() { out[0] = 1 + 2 + 3; }
+|}
+  in
+  Alcotest.(check bool) "counts all instructions" true
+    (Ir.Cfg.instr_count (Ir.Cdfg.cfg cdfg) >= 3)
+
+let test_loop_pp () =
+  let cdfg = Hypar_minic.Driver.compile_exn {|
+int out[1];
+void main() {
+  int i;
+  for (i = 0; i < 3; i++) { out[0] = i; }
+}
+|} in
+  match Ir.Loop.find (Ir.Cdfg.cfg cdfg) with
+  | [ l ] ->
+    let s = Format.asprintf "%a" Ir.Loop.pp l in
+    Alcotest.(check bool) "prints header" true (contains s "header=")
+  | _ -> Alcotest.fail "expected one loop"
+
+let suite =
+  [
+    Alcotest.test_case "block pp" `Quick test_block_pp;
+    Alcotest.test_case "terminator pp" `Quick test_terminator_pp;
+    Alcotest.test_case "validate undeclared array" `Quick test_cdfg_validate_undeclared_array;
+    Alcotest.test_case "validate const store" `Quick test_cdfg_validate_const_store;
+    Alcotest.test_case "summary rendering" `Quick test_cdfg_summary;
+    Alcotest.test_case "builder helpers" `Quick test_builder_helpers;
+    Alcotest.test_case "instr count" `Quick test_cfg_instr_count;
+    Alcotest.test_case "loop pp" `Quick test_loop_pp;
+  ]

@@ -1,0 +1,108 @@
+(* Unit tests for global scalar liveness. *)
+
+module Ir = Hypar_ir
+
+let names vars = List.map (fun (v : Ir.Instr.var) -> v.vname) vars
+
+(* entry: x = 1; y = 2; branch -> a / b
+   a: z = x + 1; jump exit
+   b: z = y + 2; jump exit
+   exit: return z *)
+let cfg_with_vars () =
+  let mk name id = { Ir.Instr.vname = name; vid = id; vwidth = 16 } in
+  let x = mk "x" 0 and y = mk "y" 1 and z = mk "z" 2 and c = mk "c" 3 in
+  let entry =
+    Ir.Block.make ~label:"entry"
+      ~instrs:
+        [
+          Ir.Instr.Mov { dst = x; src = Imm 1 };
+          Ir.Instr.Mov { dst = y; src = Imm 2 };
+          Ir.Instr.Bin { dst = c; op = Ir.Types.Lt; a = Var x; b = Var y };
+        ]
+      ~term:(Ir.Block.Branch { cond = Var c; if_true = "a"; if_false = "b" })
+  in
+  let a =
+    Ir.Block.make ~label:"a"
+      ~instrs:[ Ir.Instr.Bin { dst = z; op = Ir.Types.Add; a = Var x; b = Imm 1 } ]
+      ~term:(Ir.Block.Jump "exit")
+  in
+  let b =
+    Ir.Block.make ~label:"b"
+      ~instrs:[ Ir.Instr.Bin { dst = z; op = Ir.Types.Add; a = Var y; b = Imm 2 } ]
+      ~term:(Ir.Block.Jump "exit")
+  in
+  let exit_b =
+    Ir.Block.make ~label:"exit" ~instrs:[] ~term:(Ir.Block.Return (Some (Var z)))
+  in
+  Ir.Cfg.of_blocks [ entry; a; b; exit_b ]
+
+let test_branch_liveness () =
+  let cfg = cfg_with_vars () in
+  let live = Ir.Live.analyse cfg in
+  Alcotest.(check (list string)) "nothing live into entry" []
+    (names (Ir.Live.live_in live 0));
+  Alcotest.(check (list string)) "x and y live out of entry" [ "x"; "y" ]
+    (names (Ir.Live.live_out live 0));
+  Alcotest.(check (list string)) "x live into a" [ "x" ]
+    (names (Ir.Live.live_in live 1));
+  Alcotest.(check (list string)) "z live out of a" [ "z" ]
+    (names (Ir.Live.live_out live 1));
+  Alcotest.(check (list string)) "z live into exit (terminator use)" [ "z" ]
+    (names (Ir.Live.live_in live 3))
+
+let test_defs_live_out () =
+  let cfg = cfg_with_vars () in
+  let live = Ir.Live.analyse cfg in
+  (* entry defines x, y, c; only x and y survive (c is consumed by the
+     entry's own terminator) *)
+  Alcotest.(check (list string)) "published defs of entry" [ "x"; "y" ]
+    (names (Ir.Live.defs_live_out live 0));
+  Alcotest.(check (list string)) "published defs of a" [ "z" ]
+    (names (Ir.Live.defs_live_out live 1))
+
+let test_loop_liveness () =
+  (* s accumulates in a rotated loop: s must be live around the back edge *)
+  let cdfg =
+    Hypar_minic.Driver.compile_exn
+      {|
+int out[4];
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    s = s + i;
+  }
+  out[0] = s;
+}
+|}
+  in
+  let cfg = Ir.Cdfg.cfg cdfg in
+  let live = Ir.Live.analyse cfg in
+  let body =
+    (* the single block inside a loop *)
+    match
+      List.find_opt
+        (fun i -> (Ir.Loop.depth_map cfg).(i) > 0)
+        (Ir.Cdfg.block_ids cdfg)
+    with
+    | Some i -> i
+    | None -> Alcotest.fail "no loop body found"
+  in
+  let live_in = names (Ir.Live.live_in live body) in
+  Alcotest.(check bool) "s live into loop body" true
+    (List.exists (fun n -> String.length n >= 1 && n.[0] = 's') live_in)
+
+let test_use_set () =
+  let cfg = cfg_with_vars () in
+  Alcotest.(check (list string)) "upward-exposed uses of a" [ "x" ]
+    (names (Ir.Live.use_set cfg 1));
+  Alcotest.(check (list string)) "entry has no upward-exposed uses" []
+    (names (Ir.Live.use_set cfg 0))
+
+let suite =
+  [
+    Alcotest.test_case "branch liveness" `Quick test_branch_liveness;
+    Alcotest.test_case "defs live out" `Quick test_defs_live_out;
+    Alcotest.test_case "loop liveness" `Quick test_loop_liveness;
+    Alcotest.test_case "use sets" `Quick test_use_set;
+  ]

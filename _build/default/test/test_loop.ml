@@ -1,0 +1,104 @@
+(* Unit tests for natural-loop detection and nesting depth. *)
+
+module Ir = Hypar_ir
+
+let block label ~term = Ir.Block.make ~label ~instrs:[] ~term
+let jump l = Ir.Block.Jump l
+let ret = Ir.Block.Return None
+
+let branch l1 l2 =
+  Ir.Block.Branch { cond = Ir.Instr.Imm 1; if_true = l1; if_false = l2 }
+
+(* entry -> outer; outer -> (inner_pre | exit); inner_pre -> inner;
+   inner -> (inner | outer_latch); outer_latch -> outer *)
+let nested () =
+  Ir.Cfg.of_blocks
+    [
+      block "entry" ~term:(jump "outer");
+      block "outer" ~term:(branch "inner_pre" "exit");
+      block "inner_pre" ~term:(jump "inner");
+      block "inner" ~term:(branch "inner" "outer_latch");
+      block "outer_latch" ~term:(jump "outer");
+      block "exit" ~term:ret;
+    ]
+
+let test_single_loop () =
+  let cfg =
+    Ir.Cfg.of_blocks
+      [
+        block "entry" ~term:(jump "h");
+        block "h" ~term:(branch "b" "x");
+        block "b" ~term:(jump "h");
+        block "x" ~term:ret;
+      ]
+  in
+  match Ir.Loop.find cfg with
+  | [ l ] ->
+    Alcotest.(check int) "header" 1 l.Ir.Loop.header;
+    Alcotest.(check (list int)) "latches" [ 2 ] l.Ir.Loop.latches;
+    Alcotest.(check (list int)) "body" [ 1; 2 ] l.Ir.Loop.body
+  | other -> Alcotest.failf "expected one loop, got %d" (List.length other)
+
+let test_nested_loops () =
+  let cfg = nested () in
+  let loops = Ir.Loop.find cfg in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  let depth = Ir.Loop.depth_map cfg in
+  Alcotest.(check int) "entry depth" 0 depth.(0);
+  Alcotest.(check int) "outer header depth" 1 depth.(1);
+  Alcotest.(check int) "inner body depth" 2 depth.(3);
+  Alcotest.(check int) "exit depth" 0 depth.(5);
+  Alcotest.(check bool) "in_loop inner" true (Ir.Loop.in_loop cfg 3);
+  Alcotest.(check bool) "in_loop exit" false (Ir.Loop.in_loop cfg 5)
+
+let test_merged_latches () =
+  (* two back edges to the same header form one loop *)
+  let cfg =
+    Ir.Cfg.of_blocks
+      [
+        block "entry" ~term:(jump "h");
+        block "h" ~term:(branch "b1" "x");
+        block "b1" ~term:(branch "h" "b2");
+        block "b2" ~term:(jump "h");
+        block "x" ~term:ret;
+      ]
+  in
+  match Ir.Loop.find cfg with
+  | [ l ] ->
+    Alcotest.(check (list int)) "merged latches" [ 2; 3 ] l.Ir.Loop.latches;
+    Alcotest.(check (list int)) "merged body" [ 1; 2; 3 ] l.Ir.Loop.body
+  | other -> Alcotest.failf "expected one merged loop, got %d" (List.length other)
+
+let test_rotated_minic_loops () =
+  (* Lowered rotated loops: a for inside a for gives two natural loops. *)
+  let cdfg =
+    Hypar_minic.Driver.compile_exn ~name:"loops"
+      {|
+int out[4];
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    int j;
+    for (j = 0; j < 5; j = j + 1) {
+      s = s + i * j;
+    }
+  }
+  out[0] = s;
+}
+|}
+  in
+  let cfg = Hypar_ir.Cdfg.cfg cdfg in
+  Alcotest.(check int) "two natural loops" 2 (List.length (Ir.Loop.find cfg));
+  let max_depth =
+    Array.fold_left max 0 (Ir.Loop.depth_map cfg)
+  in
+  Alcotest.(check int) "nesting depth two" 2 max_depth
+
+let suite =
+  [
+    Alcotest.test_case "single loop" `Quick test_single_loop;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "merged latches" `Quick test_merged_latches;
+    Alcotest.test_case "rotated Mini-C loops" `Quick test_rotated_minic_loops;
+  ]

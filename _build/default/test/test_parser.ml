@@ -1,0 +1,141 @@
+(* Unit tests for the Mini-C parser: precedence, associativity, statement
+   and top-level forms, and error reporting. *)
+
+module Ast = Hypar_minic.Ast
+module Parser = Hypar_minic.Parser
+
+let rec expr_to_string (e : Ast.expr) =
+  match e.desc with
+  | Ast.Num n -> string_of_int n
+  | Ast.Ident s -> s
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" a (expr_to_string i)
+  | Ast.Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat "," (List.map expr_to_string args))
+  | Ast.Unary (op, a) ->
+    Printf.sprintf "(%s%s)" (Format.asprintf "%a" Ast.pp_unop op) (expr_to_string a)
+  | Ast.Binary (op, a, b) ->
+    Printf.sprintf "(%s%s%s)" (expr_to_string a)
+      (Format.asprintf "%a" Ast.pp_binop op)
+      (expr_to_string b)
+  | Ast.Ternary (a, b, c) ->
+    Printf.sprintf "(%s?%s:%s)" (expr_to_string a) (expr_to_string b)
+      (expr_to_string c)
+
+let parses_as src expected =
+  Alcotest.(check string) src expected (expr_to_string (Parser.parse_expr_string src))
+
+let test_precedence () =
+  parses_as "1 + 2 * 3" "(1+(2*3))";
+  parses_as "1 * 2 + 3" "((1*2)+3)";
+  parses_as "1 + 2 - 3" "((1+2)-3)";
+  parses_as "1 << 2 + 3" "(1<<(2+3))";
+  parses_as "1 < 2 << 3" "(1<(2<<3))";
+  parses_as "1 == 2 < 3" "(1==(2<3))";
+  parses_as "1 & 2 == 3" "(1&(2==3))";
+  parses_as "1 ^ 2 & 3" "(1^(2&3))";
+  parses_as "1 | 2 ^ 3" "(1|(2^3))";
+  parses_as "1 && 2 | 3" "(1&&(2|3))";
+  parses_as "1 || 2 && 3" "(1||(2&&3))"
+
+let test_unary_and_paren () =
+  parses_as "-x * 2" "((-x)*2)";
+  parses_as "-(x * 2)" "(-(x*2))";
+  parses_as "!x && y" "((!x)&&y)";
+  parses_as "~x + 1" "((~x)+1)";
+  parses_as "- -x" "(-(-x))";
+  parses_as "+x" "x"
+
+let test_ternary () =
+  parses_as "a ? b : c" "(a?b:c)";
+  parses_as "a ? b : c ? d : e" "(a?b:(c?d:e))";
+  parses_as "a < 0 ? 0 - a : a" "((a<0)?(0-a):a)"
+
+let test_calls_and_index () =
+  parses_as "f(1, 2 + 3)" "f(1,(2+3))";
+  parses_as "min(a, b) + 1" "(min(a,b)+1)";
+  parses_as "t[i + 1] * 2" "(t[(i+1)]*2)";
+  parses_as "g()" "g()"
+
+let test_program_forms () =
+  let prog =
+    Parser.parse_program
+      {|
+const int rom[3] = { 1, 2, 3 };
+int buf[8];
+int counter = 5;
+int flag;
+
+int helper(int a, int b[]) {
+  return a + b[0];
+}
+
+void main() {
+  int x = helper(1, buf);
+  buf[0] = x;
+}
+|}
+  in
+  Alcotest.(check int) "4 globals" 4 (List.length prog.Ast.globals);
+  Alcotest.(check int) "2 functions" 2 (List.length prog.Ast.funcs);
+  (match prog.Ast.globals with
+  | Ast.Global_array { gname; size; ginit; is_const; _ } :: _ ->
+    Alcotest.(check string) "rom name" "rom" gname;
+    Alcotest.(check int) "rom size" 3 size;
+    Alcotest.(check bool) "rom const" true is_const;
+    Alcotest.(check (option (list int))) "rom init" (Some [ 1; 2; 3 ]) ginit
+  | _ -> Alcotest.fail "expected const array first");
+  match prog.Ast.funcs with
+  | f :: _ ->
+    Alcotest.(check string) "helper name" "helper" f.Ast.fname;
+    Alcotest.(check bool) "helper returns value" true f.Ast.returns_value;
+    Alcotest.(check int) "helper arity" 2 (List.length f.Ast.params)
+  | [] -> Alcotest.fail "missing functions"
+
+let test_statements () =
+  let prog =
+    Parser.parse_program
+      {|
+void main() {
+  int i;
+  for (i = 0; i < 4; i = i + 1) { }
+  while (i > 0) { i = i - 1; }
+  do { i = i + 1; } while (i < 2);
+  if (i == 2) { i = 0; } else { i = 1; }
+  if (i == 0) i = 9;
+}
+|}
+  in
+  match prog.Ast.funcs with
+  | [ f ] -> Alcotest.(check int) "6 top statements" 6 (List.length f.Ast.body)
+  | _ -> Alcotest.fail "expected main only"
+
+let test_negative_init () =
+  let prog = Parser.parse_program "const int t[2] = { -5, 7 };\nvoid main() { }" in
+  match prog.Ast.globals with
+  | [ Ast.Global_array { ginit = Some [ -5; 7 ]; _ } ] -> ()
+  | _ -> Alcotest.fail "negative initialiser not parsed"
+
+let test_errors () =
+  let raises src =
+    match Parser.parse_program src with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" src
+  in
+  raises "void main() { int }";
+  raises "void main() { x = ; }";
+  raises "void main() { if x { } }";
+  raises "void main() { for (;;) }";
+  raises "int x[] ;";
+  raises "void main() { do { } while (1) }" (* missing ';' *)
+
+let suite =
+  [
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "unary and parentheses" `Quick test_unary_and_paren;
+    Alcotest.test_case "ternary" `Quick test_ternary;
+    Alcotest.test_case "calls and indexing" `Quick test_calls_and_index;
+    Alcotest.test_case "program forms" `Quick test_program_forms;
+    Alcotest.test_case "statements" `Quick test_statements;
+    Alcotest.test_case "negative initialisers" `Quick test_negative_init;
+    Alcotest.test_case "errors" `Quick test_errors;
+  ]

@@ -1,0 +1,145 @@
+(* Unit tests for the clean-up passes: constant folding, copy propagation,
+   dead-code elimination, and their semantics preservation. *)
+
+module Ir = Hypar_ir
+module Driver = Hypar_minic.Driver
+module Interp = Hypar_profiling.Interp
+
+let compile_raw src = Driver.compile_exn ~simplify:false src
+
+let out0 cdfg = (Interp.array_exn (Interp.run cdfg) "out").(0)
+
+let test_const_fold_arithmetic () =
+  let cdfg = compile_raw {|
+int out[4];
+void main() {
+  int a = 3 + 4;
+  int b = a * 10;
+  out[0] = b - 5;
+}
+|} in
+  let folded = Ir.Passes.simplify cdfg in
+  Alcotest.(check int) "value preserved" 65 (out0 folded);
+  (* after folding + DCE the entry block should be a couple of stores of
+     constants at most *)
+  let instrs = Ir.Cdfg.total_instrs folded in
+  Alcotest.(check bool)
+    (Printf.sprintf "program shrank to %d instrs" instrs)
+    true (instrs <= 2)
+
+let test_const_fold_branch () =
+  let cdfg = compile_raw {|
+int out[4];
+void main() {
+  if (2 > 1) {
+    out[0] = 111;
+  } else {
+    out[0] = 222;
+  }
+}
+|} in
+  let folded = Ir.Passes.const_fold cdfg in
+  (* the branch became a jump: no Branch terminator on a constant *)
+  let has_const_branch =
+    Array.exists
+      (fun (b : Ir.Block.t) ->
+        match b.term with
+        | Ir.Block.Branch { cond = Ir.Instr.Imm _; _ } -> true
+        | Ir.Block.Branch _ | Ir.Block.Jump _ | Ir.Block.Return _ -> false)
+      (Ir.Cfg.blocks (Ir.Cdfg.cfg folded))
+  in
+  Alcotest.(check bool) "no constant-condition branch left" false has_const_branch;
+  Alcotest.(check int) "semantics preserved" 111 (out0 folded)
+
+let test_division_not_folded_unsafely () =
+  let cdfg = compile_raw {|
+int out[4];
+void main() {
+  int a = 10 / 2;
+  out[0] = a;
+}
+|} in
+  let folded = Ir.Passes.simplify cdfg in
+  Alcotest.(check int) "constant division folded" 5 (out0 folded)
+
+let test_copy_propagation () =
+  let cdfg = compile_raw {|
+int out[4];
+int in[4];
+void main() {
+  int a = in[0];
+  int b = a;
+  int c = b;
+  out[0] = c + c;
+}
+|} in
+  let simplified = Ir.Passes.simplify cdfg in
+  let run cdfg =
+    (Interp.array_exn (Interp.run ~inputs:[ ("in", [| 21 |]) ] cdfg) "out").(0)
+  in
+  Alcotest.(check int) "before" 42 (run cdfg);
+  Alcotest.(check int) "after" 42 (run simplified);
+  Alcotest.(check bool) "fewer instructions" true
+    (Ir.Cdfg.total_instrs simplified < Ir.Cdfg.total_instrs cdfg)
+
+let test_dce_keeps_stores () =
+  let cdfg = compile_raw {|
+int out[4];
+void main() {
+  int unused = 5 * 5;
+  out[1] = 9;
+}
+|} in
+  let cleaned = Ir.Passes.dead_code_eliminate (Ir.Passes.const_fold cdfg) in
+  let r = Interp.run cleaned in
+  Alcotest.(check int) "store survives" 9 (Interp.array_exn r "out").(1)
+
+let test_dce_removes_dead_load () =
+  let cdfg = compile_raw {|
+int out[4];
+int in[4];
+void main() {
+  int dead = in[2];
+  out[0] = 1;
+}
+|} in
+  let cleaned = Ir.Passes.simplify cdfg in
+  let loads =
+    Array.fold_left
+      (fun acc (bi : Ir.Cdfg.block_info) ->
+        acc
+        + List.length (List.filter Ir.Instr.is_load bi.block.Ir.Block.instrs))
+      0 (Ir.Cdfg.infos cleaned)
+  in
+  Alcotest.(check int) "dead load removed" 0 loads
+
+let test_simplify_idempotent () =
+  let src = Hypar_apps.Synth.random_structured_main ~seed:5 ~depth:3 () in
+  let cdfg = compile_raw src in
+  let s1 = Ir.Passes.simplify cdfg in
+  let s2 = Ir.Passes.simplify s1 in
+  Alcotest.(check int) "same size after second round"
+    (Ir.Cdfg.total_instrs s1) (Ir.Cdfg.total_instrs s2)
+
+let test_semantics_preserved_random () =
+  (* run 12 random programs through the passes and compare results *)
+  for seed = 1 to 12 do
+    let src = Hypar_apps.Synth.random_straightline_main ~seed ~ops:40 () in
+    let raw = compile_raw src in
+    let simplified = Ir.Passes.simplify raw in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d" seed)
+      (out0 raw) (out0 simplified)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "const fold arithmetic" `Quick test_const_fold_arithmetic;
+    Alcotest.test_case "const fold branch" `Quick test_const_fold_branch;
+    Alcotest.test_case "constant division" `Quick test_division_not_folded_unsafely;
+    Alcotest.test_case "copy propagation" `Quick test_copy_propagation;
+    Alcotest.test_case "DCE keeps stores" `Quick test_dce_keeps_stores;
+    Alcotest.test_case "DCE removes dead loads" `Quick test_dce_removes_dead_load;
+    Alcotest.test_case "simplify idempotent" `Quick test_simplify_idempotent;
+    Alcotest.test_case "random semantics preserved" `Quick test_semantics_preserved_random;
+  ]

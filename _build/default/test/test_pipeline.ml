@@ -1,0 +1,91 @@
+(* Unit tests for the frame-pipelining extension (the paper's ongoing
+   work). *)
+
+module Engine = Hypar_core.Engine
+module Pipeline = Hypar_core.Pipeline
+module Platform = Hypar_core.Platform
+module Flow = Hypar_core.Flow
+module Fpga = Hypar_finegrain.Fpga
+module Cgc = Hypar_coarsegrain.Cgc
+
+let platform () =
+  Platform.make ~fpga:(Fpga.make ~area:1500 ()) ~cgc:(Cgc.two_by_two 2) ()
+
+let result =
+  lazy
+    (Flow.partition (platform ())
+       ~timing_constraint:Hypar_apps.Ofdm.timing_constraint
+       (Hypar_apps.Ofdm.prepared ()))
+
+let test_speedup_bounds () =
+  let r = Lazy.force result in
+  let p = Pipeline.analyse ~frames:Hypar_apps.Ofdm.symbols r in
+  Alcotest.(check bool) "speedup at least 1" true (p.Pipeline.speedup >= 1.0);
+  Alcotest.(check bool) "speedup at most 2 (two-stage pipeline)" true
+    (p.Pipeline.speedup <= 2.0 +. 1e-9);
+  Alcotest.(check bool) "pipelined never slower" true
+    (p.Pipeline.pipelined_total <= float_of_int p.Pipeline.sequential_total +. 1e-6)
+
+let test_single_frame_no_gain () =
+  let r = Lazy.force result in
+  let p = Pipeline.analyse ~frames:1 r in
+  Alcotest.(check (float 1e-6)) "one frame = sequential"
+    (float_of_int p.Pipeline.sequential_total)
+    p.Pipeline.pipelined_total
+
+let test_stage_accounting () =
+  let r = Lazy.force result in
+  let p = Pipeline.analyse ~frames:6 r in
+  let total_stages =
+    (p.Pipeline.fine_per_frame +. p.Pipeline.coarse_comm_per_frame) *. 6.0
+  in
+  Alcotest.(check (float 0.5)) "stages cover the sequential time"
+    (float_of_int p.Pipeline.sequential_total)
+    total_stages
+
+let test_balanced_pipeline_approaches_2x () =
+  (* a fabricated perfectly balanced result *)
+  let r = Lazy.force result in
+  let balanced =
+    {
+      r with
+      Engine.final =
+        {
+          Engine.t_fpga = 50_000;
+          t_coarse_cgc = 120_000;
+          t_coarse = 40_000;
+          t_comm = 10_000;
+          t_total = 100_000;
+        };
+    }
+  in
+  let p = Pipeline.analyse ~frames:1000 balanced in
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %.3f close to 2" p.Pipeline.speedup)
+    true
+    (p.Pipeline.speedup > 1.9)
+
+let test_invalid_frames () =
+  match Pipeline.analyse ~frames:0 (Lazy.force result) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "frames=0 must be rejected"
+
+let test_bottleneck_identification () =
+  let r = Lazy.force result in
+  let p = Pipeline.analyse ~frames:6 r in
+  let expected =
+    if p.Pipeline.fine_per_frame >= p.Pipeline.coarse_comm_per_frame then `Fine
+    else `Coarse
+  in
+  Alcotest.(check bool) "bottleneck matches stage times" true
+    (p.Pipeline.bottleneck = expected)
+
+let suite =
+  [
+    Alcotest.test_case "speedup bounds" `Quick test_speedup_bounds;
+    Alcotest.test_case "single frame" `Quick test_single_frame_no_gain;
+    Alcotest.test_case "stage accounting" `Quick test_stage_accounting;
+    Alcotest.test_case "balanced pipeline" `Quick test_balanced_pipeline_approaches_2x;
+    Alcotest.test_case "invalid frames" `Quick test_invalid_frames;
+    Alcotest.test_case "bottleneck" `Quick test_bottleneck_identification;
+  ]

@@ -1,0 +1,70 @@
+(* Unit tests for the platform description. *)
+
+module Platform = Hypar_core.Platform
+module Fpga = Hypar_finegrain.Fpga
+module Cgc = Hypar_coarsegrain.Cgc
+
+let test_defaults () =
+  let p =
+    Platform.make ~fpga:(Fpga.make ~area:1500 ()) ~cgc:(Cgc.two_by_two 2) ()
+  in
+  Alcotest.(check int) "paper clock ratio" 3 p.Platform.clock_ratio;
+  Alcotest.(check bool) "derived name mentions area" true
+    (Str_contains.contains p.Platform.name "1500")
+
+let test_paper_configs () =
+  let configs = Platform.paper_configs () in
+  Alcotest.(check int) "four configurations" 4 (List.length configs);
+  let areas =
+    List.sort_uniq compare
+      (List.map (fun (p : Platform.t) -> p.Platform.fpga.Fpga.area) configs)
+  in
+  Alcotest.(check (list int)) "areas 1500 and 5000" [ 1500; 5000 ] areas;
+  let cgc_counts =
+    List.sort_uniq compare
+      (List.map (fun (p : Platform.t) -> p.Platform.cgc.Cgc.cgcs) configs)
+  in
+  Alcotest.(check (list int)) "two and three CGCs" [ 2; 3 ] cgc_counts;
+  List.iter
+    (fun (p : Platform.t) ->
+      Alcotest.(check int) "2x2 geometry" 2 p.Platform.cgc.Cgc.rows;
+      Alcotest.(check int) "2x2 geometry" 2 p.Platform.cgc.Cgc.cols)
+    configs
+
+let test_clock_conversion () =
+  let p =
+    Platform.make ~clock_ratio:3 ~fpga:(Fpga.make ~area:100 ())
+      ~cgc:(Cgc.two_by_two 1) ()
+  in
+  Alcotest.(check int) "exact multiple" 4 (Platform.cgc_to_fpga_cycles p 12);
+  Alcotest.(check int) "rounds up" 5 (Platform.cgc_to_fpga_cycles p 13);
+  Alcotest.(check int) "zero" 0 (Platform.cgc_to_fpga_cycles p 0)
+
+let test_validation () =
+  (match
+     Platform.make ~clock_ratio:0 ~fpga:(Fpga.make ~area:100 ())
+       ~cgc:(Cgc.two_by_two 1) ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "clock_ratio 0 must be rejected");
+  (match Fpga.make ~area:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "area 0 must be rejected");
+  match Cgc.make ~cgcs:0 ~rows:2 ~cols:2 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cgcs 0 must be rejected"
+
+let test_cgc_descriptions () =
+  Alcotest.(check string) "two" "two 2x2" (Cgc.describe (Cgc.two_by_two 2));
+  Alcotest.(check string) "three" "three 2x2" (Cgc.describe (Cgc.two_by_two 3));
+  Alcotest.(check int) "slots" 12 (Cgc.node_slots (Cgc.two_by_two 3));
+  Alcotest.(check int) "chains" 6 (Cgc.chains (Cgc.two_by_two 3))
+
+let suite =
+  [
+    Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "paper configurations" `Quick test_paper_configs;
+    Alcotest.test_case "clock conversion" `Quick test_clock_conversion;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "CGC descriptions" `Quick test_cgc_descriptions;
+  ]

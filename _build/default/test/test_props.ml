@@ -1,0 +1,236 @@
+(* Property-based tests (QCheck) over the core invariants:
+   - DFG levelling and well-formedness on random DFGs;
+   - Figure-3 temporal partitioning validity, coverage and area bounds;
+   - CGC schedule validity and resource bounds;
+   - optimisation passes preserve program semantics;
+   - the interpreter's block/edge accounting is consistent;
+   - Eq. 2 accounting holds for arbitrary moved sets. *)
+
+module Ir = Hypar_ir
+module Temporal = Hypar_finegrain.Temporal
+module Fpga = Hypar_finegrain.Fpga
+module Schedule = Hypar_coarsegrain.Schedule
+module Binding = Hypar_coarsegrain.Binding
+module Cgc = Hypar_coarsegrain.Cgc
+module Synth = Hypar_apps.Synth
+module Driver = Hypar_minic.Driver
+module Interp = Hypar_profiling.Interp
+
+let dfg_arb =
+  QCheck.make
+    ~print:(fun (seed, nodes) -> Printf.sprintf "seed=%d nodes=%d" seed nodes)
+    QCheck.Gen.(pair (int_range 1 10_000) (int_range 1 150))
+
+let prop_dfg_levels =
+  QCheck.Test.make ~name:"dfg: asap <= alap <= max_level, forward edges"
+    ~count:60 dfg_arb (fun (seed, nodes) ->
+      let dfg = Synth.random_dfg ~seed ~nodes () in
+      let asap = Ir.Dfg.asap dfg and alap = Ir.Dfg.alap dfg in
+      let ml = Ir.Dfg.max_level dfg in
+      Ir.Dfg.is_well_formed dfg
+      && Array.for_all (fun l -> l >= 1 && l <= ml) asap
+      && Array.to_list asap
+         |> List.mapi (fun i a -> a <= alap.(i) && alap.(i) <= ml)
+         |> List.for_all Fun.id)
+
+let prop_temporal_valid =
+  QCheck.Test.make ~name:"temporal: valid, covering, within area" ~count:60
+    (QCheck.pair dfg_arb (QCheck.make QCheck.Gen.(int_range 100 4000)))
+    (fun ((seed, nodes), area) ->
+      let dfg = Synth.random_dfg ~seed ~nodes () in
+      let fpga = Fpga.make ~area () in
+      let size = Fpga.op_area fpga in
+      let tp = Temporal.partition ~area ~size dfg in
+      let covered =
+        List.fold_left
+          (fun acc (p : Temporal.partition) -> acc + List.length p.node_ids)
+          0 tp.Temporal.partitions
+      in
+      let within_area =
+        List.for_all
+          (fun (p : Temporal.partition) ->
+            (* only single oversized nodes may exceed the budget *)
+            p.area_used <= area || List.length p.node_ids = 1)
+          tp.Temporal.partitions
+      in
+      Temporal.is_valid dfg tp && covered = Ir.Dfg.node_count dfg && within_area)
+
+let prop_temporal_monotone =
+  QCheck.Test.make ~name:"temporal: partition count decreases with area"
+    ~count:40 dfg_arb (fun (seed, nodes) ->
+      let dfg = Synth.random_dfg ~seed ~nodes () in
+      let count area =
+        let fpga = Fpga.make ~area () in
+        Temporal.count (Temporal.partition ~area ~size:(Fpga.op_area fpga) dfg)
+      in
+      count 300 >= count 1200 && count 1200 >= count 6000)
+
+let prop_schedule_valid =
+  QCheck.Test.make ~name:"schedule: valid under all constraints" ~count:60
+    (QCheck.pair dfg_arb (QCheck.make QCheck.Gen.(int_range 1 4)))
+    (fun ((seed, nodes), k) ->
+      let dfg = Synth.random_dfg ~seed ~nodes () in
+      QCheck.assume (Schedule.supported dfg);
+      let cgc = Cgc.two_by_two k in
+      let s = Schedule.schedule cgc dfg in
+      Schedule.is_valid cgc dfg s)
+
+let prop_binding_valid =
+  QCheck.Test.make ~name:"binding: physical placement is conflict-free"
+    ~count:40 dfg_arb (fun (seed, nodes) ->
+      let dfg = Synth.random_dfg ~seed ~nodes () in
+      QCheck.assume (Schedule.supported dfg);
+      let cgc = Cgc.two_by_two 2 in
+      let s = Schedule.schedule cgc dfg in
+      Binding.is_valid cgc (Binding.bind cgc dfg s))
+
+let prop_more_cgcs_never_hurt =
+  QCheck.Test.make ~name:"schedule: makespan monotone in CGC count" ~count:40
+    dfg_arb (fun (seed, nodes) ->
+      let dfg = Synth.random_dfg ~seed ~nodes () in
+      QCheck.assume (Schedule.supported dfg);
+      let m k = (Schedule.schedule (Cgc.two_by_two k) dfg).Schedule.makespan in
+      m 3 <= m 2)
+
+let prop_passes_preserve_semantics =
+  QCheck.Test.make ~name:"passes: simplify preserves the computed value"
+    ~count:40
+    (QCheck.make
+       ~print:(fun (seed, ops) -> Printf.sprintf "seed=%d ops=%d" seed ops)
+       QCheck.Gen.(pair (int_range 1 100_000) (int_range 1 60)))
+    (fun (seed, ops) ->
+      let src = Synth.random_straightline_main ~seed ~ops () in
+      let raw = Driver.compile_exn ~simplify:false src in
+      let simplified = Ir.Passes.simplify raw in
+      let out cdfg = (Interp.array_exn (Interp.run cdfg) "out").(0) in
+      out raw = out simplified)
+
+let prop_structured_programs_roundtrip =
+  QCheck.Test.make ~name:"frontend: structured programs compile and run"
+    ~count:30
+    (QCheck.make
+       ~print:(fun (seed, depth) -> Printf.sprintf "seed=%d depth=%d" seed depth)
+       QCheck.Gen.(pair (int_range 1 100_000) (int_range 1 4)))
+    (fun (seed, depth) ->
+      let src = Synth.random_structured_main ~seed ~depth () in
+      let raw = Driver.compile_exn ~simplify:false src in
+      let simplified = Ir.Passes.simplify raw in
+      let out cdfg = (Interp.array_exn (Interp.run cdfg) "out").(0) in
+      out raw = out simplified)
+
+let prop_edge_block_consistency =
+  QCheck.Test.make ~name:"interp: edge counts sum to block frequencies"
+    ~count:30
+    (QCheck.make
+       ~print:(fun (seed, depth) -> Printf.sprintf "seed=%d depth=%d" seed depth)
+       QCheck.Gen.(pair (int_range 1 100_000) (int_range 1 4)))
+    (fun (seed, depth) ->
+      let src = Synth.random_structured_main ~seed ~depth () in
+      let cdfg = Driver.compile_exn src in
+      let r = Interp.run cdfg in
+      let incoming = Array.make (Ir.Cdfg.block_count cdfg) 0 in
+      List.iter
+        (fun (((_, dst), c) : (int * int) * int) ->
+          incoming.(dst) <- incoming.(dst) + c)
+        r.Interp.edge_freq;
+      let entry = Ir.Cfg.entry (Ir.Cdfg.cfg cdfg) in
+      Array.to_list r.Interp.exec_freq
+      |> List.mapi (fun i freq ->
+             if i = entry then incoming.(i) = freq - 1 else incoming.(i) = freq)
+      |> List.for_all Fun.id)
+
+let prop_engine_eq2 =
+  QCheck.Test.make ~name:"engine: Eq. 2 holds for every step" ~count:15
+    (QCheck.make
+       ~print:(fun (seed, depth) -> Printf.sprintf "seed=%d depth=%d" seed depth)
+       QCheck.Gen.(pair (int_range 1 100_000) (int_range 2 4)))
+    (fun (seed, depth) ->
+      let src = Synth.random_structured_main ~seed ~depth () in
+      let prepared = Hypar_core.Flow.prepare ~name:"prop" src in
+      let platform = List.hd (Hypar_core.Platform.paper_configs ()) in
+      let r = Hypar_core.Flow.partition platform ~timing_constraint:1 prepared in
+      let ok (x : Hypar_core.Engine.times) =
+        x.Hypar_core.Engine.t_total
+        = x.Hypar_core.Engine.t_fpga + x.Hypar_core.Engine.t_coarse
+          + x.Hypar_core.Engine.t_comm
+      in
+      ok r.Hypar_core.Engine.initial
+      && List.for_all
+           (fun (s : Hypar_core.Engine.step) -> ok s.Hypar_core.Engine.times)
+           r.Hypar_core.Engine.steps)
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialize: to_string/of_string round trip" ~count:25
+    (QCheck.make
+       ~print:(fun (seed, depth) -> Printf.sprintf "seed=%d depth=%d" seed depth)
+       QCheck.Gen.(pair (int_range 1 100_000) (int_range 1 4)))
+    (fun (seed, depth) ->
+      let src = Synth.random_structured_main ~seed ~depth () in
+      let cdfg = Driver.compile_exn src in
+      let back = Ir.Serialize.of_string (Ir.Serialize.to_string cdfg) in
+      Array.to_list (Ir.Cfg.blocks (Ir.Cdfg.cfg cdfg))
+      = Array.to_list (Ir.Cfg.blocks (Ir.Cdfg.cfg back))
+      && Ir.Cdfg.arrays cdfg = Ir.Cdfg.arrays back)
+
+let prop_best_fit_valid_and_no_worse =
+  QCheck.Test.make ~name:"temporal: backfill valid and never worse" ~count:40
+    dfg_arb (fun (seed, nodes) ->
+      let dfg = Synth.random_dfg ~seed ~nodes () in
+      let fpga = Fpga.make ~area:1200 () in
+      let size = Fpga.op_area fpga in
+      let paper = Temporal.partition ~area:1200 ~size dfg in
+      let bf = Temporal.partition_best_fit ~area:1200 ~size dfg in
+      Temporal.is_valid dfg bf && Temporal.count bf <= Temporal.count paper)
+
+let prop_bitstream_verifies =
+  QCheck.Test.make ~name:"bitstream: generated streams always verify" ~count:40
+    (QCheck.make
+       ~print:(fun (seed, n) -> Printf.sprintf "seed=%d ops=%d" seed n)
+       QCheck.Gen.(pair (int_range 1 100_000) (int_range 1 20)))
+    (fun (seed, n) ->
+      let next = ref seed in
+      let rand bound =
+        next := ((!next * 1103515245) + 12345) land 0x3FFFFFFF;
+        1 + (!next mod bound)
+      in
+      let fpga = Fpga.make ~area:4000 () in
+      let device = Hypar_finegrain.Bitstream.device_of_fpga fpga in
+      let op_areas = List.init n (fun _ -> rand 64) in
+      match Hypar_finegrain.Bitstream.generate device ~op_areas with
+      | s ->
+        Hypar_finegrain.Bitstream.verify s
+        && Hypar_finegrain.Bitstream.reconfig_cycles s > 0
+      | exception Invalid_argument _ -> true)
+
+let prop_gantt_row_count =
+  QCheck.Test.make ~name:"binding: gantt covers every node op" ~count:25
+    dfg_arb (fun (seed, nodes) ->
+      let dfg = Synth.random_dfg ~seed ~nodes () in
+      QCheck.assume (Schedule.supported dfg);
+      let cgc = Cgc.two_by_two 2 in
+      let s = Schedule.schedule cgc dfg in
+      let b = Binding.bind cgc dfg s in
+      let gantt = Binding.render_gantt cgc dfg s b in
+      (* every physical slot appears as a labelled row *)
+      String.length gantt > 0
+      && List.length (String.split_on_char '\n' gantt)
+         >= (Cgc.node_slots cgc + cgc.Cgc.mem_ports))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_dfg_levels;
+      prop_temporal_valid;
+      prop_temporal_monotone;
+      prop_schedule_valid;
+      prop_binding_valid;
+      prop_more_cgcs_never_hurt;
+      prop_passes_preserve_semantics;
+      prop_structured_programs_roundtrip;
+      prop_edge_block_consistency;
+      prop_engine_eq2;
+      prop_serialize_roundtrip;
+      prop_best_fit_valid_and_no_worse;
+      prop_bitstream_verifies;
+      prop_gantt_row_count;
+    ]

@@ -1,0 +1,108 @@
+(* Unit tests for CDFG serialisation. *)
+
+module Ir = Hypar_ir
+module Driver = Hypar_minic.Driver
+module Interp = Hypar_profiling.Interp
+
+let roundtrip cdfg = Ir.Serialize.of_string (Ir.Serialize.to_string cdfg)
+
+let blocks_equal c1 c2 =
+  Array.to_list (Ir.Cfg.blocks (Ir.Cdfg.cfg c1))
+  = Array.to_list (Ir.Cfg.blocks (Ir.Cdfg.cfg c2))
+
+let arrays_equal c1 c2 = Ir.Cdfg.arrays c1 = Ir.Cdfg.arrays c2
+
+let test_roundtrip_small () =
+  let cdfg = Driver.compile_exn {|
+const int rom[3] = { 5, -6, 7 };
+int out[2];
+int g = 9;
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 3; i++) {
+    s += rom[i] * g;
+  }
+  out[0] = s;
+  out[1] = s < 0 ? 0 - s : s;
+}
+|} in
+  let back = roundtrip cdfg in
+  Alcotest.(check bool) "blocks identical" true (blocks_equal cdfg back);
+  Alcotest.(check bool) "arrays identical" true (arrays_equal cdfg back);
+  Alcotest.(check string) "name preserved" (Ir.Cdfg.name cdfg) (Ir.Cdfg.name back)
+
+let test_roundtrip_preserves_semantics () =
+  let cdfg = Driver.compile_exn (Hypar_apps.Synth.random_structured_main ~seed:77 ~depth:3 ()) in
+  let back = roundtrip cdfg in
+  let out c = (Interp.array_exn (Interp.run c) "out").(0) in
+  Alcotest.(check int) "same result after reload" (out cdfg) (out back)
+
+let test_roundtrip_apps () =
+  List.iter
+    (fun (name, cdfg) ->
+      let back = roundtrip cdfg in
+      Alcotest.(check bool) (name ^ " blocks") true (blocks_equal cdfg back);
+      Alcotest.(check bool) (name ^ " arrays") true (arrays_equal cdfg back))
+    [
+      ("ofdm", (Hypar_apps.Ofdm.prepared ()).Hypar_core.Flow.cdfg);
+      ("sobel", (Hypar_apps.Sobel.prepared ()).Hypar_core.Flow.cdfg);
+    ]
+
+let test_special_label_characters () =
+  (* labels and names with quotes/backslashes survive *)
+  let b =
+    Ir.Block.make ~label:{|odd "label"\x|} ~instrs:[]
+      ~term:(Ir.Block.Return None)
+  in
+  let cdfg = Ir.Cdfg.make ~name:{|we"ird|} ~arrays:[] (Ir.Cfg.of_blocks [ b ]) in
+  let back = roundtrip cdfg in
+  Alcotest.(check bool) "escaped round trip" true (blocks_equal cdfg back)
+
+let test_parse_errors () =
+  let raises s =
+    match Ir.Serialize.of_string s with
+    | exception Ir.Serialize.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" s
+  in
+  raises "";
+  raises "(cdfg";
+  raises "(not-a-cdfg)";
+  raises "(cdfg \"x\" (arrays) (blocks (block)))";
+  raises "(cdfg \"x\" (arrays (array)) (blocks))"
+
+let test_all_instruction_forms () =
+  (* one of each instruction kind survives the round trip *)
+  let b = Ir.Builder.create () in
+  Ir.Builder.declare_array ~init:[| 1; 2 |] ~is_const:true b "rom" 2;
+  Ir.Builder.declare_array b "ram" 4;
+  let x = Ir.Builder.fresh_var b "x" in
+  Ir.Builder.emit b (Ir.Instr.Mov { dst = x; src = Imm 3 });
+  let a1 = Ir.Builder.bin b Ir.Types.Ashr "a" (Ir.Builder.var x) (Ir.Builder.imm 1) in
+  let m = Ir.Builder.mul b "m" (Ir.Builder.var a1) (Ir.Builder.var x) in
+  let u = Ir.Builder.un b Ir.Types.Abs "u" (Ir.Builder.var m) in
+  Ir.Builder.emit b
+    (Ir.Instr.Div { dst = Ir.Builder.fresh_var b "d"; a = Var u; b = Imm 2 });
+  Ir.Builder.emit b
+    (Ir.Instr.Rem { dst = Ir.Builder.fresh_var b "r"; a = Var u; b = Imm 3 });
+  let sel = Ir.Builder.fresh_var b "sel" in
+  Ir.Builder.emit b
+    (Ir.Instr.Select { dst = sel; cond = Var x; if_true = Var u; if_false = Imm 0 });
+  let ld = Ir.Builder.load b "ld" ~arr:"rom" (Ir.Builder.imm 1) in
+  Ir.Builder.store b ~arr:"ram" (Ir.Builder.imm 0) (Ir.Builder.var ld);
+  Ir.Builder.finish_block b ~label:"entry"
+    ~term:(Ir.Block.Branch { cond = Var sel; if_true = "entry"; if_false = "done" });
+  Ir.Builder.finish_block b ~label:"done" ~term:(Ir.Block.Return (Some (Imm 0)));
+  let cdfg = Ir.Builder.cdfg ~name:"forms" b in
+  let back = roundtrip cdfg in
+  Alcotest.(check bool) "all forms round trip" true (blocks_equal cdfg back)
+
+let suite =
+  [
+    Alcotest.test_case "round trip (small)" `Quick test_roundtrip_small;
+    Alcotest.test_case "round trip semantics" `Quick test_roundtrip_preserves_semantics;
+    Alcotest.test_case "round trip (apps)" `Quick test_roundtrip_apps;
+    Alcotest.test_case "special characters" `Quick test_special_label_characters;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "all instruction forms" `Quick test_all_instruction_forms;
+  ]

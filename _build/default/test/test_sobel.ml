@@ -1,0 +1,83 @@
+(* End-to-end tests of the Sobel edge-detector workload. *)
+
+module Ir = Hypar_ir
+module Flow = Hypar_core.Flow
+module Engine = Hypar_core.Engine
+module Interp = Hypar_profiling.Interp
+module Sobel = Hypar_apps.Sobel
+
+let test_golden () =
+  let prepared = Sobel.prepared () in
+  let golden = Sobel.golden (Sobel.inputs ()) in
+  let got = Interp.array_exn prepared.Flow.interp "edges" in
+  Alcotest.(check bool) "bit-exact" true (golden = got)
+
+let test_borders_are_zero () =
+  let golden = Sobel.golden (Sobel.inputs ()) in
+  for x = 0 to Sobel.width - 1 do
+    if golden.(x) <> 0 then Alcotest.fail "top border not zero";
+    if golden.(((Sobel.height - 1) * Sobel.width) + x) <> 0 then
+      Alcotest.fail "bottom border not zero"
+  done;
+  for y = 0 to Sobel.height - 1 do
+    if golden.(y * Sobel.width) <> 0 then Alcotest.fail "left border not zero";
+    if golden.((y * Sobel.width) + Sobel.width - 1) <> 0 then
+      Alcotest.fail "right border not zero"
+  done
+
+let test_flat_image_no_edges () =
+  let flat = [ ("image", Array.make (Sobel.width * Sobel.height) 77) ] in
+  let golden = Sobel.golden flat in
+  Alcotest.(check int) "no edges in a flat image" 0
+    (Array.fold_left ( + ) 0 golden)
+
+let test_step_edge_detected () =
+  (* a vertical step between two brightness plateaus must fire *)
+  let img =
+    Array.init (Sobel.width * Sobel.height) (fun i ->
+        if i mod Sobel.width < 64 then 0 else 255)
+  in
+  let golden = Sobel.golden [ ("image", img) ] in
+  (* pixel just left of the step, middle row *)
+  let p = (64 * Sobel.width) + 63 in
+  Alcotest.(check int) "edge fires at the step" 255 golden.(p);
+  Alcotest.(check int) "plateau stays dark" 0 golden.(p - 30)
+
+let test_binary_output () =
+  let golden = Sobel.golden (Sobel.inputs ()) in
+  Array.iter
+    (fun v -> if v <> 0 && v <> 255 then Alcotest.fail "non-binary edge value")
+    golden
+
+let test_kernel_frequency () =
+  let prepared = Sobel.prepared () in
+  let freqs =
+    Array.map
+      (fun (b : Hypar_profiling.Profile.block_stats) -> b.freq)
+      prepared.Flow.profile.Hypar_profiling.Profile.blocks
+  in
+  Alcotest.(check bool) "inner body runs 126*126 times" true
+    (Array.exists (fun f -> f = 126 * 126) freqs)
+
+let test_partitioning () =
+  let prepared = Sobel.prepared () in
+  let r =
+    Flow.partition
+      (List.hd (Hypar_core.Platform.paper_configs ()))
+      ~timing_constraint:Sobel.timing_constraint prepared
+  in
+  Alcotest.(check bool) "needs partitioning" true
+    (r.Engine.initial.Engine.t_total > Sobel.timing_constraint);
+  Alcotest.(check bool) "met by moving the single kernel" true (Engine.met r);
+  Alcotest.(check int) "one move suffices" 1 (List.length r.Engine.moved)
+
+let suite =
+  [
+    Alcotest.test_case "golden model" `Quick test_golden;
+    Alcotest.test_case "borders zero" `Quick test_borders_are_zero;
+    Alcotest.test_case "flat image" `Quick test_flat_image_no_edges;
+    Alcotest.test_case "step edge" `Quick test_step_edge_detected;
+    Alcotest.test_case "binary output" `Quick test_binary_output;
+    Alcotest.test_case "kernel frequency" `Quick test_kernel_frequency;
+    Alcotest.test_case "partitioning" `Quick test_partitioning;
+  ]

@@ -1,0 +1,123 @@
+(* Unit tests for Mini-C syntactic sugar: compound assignments and
+   increment/decrement statements. *)
+
+module Driver = Hypar_minic.Driver
+module Interp = Hypar_profiling.Interp
+
+let out cdfg = Interp.array_exn (Interp.run cdfg) "out"
+
+let run src = (out (Driver.compile_exn src)).(0)
+
+let test_compound_scalar () =
+  let v = run {|
+int out[1];
+void main() {
+  int x = 10;
+  x += 5;
+  x -= 3;
+  x *= 4;
+  x <<= 1;
+  x >>= 2;
+  x &= 31;
+  x |= 64;
+  x ^= 1;
+  out[0] = x;
+}
+|} in
+  (* 10+5-3=12 *4=48 <<1=96 >>2=24 &31=24 |64=88 ^1=89 *)
+  Alcotest.(check int) "compound chain" 89 v
+
+let test_increment_decrement () =
+  let v = run {|
+int out[1];
+void main() {
+  int x = 5;
+  x++;
+  x++;
+  x--;
+  out[0] = x;
+}
+|} in
+  Alcotest.(check int) "x = 6" 6 v
+
+let test_for_with_increment () =
+  let v = run {|
+int out[1];
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 10; i++) {
+    s += i;
+  }
+  out[0] = s;
+}
+|} in
+  Alcotest.(check int) "sum 0..9" 45 v
+
+let test_array_compound () =
+  let cdfg = Driver.compile_exn {|
+int out[4];
+void main() {
+  out[0] = 10;
+  out[0] += 32;
+  out[1] = 8;
+  out[1] *= 3;
+  out[2] = 5;
+  out[2]++;
+  out[3] = 5;
+  out[3]--;
+}
+|} in
+  let o = out cdfg in
+  Alcotest.(check int) "+=" 42 o.(0);
+  Alcotest.(check int) "*=" 24 o.(1);
+  Alcotest.(check int) "++" 6 o.(2);
+  Alcotest.(check int) "--" 4 o.(3)
+
+let test_array_compound_with_computed_index () =
+  let v = run {|
+int out[1];
+int t[8];
+void main() {
+  int i = 3;
+  t[i + 1] = 7;
+  t[i + 1] += t[i + 1];
+  out[0] = t[4];
+}
+|} in
+  Alcotest.(check int) "index evaluated consistently" 14 v
+
+let test_shr_assign_is_arithmetic () =
+  let v = run {|
+int out[1];
+void main() {
+  int x = 0 - 16;
+  x >>= 2;
+  out[0] = x;
+}
+|} in
+  Alcotest.(check int) "arithmetic shift on negatives" (-4) v
+
+let test_lexer_disambiguation () =
+  (* 'a+++b' lexes as 'a ++ + b' in C; our statement grammar only allows
+     ++ as a statement, so 'a + ++b' style input must fail cleanly *)
+  let v = run {|
+int out[1];
+void main() {
+  int a = 1;
+  int b = 2;
+  out[0] = a + + b;
+}
+|} in
+  Alcotest.(check int) "unary plus still works" 3 v
+
+let suite =
+  [
+    Alcotest.test_case "compound scalar" `Quick test_compound_scalar;
+    Alcotest.test_case "increment/decrement" `Quick test_increment_decrement;
+    Alcotest.test_case "for with i++" `Quick test_for_with_increment;
+    Alcotest.test_case "array compound" `Quick test_array_compound;
+    Alcotest.test_case "computed index" `Quick test_array_compound_with_computed_index;
+    Alcotest.test_case ">>= is arithmetic" `Quick test_shr_assign_is_arithmetic;
+    Alcotest.test_case "lexer disambiguation" `Quick test_lexer_disambiguation;
+  ]

@@ -1,0 +1,102 @@
+(* Unit tests for the Figure-3 temporal partitioning algorithm. *)
+
+module Ir = Hypar_ir
+module Fpga = Hypar_finegrain.Fpga
+module Temporal = Hypar_finegrain.Temporal
+
+let unit_size _ = 10
+
+let chain nodes =
+  Ir.Builder.dfg_of (fun b ->
+      let prev = ref (Ir.Builder.imm 1) in
+      for _ = 1 to nodes do
+        let v = Ir.Builder.bin b Ir.Types.Add "t" !prev (Ir.Builder.imm 1) in
+        prev := Ir.Builder.var v
+      done)
+
+let wide nodes =
+  Ir.Builder.dfg_of (fun b ->
+      let x = Ir.Builder.fresh_var b "x" in
+      for _ = 1 to nodes do
+        ignore (Ir.Builder.bin b Ir.Types.Add "t" (Ir.Builder.var x) (Ir.Builder.imm 1))
+      done)
+
+let test_everything_fits () =
+  let dfg = chain 5 in
+  let tp = Temporal.partition ~area:1000 ~size:unit_size dfg in
+  Alcotest.(check int) "single partition" 1 (Temporal.count tp);
+  Alcotest.(check bool) "valid" true (Temporal.is_valid dfg tp)
+
+let test_splits_on_area () =
+  (* 10 nodes x 10 area, budget 35 -> ceil(100/35) or slightly more *)
+  let dfg = chain 10 in
+  let tp = Temporal.partition ~area:35 ~size:unit_size dfg in
+  Alcotest.(check int) "4 partitions (3 per part)" 4 (Temporal.count tp);
+  Alcotest.(check bool) "valid" true (Temporal.is_valid dfg tp);
+  List.iter
+    (fun (p : Temporal.partition) ->
+      Alcotest.(check bool) "area bound respected" true (p.area_used <= 35))
+    tp.Temporal.partitions
+
+let test_same_level_splits () =
+  (* a wide level also splits, per the paper's inner loop *)
+  let dfg = wide 7 in
+  let tp = Temporal.partition ~area:30 ~size:unit_size dfg in
+  Alcotest.(check int) "7 unit nodes / 3 per partition" 3 (Temporal.count tp);
+  Alcotest.(check bool) "valid" true (Temporal.is_valid dfg tp)
+
+let test_oversized_node () =
+  let dfg = chain 3 in
+  let tp = Temporal.partition ~area:5 ~size:unit_size dfg in
+  (* every node exceeds the device: one partition each *)
+  Alcotest.(check int) "one partition per node" 3 (Temporal.count tp);
+  Alcotest.(check bool) "still valid" true (Temporal.is_valid dfg tp)
+
+let test_empty_dfg () =
+  let dfg = Ir.Dfg.of_instrs [] in
+  let tp = Temporal.partition ~area:100 ~size:unit_size dfg in
+  Alcotest.(check int) "no partitions" 0 (Temporal.count tp)
+
+let test_invalid_area () =
+  match Temporal.partition ~area:0 ~size:unit_size (chain 2) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_monotone_in_area () =
+  let dfg = Hypar_apps.Synth.random_dfg ~seed:11 ~nodes:120 () in
+  let fpga a = Fpga.make ~area:a () in
+  let count a =
+    Temporal.count
+      (Temporal.partition ~area:a ~size:(Fpga.op_area (fpga a)) dfg)
+  in
+  let c1 = count 500 and c2 = count 2000 and c3 = count 10000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "larger area, fewer partitions (%d >= %d >= %d)" c1 c2 c3)
+    true
+    (c1 >= c2 && c2 >= c3);
+  Alcotest.(check bool) "big device has 1 or 2 partitions" true (c3 <= 2)
+
+let test_assignment_covers_all () =
+  let dfg = chain 10 in
+  let tp = Temporal.partition ~area:35 ~size:unit_size dfg in
+  Array.iteri
+    (fun i p -> if p < 1 then Alcotest.failf "node %d unassigned" i)
+    tp.Temporal.assignment;
+  let total_nodes =
+    List.fold_left
+      (fun acc (p : Temporal.partition) -> acc + List.length p.node_ids)
+      0 tp.Temporal.partitions
+  in
+  Alcotest.(check int) "partitions cover all nodes" 10 total_nodes
+
+let suite =
+  [
+    Alcotest.test_case "everything fits" `Quick test_everything_fits;
+    Alcotest.test_case "splits on area" `Quick test_splits_on_area;
+    Alcotest.test_case "same level splits" `Quick test_same_level_splits;
+    Alcotest.test_case "oversized node" `Quick test_oversized_node;
+    Alcotest.test_case "empty DFG" `Quick test_empty_dfg;
+    Alcotest.test_case "invalid area" `Quick test_invalid_area;
+    Alcotest.test_case "monotone in area" `Quick test_monotone_in_area;
+    Alcotest.test_case "assignment covers all" `Quick test_assignment_covers_all;
+  ]

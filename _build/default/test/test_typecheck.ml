@@ -1,0 +1,100 @@
+(* Unit tests for the Mini-C type checker. *)
+
+module Parser = Hypar_minic.Parser
+module Typecheck = Hypar_minic.Typecheck
+
+let ok src =
+  match Typecheck.check (Parser.parse_program src) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" e.Typecheck.msg
+
+let rejects ~substr src =
+  match Typecheck.check (Parser.parse_program src) with
+  | Ok () -> Alcotest.failf "expected rejection (%s)" substr
+  | Error e ->
+    let lower = String.lowercase_ascii e.Typecheck.msg in
+    if
+      not
+        (String.length substr = 0
+        || Str_contains.contains lower (String.lowercase_ascii substr))
+    then Alcotest.failf "wrong error %S (wanted %S)" e.Typecheck.msg substr
+
+let test_accepts () =
+  ok "void main() { }";
+  ok "int g = 3;\nvoid main() { g = g + 1; }";
+  ok {|
+int buf[4];
+int f(int x) { return x * 2; }
+void main() { buf[0] = f(21); }
+|};
+  ok {|
+int buf[4];
+void fill(int b[], int v) { b[0] = v; }
+void main() { fill(buf, 9); }
+|};
+  ok "void main() { int x = max(1, min(2, 3)) + abs(0 - 4); x = x; }"
+
+let test_scoping () =
+  rejects ~substr:"undeclared" "void main() { x = 1; }";
+  rejects ~substr:"undeclared" "void main() { int y = x + 1; }";
+  rejects ~substr:"redeclared" "void main() { int x; int x; }";
+  ok "void main() { int x = 1; if (x) { int y = 2; x = y; } }";
+  (* block-scoped variable not visible outside *)
+  rejects ~substr:"undeclared" "void main() { if (1) { int y = 2; y = y; } y = 3; }"
+
+let test_arrays () =
+  rejects ~substr:"array" "int a[4];\nvoid main() { a = 3; }";
+  rejects ~substr:"indexed" "void main() { int s = 0; s[0] = 1; }";
+  rejects ~substr:"const" "const int t[1] = { 1 };\nvoid main() { t[0] = 2; }";
+  rejects ~substr:"initialiser" "const int t[4];\nvoid main() { }";
+  rejects ~substr:"size" "int t[0];\nvoid main() { }";
+  rejects ~substr:"" "int t[2] = { 1, 2, 3 };\nvoid main() { }";
+  ok "const int t[4] = { 1, 2 };\nvoid main() { int x = t[3]; x = x; }"
+
+let test_functions () =
+  rejects ~substr:"undefined" "void main() { ghost(); }";
+  rejects ~substr:"argument" "int f(int a) { return a; }\nvoid main() { int x = f(); x = x; }";
+  rejects ~substr:"void" "void f() { }\nvoid main() { int x = f(); x = x; }";
+  rejects ~substr:"return" "int f(int a) { a = a + 1; }\nvoid main() { int x = f(1); x = x; }";
+  rejects ~substr:"return" "void f() { return 3; }\nvoid main() { f(); }";
+  rejects ~substr:"multiple" {|
+int f(int a) {
+  if (a) { return 1; }
+  return 2;
+}
+void main() { int x = f(1); x = x; }
+|};
+  rejects ~substr:"last" {|
+int f(int a) {
+  return 1;
+  a = 2;
+}
+void main() { int x = f(1); x = x; }
+|};
+  rejects ~substr:"array" "int f(int b[]) { return b[0]; }\nvoid main() { int x = f(3); x = x; }";
+  rejects ~substr:"bare" "int buf[2];\nint f(int b[]) { return b[0]; }\nvoid main() { int x = f(buf[0]); x = x; }"
+
+let test_main_requirements () =
+  rejects ~substr:"main" "int f(int a) { return a; }";
+  rejects ~substr:"parameters" "void main(int argc) { }"
+
+let test_builtins () =
+  rejects ~substr:"builtin" "void main() { int x = min(1); x = x; }";
+  rejects ~substr:"builtin" "void main() { int x = abs(1, 2); x = x; }";
+  rejects ~substr:"shadows" "int min(int a, int b) { return a; }\nvoid main() { }"
+
+let test_duplicates () =
+  rejects ~substr:"duplicate" "int g;\nint g;\nvoid main() { }";
+  rejects ~substr:"duplicate" "void f() { }\nvoid f() { }\nvoid main() { }";
+  rejects ~substr:"shadows" "int f;\nvoid f() { }\nvoid main() { }"
+
+let suite =
+  [
+    Alcotest.test_case "accepts valid programs" `Quick test_accepts;
+    Alcotest.test_case "scoping" `Quick test_scoping;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "main requirements" `Quick test_main_requirements;
+    Alcotest.test_case "builtins" `Quick test_builtins;
+    Alcotest.test_case "duplicates" `Quick test_duplicates;
+  ]

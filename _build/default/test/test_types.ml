@@ -1,0 +1,53 @@
+(* Unit tests for Hypar_ir.Types: operator semantics and printing. *)
+
+module Types = Hypar_ir.Types
+
+let check = Alcotest.(check int)
+
+let test_arithmetic () =
+  check "add" 7 (Types.eval_alu_op Types.Add 3 4);
+  check "sub" (-1) (Types.eval_alu_op Types.Sub 3 4);
+  check "and" 0b100 (Types.eval_alu_op Types.And 0b110 0b101);
+  check "or" 0b111 (Types.eval_alu_op Types.Or 0b110 0b101);
+  check "xor" 0b011 (Types.eval_alu_op Types.Xor 0b110 0b101);
+  check "min" 3 (Types.eval_alu_op Types.Min 3 4);
+  check "max" 4 (Types.eval_alu_op Types.Max 3 4)
+
+let test_shifts () =
+  check "shl" 24 (Types.eval_alu_op Types.Shl 3 3);
+  check "shr" 3 (Types.eval_alu_op Types.Shr 24 3);
+  check "ashr positive" 3 (Types.eval_alu_op Types.Ashr 24 3);
+  check "ashr negative" (-4) (Types.eval_alu_op Types.Ashr (-13) 2);
+  check "shl clamps negative amount" 5 (Types.eval_alu_op Types.Shl 5 (-3));
+  check "shl clamps huge amount" (5 lsl 62) (Types.eval_alu_op Types.Shl 5 1000)
+
+let test_comparisons () =
+  check "lt true" 1 (Types.eval_alu_op Types.Lt 1 2);
+  check "lt false" 0 (Types.eval_alu_op Types.Lt 2 1);
+  check "le equal" 1 (Types.eval_alu_op Types.Le 2 2);
+  check "eq" 1 (Types.eval_alu_op Types.Eq 5 5);
+  check "ne" 1 (Types.eval_alu_op Types.Ne 5 6);
+  check "gt" 1 (Types.eval_alu_op Types.Gt 3 2);
+  check "ge" 0 (Types.eval_alu_op Types.Ge 1 2)
+
+let test_unary () =
+  check "neg" (-5) (Types.eval_un_op Types.Neg 5);
+  check "not" (-1) (Types.eval_un_op Types.Not 0);
+  check "abs negative" 5 (Types.eval_un_op Types.Abs (-5));
+  check "abs positive" 5 (Types.eval_un_op Types.Abs 5)
+
+let test_names () =
+  Alcotest.(check string) "alu name" "add" (Types.string_of_alu_op Types.Add);
+  Alcotest.(check string) "un name" "abs" (Types.string_of_un_op Types.Abs);
+  Alcotest.(check string) "class name" "mul" (Types.string_of_op_class Types.Class_mul);
+  Alcotest.(check int) "all alu ops" 16 (List.length Types.all_alu_ops);
+  Alcotest.(check int) "all un ops" 3 (List.length Types.all_un_ops)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "unary" `Quick test_unary;
+    Alcotest.test_case "names" `Quick test_names;
+  ]
