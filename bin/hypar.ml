@@ -6,12 +6,16 @@
      analyze    print the Table-1 style kernel analysis
      profile    print the dynamic profile of a program
      map        show both mappings per block (temporal partitions, Gantt)
+     lint       source diagnostics (W001-W009; --deny for CI gates)
      baselines  compare kernel-selection strategies
      ranges     value-range / width-overflow analysis
      sweep      partition across an A_FPGA x CGC design-space grid
      dump       serialise the compiled CDFG (.ir)
      dot        emit the CFG (or one block's DFG) as Graphviz
-     demo       reproduce the paper's Tables 2 and 3 *)
+     demo       reproduce the paper's Tables 2 and 3
+
+   partition and map accept --verify-ir to run the Hypar_ir.Verify
+   structural checker on the IR before and after every pass. *)
 
 module Flow = Hypar_core.Flow
 module Platform = Hypar_core.Platform
@@ -26,16 +30,32 @@ let read_file path =
 
 (* .ir files (serialised CDFGs, see Hypar_ir.Serialize) are loaded
    directly; anything else is compiled as Mini-C. *)
-let load_cdfg path =
-  if Filename.check_suffix path ".ir" then
-    Hypar_ir.Serialize.of_string (read_file path)
-  else Hypar_minic.Driver.compile_exn ~name:(Filename.basename path) (read_file path)
+let load_cdfg ?(verify_ir = false) path =
+  if Filename.check_suffix path ".ir" then begin
+    let cdfg = Hypar_ir.Serialize.of_string (read_file path) in
+    if verify_ir || !Hypar_ir.Passes.verify_passes then
+      Hypar_ir.Verify.check_exn ~context:(Filename.basename path) cdfg;
+    cdfg
+  end
+  else
+    Hypar_minic.Driver.compile_exn ~name:(Filename.basename path)
+      ?verify_ir:(if verify_ir then Some true else None)
+      (read_file path)
 
-let prepare_file path =
-  let cdfg = load_cdfg path in
+let prepare_file ?verify_ir path =
+  let cdfg = load_cdfg ?verify_ir path in
   let interp = Hypar_profiling.Interp.run cdfg in
   let profile = Hypar_profiling.Profile.of_result cdfg interp in
   { Flow.cdfg; profile; interp }
+
+(* uniform reporting + exit code when --verify-ir finds a broken IR *)
+let with_verification f =
+  match f () with
+  | exception Hypar_ir.Verify.Failed { context; violations } ->
+    Printf.eprintf "hypar: IR verification failed after %S:\n%s\n" context
+      (Hypar_ir.Verify.report violations);
+    3
+  | code -> code
 
 let platform_of ~area ~cgcs ~rows ~cols ~ratio =
   Platform.make ~clock_ratio:ratio
@@ -66,14 +86,24 @@ let constraint_arg =
     & opt (some int) None
     & info [ "timing"; "t" ] ~docv:"CYCLES" ~doc:"timing constraint in FPGA cycles")
 
+let verify_ir_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-ir" ]
+        ~doc:"check IR structural invariants before and after every pass")
+
 let partition_cmd =
-  let run file area cgcs rows cols ratio timing report loops pipelined =
-    let prepared = prepare_file file in
+  let run file area cgcs rows cols ratio timing report loops pipelined verify_ir
+      =
+    with_verification @@ fun () ->
+    let prepared = prepare_file ~verify_ir file in
     let platform = platform_of ~area ~cgcs ~rows ~cols ~ratio in
     let granularity = if loops then `Loop else `Block in
     let r =
-      Engine.run ~granularity ~cgc_pipelining:pipelined platform
-        ~timing_constraint:timing prepared.Flow.cdfg prepared.Flow.profile
+      Engine.run ~granularity ~cgc_pipelining:pipelined
+        ?verify_ir:(if verify_ir then Some true else None)
+        platform ~timing_constraint:timing prepared.Flow.cdfg
+        prepared.Flow.profile
     in
     if report then print_string (Hypar_core.Report.markdown r)
     else Format.printf "%a@." Engine.pp r;
@@ -91,7 +121,8 @@ let partition_cmd =
   let term =
     Term.(
       const run $ file_arg $ area_arg $ cgcs_arg $ rows_arg $ cols_arg
-      $ ratio_arg $ constraint_arg $ report_arg $ loops_arg $ pipelined_arg)
+      $ ratio_arg $ constraint_arg $ report_arg $ loops_arg $ pipelined_arg
+      $ verify_ir_arg)
   in
   Cmd.v
     (Cmd.info "partition"
@@ -100,6 +131,7 @@ let partition_cmd =
 
 let analyze_cmd =
   let run file top =
+    with_verification @@ fun () ->
     let prepared = prepare_file file in
     let analysis =
       Hypar_analysis.Kernel.analyse prepared.Flow.cdfg prepared.Flow.profile
@@ -116,6 +148,7 @@ let analyze_cmd =
 
 let profile_cmd =
   let run file =
+    with_verification @@ fun () ->
     let prepared = prepare_file file in
     Format.printf "%a@." Hypar_profiling.Profile.pp prepared.Flow.profile;
     0
@@ -125,6 +158,7 @@ let profile_cmd =
 
 let dot_cmd =
   let run file block =
+    with_verification @@ fun () ->
     let prepared = prepare_file file in
     (match block with
     | None -> print_string (Hypar_ir.Dot.cfg_to_dot prepared.Flow.cdfg)
@@ -144,8 +178,9 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Graphviz export of the CFG or one DFG") term
 
 let map_cmd =
-  let run file block area cgcs rows cols =
-    let prepared = prepare_file file in
+  let run file block area cgcs rows cols verify_ir =
+    with_verification @@ fun () ->
+    let prepared = prepare_file ~verify_ir file in
     let cdfg = prepared.Flow.cdfg in
     let fpga = Hypar_finegrain.Fpga.make ~area () in
     let cgc = Hypar_coarsegrain.Cgc.make ~cgcs ~rows ~cols () in
@@ -181,15 +216,104 @@ let map_cmd =
       & info [ "block"; "b" ] ~docv:"ID" ~doc:"map only this block")
   in
   let term =
-    Term.(const run $ file_arg $ block_arg $ area_arg $ cgcs_arg $ rows_arg $ cols_arg)
+    Term.(
+      const run $ file_arg $ block_arg $ area_arg $ cgcs_arg $ rows_arg
+      $ cols_arg $ verify_ir_arg)
   in
   Cmd.v
     (Cmd.info "map"
        ~doc:"Show both mappings of each block (temporal partitions, CGC Gantt)")
     term
 
+let lint_cmd =
+  let module Lint = Hypar_analysis.Lint in
+  let run file format max_warnings deny =
+    (* resolve the denied codes first so a typo fails fast *)
+    let deny_codes =
+      if List.exists (fun s -> String.lowercase_ascii s = "all") deny then
+        Ok Lint.all_codes
+      else
+        List.fold_left
+          (fun acc s ->
+            match (acc, Lint.code_of_string s) with
+            | Error _, _ -> acc
+            | Ok _, None -> Error s
+            | Ok codes, Some c -> Ok (c :: codes))
+          (Ok []) deny
+    in
+    match deny_codes with
+    | Error s ->
+      Printf.eprintf "hypar: unknown lint code %S (use W001..W009 or a mnemonic)\n" s;
+      2
+    | Ok deny_codes -> (
+      match Lint.check ~name:(Filename.basename file) (read_file file) with
+      | Error msg ->
+        Printf.eprintf "%s:%s\n" file msg;
+        2
+      | Ok diags ->
+        (match format with
+        | `Json -> print_string (Lint.render_json ~file diags)
+        | `Text ->
+          print_string (Lint.render ~file diags);
+          if diags <> [] then
+            Printf.printf "%d warning%s\n" (List.length diags)
+              (if List.length diags = 1 then "" else "s"));
+        let denied =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (d : Lint.diagnostic) ->
+                 if List.mem d.code deny_codes then Some (Lint.code_id d.code)
+                 else None)
+               diags)
+        in
+        let over_limit =
+          match max_warnings with
+          | Some m -> List.length diags > m
+          | None -> false
+        in
+        if denied <> [] then
+          Printf.eprintf "hypar: denied lint codes present: %s\n"
+            (String.concat ", " denied);
+        (match (over_limit, max_warnings) with
+        | true, Some m ->
+          Printf.eprintf "hypar: %d warnings exceed --max-warnings %d\n"
+            (List.length diags) m
+        | _ -> ());
+        if denied <> [] || over_limit then 1 else 0)
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"output format: $(b,text) or $(b,json)")
+  in
+  let max_warnings_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-warnings" ] ~docv:"N"
+          ~doc:"fail (exit 1) when more than $(docv) diagnostics are emitted")
+  in
+  let deny_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "deny" ] ~docv:"CODE"
+          ~doc:
+            "fail (exit 1) if this code is present; accepts an id (W003), a \
+             mnemonic (dead-assignment) or $(b,all); repeatable")
+  in
+  let term =
+    Term.(const run $ file_arg $ format_arg $ max_warnings_arg $ deny_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Source diagnostics for a Mini-C program (unused/dead/unreachable \
+             code, constant conditions, range hazards)")
+    term
+
 let baselines_cmd =
   let run file area cgcs rows cols ratio timing =
+    with_verification @@ fun () ->
     let prepared = prepare_file file in
     let platform = platform_of ~area ~cgcs ~rows ~cols ~ratio in
     Printf.printf "%-28s %7s %16s %6s %8s\n" "strategy" "moves" "final" "met"
@@ -216,6 +340,7 @@ let baselines_cmd =
 
 let ranges_cmd =
   let run file all =
+    with_verification @@ fun () ->
     let cdfg = load_cdfg file in
     let reports =
       if all then Hypar_analysis.Range.analyse cdfg
@@ -238,6 +363,7 @@ let ranges_cmd =
 
 let sweep_cmd =
   let run file ratio timing =
+    with_verification @@ fun () ->
     let prepared = prepare_file file in
     Printf.printf "%8s %10s %16s %16s %10s %7s\n" "A_FPGA" "CGCs" "initial"
       "final" "reduction" "moved";
@@ -264,6 +390,7 @@ let sweep_cmd =
 
 let dump_cmd =
   let run file =
+    with_verification @@ fun () ->
     print_string (Hypar_ir.Serialize.to_string (load_cdfg file));
     0
   in
@@ -303,4 +430,4 @@ let demo_cmd =
 let () =
   let doc = "hybrid fine/coarse-grain reconfigurable partitioning (DATE'04/05 methodology)" in
   let info = Cmd.info "hypar" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; baselines_cmd; ranges_cmd; sweep_cmd; dump_cmd; demo_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; sweep_cmd; dump_cmd; demo_cmd ]))

@@ -67,6 +67,8 @@ let shift_right_logical a b =
   else if b.lo < 0 then top
   else make 0 (a.hi asr b.lo)
 
+let contains i n = i.lo <= n && n <= i.hi
+
 let compare_result = make 0 1
 
 let eval_bin (op : Ir.Types.alu_op) a b =

@@ -22,6 +22,22 @@ val top : interval
 val width_range : int -> interval
 (** The representable signed range of a bit-width: [[-2^(w-1), 2^(w-1)-1]]. *)
 
+(** {2 Interval arithmetic}
+
+    The clamped operations the analysis itself runs on, exposed so other
+    analyses (the {!Lint} rules in particular) can evaluate expressions
+    over the inferred ranges without re-implementing the arithmetic. *)
+
+val const : int -> interval
+val join : interval -> interval -> interval
+val add : interval -> interval -> interval
+val sub : interval -> interval -> interval
+val mul : interval -> interval -> interval
+val neg : interval -> interval
+
+val contains : interval -> int -> bool
+(** [contains i n] — is [n] inside [[i.lo, i.hi]]? *)
+
 type report = {
   var : Hypar_ir.Instr.var;
   range : interval;

@@ -172,8 +172,10 @@ let group_kernels_by_loop cdfg (kernels : Analysis.Kernel.entry list) =
   |> List.sort (fun g1 g2 -> compare (group_weight g2) (group_weight g1))
 
 let run ?weights ?max_moves ?(comm_pricing = `Transition) ?cgc_pipelining
-    ?(granularity = `Block) (platform : Platform.t) ~timing_constraint cdfg
-    profile =
+    ?(granularity = `Block) ?verify_ir (platform : Platform.t)
+    ~timing_constraint cdfg profile =
+  if Option.value verify_ir ~default:!Ir.Passes.verify_passes then
+    Ir.Verify.check_exn ~context:"engine input" cdfg;
   let n = Ir.Cdfg.block_count cdfg in
   let freq, fine, coarse, pipeline, entries, comm, live, edges =
     characterise ?cgc_pipelining platform cdfg profile

@@ -58,6 +58,7 @@ val run :
   ?comm_pricing:[ `Transition | `Per_invocation ] ->
   ?cgc_pipelining:bool ->
   ?granularity:[ `Block | `Loop ] ->
+  ?verify_ir:bool ->
   Platform.t ->
   timing_constraint:int ->
   Hypar_ir.Cdfg.t ->
@@ -71,7 +72,9 @@ val run :
     once and every further iteration only the initiation interval.
     [granularity] (default [`Block], the paper's) moves either single
     kernels or whole innermost loops per step — the [ablation:strategy]
-    bench motivates [`Loop] for multi-block loop bodies. *)
+    bench motivates [`Loop] for multi-block loop bodies.
+    [verify_ir] (default {!Hypar_ir.Passes.verify_passes}) runs
+    {!Hypar_ir.Verify.check} on the input CDFG before partitioning. *)
 
 val evaluate :
   ?comm_pricing:[ `Transition | `Per_invocation ] ->

@@ -10,12 +10,15 @@ type prepared = {
 val prepare :
   ?name:string ->
   ?simplify:bool ->
+  ?verify_ir:bool ->
   ?inputs:(string * int array) list ->
   string ->
   prepared
 (** Compiles the source (frontend + clean-up passes) and profiles it on
     the given inputs. Raises [Failure] on frontend errors and
-    {!Hypar_profiling.Interp.Runtime_error} on execution errors. *)
+    {!Hypar_profiling.Interp.Runtime_error} on execution errors.
+    [verify_ir] (default {!Hypar_ir.Passes.verify_passes}) checks the IR
+    at every pass boundary, raising {!Hypar_ir.Verify.Failed}. *)
 
 val partition :
   ?weights:Hypar_analysis.Weights.t ->

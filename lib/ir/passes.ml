@@ -1,3 +1,19 @@
+(* --- pass-boundary verification ---------------------------------------- *)
+
+let verify_passes =
+  ref
+    (match Sys.getenv_opt "HYPAR_VERIFY_IR" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false)
+
+let checked ?verify name pass cdfg =
+  if not (Option.value verify ~default:!verify_passes) then pass cdfg
+  else begin
+    let out = pass cdfg in
+    Verify.check_exn ~context:name out;
+    out
+  end
+
 let rebuild cdfg blocks =
   Cdfg.make ~name:(Cdfg.name cdfg) ~arrays:(Cdfg.arrays cdfg)
     (Cfg.of_blocks blocks)
@@ -639,18 +655,27 @@ let loop_invariant_motion cdfg =
 
 (* --- fixpoint --------------------------------------------------------- *)
 
-let simplify ?(max_rounds = 8) cdfg =
+let simplify ?(max_rounds = 8) ?verify cdfg =
+  let step = checked ?verify in
   let rec go round c =
     if round >= max_rounds then c
     else
       let c' =
-        dead_code_eliminate
-          (common_subexpressions
-             (copy_propagate (algebraic_simplify (const_fold c))))
+        step "dead_code_eliminate" dead_code_eliminate
+          (step "common_subexpressions" common_subexpressions
+             (step "copy_propagate" copy_propagate
+                (step "algebraic_simplify" algebraic_simplify
+                   (step "const_fold" const_fold c))))
       in
       if same_program c c' then c else go (round + 1) c'
   in
   go 0 cdfg
 
-let optimize cdfg =
-  simplify_cfg (simplify (loop_invariant_motion (simplify_cfg (simplify cdfg))))
+let optimize ?verify cdfg =
+  let step = checked ?verify in
+  step "input" Fun.id cdfg
+  |> simplify ?verify
+  |> step "simplify_cfg" simplify_cfg
+  |> step "loop_invariant_motion" loop_invariant_motion
+  |> simplify ?verify
+  |> step "simplify_cfg" simplify_cfg

@@ -7,6 +7,18 @@
     (with a global liveness fixpoint backing dead-code elimination), and
     idempotent at the {!simplify} fixpoint. *)
 
+val verify_passes : bool ref
+(** Global default for pass-boundary IR verification ({!Verify.check}
+    after every pass inside {!simplify} and {!optimize}).  Initialised
+    from the [HYPAR_VERIFY_IR] environment variable ([1]/[true]/[yes]/
+    [on]); the test runner turns it on for the whole suite, the CLI
+    exposes it as [--verify-ir]. *)
+
+val checked : ?verify:bool -> string -> (Cdfg.t -> Cdfg.t) -> Cdfg.t -> Cdfg.t
+(** [checked name pass cdfg] runs [pass] and, when verification is on
+    ([verify] overrides {!verify_passes}), checks the result, raising
+    {!Verify.Failed} with [name] as the context on any violation. *)
+
 val const_fold : Cdfg.t -> Cdfg.t
 (** Propagates constants within each block and folds operations whose
     operands are all constant (divisions by a constant zero are left in
@@ -55,12 +67,14 @@ val loop_invariant_motion : Cdfg.t -> Cdfg.t
     unique out-of-loop predecessor of the header — which the frontend's
     rotated-loop shape guarantees. *)
 
-val simplify : ?max_rounds:int -> Cdfg.t -> Cdfg.t
+val simplify : ?max_rounds:int -> ?verify:bool -> Cdfg.t -> Cdfg.t
 (** [const_fold → algebraic_simplify → copy_propagate →
     common_subexpressions → dead_code_eliminate] to a fixpoint (at most
-    [max_rounds] rounds, default 8). *)
+    [max_rounds] rounds, default 8).  With verification on (see
+    {!verify_passes}) every constituent pass is {!checked}. *)
 
-val optimize : Cdfg.t -> Cdfg.t
+val optimize : ?verify:bool -> Cdfg.t -> Cdfg.t
 (** The default frontend pipeline: {!simplify} → {!simplify_cfg} →
     {!loop_invariant_motion} (innermost loops first) → {!simplify} →
-    {!simplify_cfg}. *)
+    {!simplify_cfg}.  With verification on the input and every pass
+    output are {!checked}. *)

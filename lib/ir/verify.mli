@@ -1,0 +1,91 @@
+(** Structural invariant verification for the IR.
+
+    The optimisation pipeline ({!Passes}) rewrites the CDFG aggressively;
+    every rewrite must preserve the structural properties the analysis,
+    mapping and partitioning stages silently rely on.  This module checks
+    those properties explicitly and returns a typed list of violations, so
+    a broken pass is caught at the pass boundary (with the pass name in
+    the error) instead of as a wrong number three stages later.
+
+    Invariants checked on a {!Cdfg.t}:
+    - {b entry-reachable}: the block list is non-empty and the entry block
+      is reachable (trivially, block 0);
+    - {b terminators-resolve}: every terminator targets an existing block
+      label, and labels are unique;
+    - {b dfg-well-formed}: each block's DFG is acyclic with intra-block
+      edges only (all edges forward in program order), and has exactly one
+      node per instruction of its block, in order;
+    - {b defs-before-uses}: no register is live into the entry block —
+      i.e. there is no path from the entry to a use of a register that
+      does not first pass a definition;
+    - {b liveness-consistent}: the per-block live-in/live-out sets of
+      {!Live} satisfy the backward data-flow equations
+      [live_in = use + (live_out - def)] and
+      [live_out = U live_in(succ)];
+    - {b arrays-declared}: every accessed array is declared and no store
+      targets a [const] array (the {!Cdfg.validate} checks);
+    - {b roundtrip-stable}: {!Serialize.of_string} of
+      {!Serialize.to_string} reproduces the same name, arrays and
+      blocks. *)
+
+type invariant =
+  | Entry_reachable
+  | Terminators_resolve
+  | Dfg_well_formed
+  | Defs_before_uses
+  | Liveness_consistent
+  | Arrays_declared
+  | Roundtrip_stable
+
+val all_invariants : invariant list
+
+val invariant_name : invariant -> string
+(** Stable kebab-case identifier, e.g. ["defs-before-uses"]. *)
+
+type violation = {
+  invariant : invariant;
+  where : string;  (** block label / register / array involved *)
+  detail : string;
+}
+
+exception Failed of { context : string; violations : violation list }
+(** Raised by {!check_exn}; [context] names the pass (or pipeline stage)
+    whose output failed.  A human-readable printer is registered. *)
+
+val check : Cdfg.t -> violation list
+(** All violations of all invariants, in a deterministic order.  An empty
+    list means the CDFG is well-formed. *)
+
+val check_exn : context:string -> Cdfg.t -> unit
+(** Raises {!Failed} when {!check} finds violations. *)
+
+val report : violation list -> string
+(** One line per violation: [invariant(where): detail]. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** {2 Finer-grained checkers}
+
+    The pieces {!check} is assembled from, exposed so tests can aim each
+    invariant at hand-built (possibly broken) structures that the smart
+    constructors of {!Cfg} and {!Cdfg} would reject. *)
+
+val check_blocks : Block.t list -> violation list
+(** [Entry_reachable] and [Terminators_resolve] over a raw block list,
+    before any {!Cfg.of_blocks} construction. *)
+
+val check_dfg_against : Block.t -> Dfg.t -> violation list
+(** [Dfg_well_formed]: does the DFG have one node per instruction of the
+    block, in program order, with forward-only edges? *)
+
+val check_liveness :
+  Cfg.t ->
+  live_in:(int -> Instr.var list) ->
+  live_out:(int -> Instr.var list) ->
+  violation list
+(** [Liveness_consistent] for externally supplied live sets (production
+    callers pass {!Live}'s; tests can inject broken ones). *)
+
+val structural_diff : Cdfg.t -> Cdfg.t -> violation list
+(** [Roundtrip_stable] violations describing how the second CDFG differs
+    from the first (name, arrays, block count, per-block contents). *)

@@ -4,7 +4,10 @@ let string_of_error e = Printf.sprintf "%d:%d: %s" e.line e.col e.msg
 
 let of_pos (pos : Token.pos) msg = { line = pos.line; col = pos.col; msg }
 
-let compile ?name ?(simplify = true) src =
+let compile ?name ?(simplify = true) ?verify_ir src =
+  let verify =
+    Option.value verify_ir ~default:!Hypar_ir.Passes.verify_passes
+  in
   try
     let ast = Parser.parse_program src in
     match Typecheck.check ast with
@@ -15,7 +18,10 @@ let compile ?name ?(simplify = true) src =
       (match Hypar_ir.Cdfg.validate cdfg with
       | Error msg -> Error { line = 0; col = 0; msg = "lowering produced: " ^ msg }
       | Ok () ->
-        let cdfg = if simplify then Hypar_ir.Passes.optimize cdfg else cdfg in
+        if verify then Hypar_ir.Verify.check_exn ~context:"lower" cdfg;
+        let cdfg =
+          if simplify then Hypar_ir.Passes.optimize ~verify cdfg else cdfg
+        in
         Ok cdfg)
   with
   | Lexer.Error { pos; msg } -> Error (of_pos pos msg)
@@ -24,7 +30,7 @@ let compile ?name ?(simplify = true) src =
     Error { line = 0; col = 0; msg = Printf.sprintf "recursive function %S" f }
   | Invalid_argument msg -> Error { line = 0; col = 0; msg }
 
-let compile_exn ?name ?simplify src =
-  match compile ?name ?simplify src with
+let compile_exn ?name ?simplify ?verify_ir src =
+  match compile ?name ?simplify ?verify_ir src with
   | Ok cdfg -> cdfg
   | Error e -> failwith (string_of_error e)

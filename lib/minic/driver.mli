@@ -2,13 +2,22 @@
 
 type error = { line : int; col : int; msg : string }
 
-val compile : ?name:string -> ?simplify:bool -> string -> (Hypar_ir.Cdfg.t, error) result
+val compile :
+  ?name:string ->
+  ?simplify:bool ->
+  ?verify_ir:bool ->
+  string ->
+  (Hypar_ir.Cdfg.t, error) result
 (** [compile src] lexes, parses, type checks, inlines and lowers a Mini-C
     program.  With [simplify] (default [true]) the optimisation pipeline
     ({!Hypar_ir.Passes.optimize}: clean-up passes + loop-invariant code
-    motion) runs on the result. *)
+    motion) runs on the result.  With [verify_ir] (default
+    {!Hypar_ir.Passes.verify_passes}) the lowered CDFG and every pass
+    output are checked by {!Hypar_ir.Verify}, raising
+    {!Hypar_ir.Verify.Failed} on a broken invariant. *)
 
-val compile_exn : ?name:string -> ?simplify:bool -> string -> Hypar_ir.Cdfg.t
+val compile_exn :
+  ?name:string -> ?simplify:bool -> ?verify_ir:bool -> string -> Hypar_ir.Cdfg.t
 (** Like {!compile} but raises [Failure] with a formatted message. *)
 
 val string_of_error : error -> string

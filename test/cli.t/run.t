@@ -71,3 +71,68 @@ The design-space sweep covers an A_FPGA x CGC grid:
        500    one 2x2            26737             4057      84.8%       1
        500    two 2x2            26737             4057      84.8%       1
        500  three 2x2            26737             4057      84.8%       1
+
+The linter warns about the FIR kernel's int16 MAC accumulator but exits
+zero — warnings alone never fail:
+
+  $ hypar lint fir.mc
+  fir.mc:7:9: warning W008 [width-overflow]: "s" (width 16) may overflow: inferred range [-35184372088832, 35184372088832] exceeds [-32768, 32767]
+  fir.mc:8:9: warning W008 [width-overflow]: "t" (width 16) may overflow: inferred range [-549755813888, 549755813888] exceeds [-32768, 32767]
+  2 warnings
+
+Denying everything except the width widening makes it a clean CI gate:
+
+  $ hypar lint fir.mc --deny W001 --deny W002 --deny W003 --deny W004 \
+  >   --deny W005 --deny W006 --deny W007 --deny W009 > /dev/null
+  $ echo $?
+  0
+
+A deliberately messy kernel trips every diagnostic family, and --deny
+turns that into a failing exit code:
+
+  $ hypar lint dirty.mc --deny all
+  dirty.mc:2:5: warning W002 [unused-parameter]: parameter "w" of "scale" is never read
+  dirty.mc:4:9: warning W001 [unused-variable]: variable "unused" is never read
+  dirty.mc:5:9: warning W008 [width-overflow]: "x" (width 16) may overflow: inferred range [-35184372088832, 35184372088832] exceeds [-32768, 32767]
+  dirty.mc:6:5: warning W003 [dead-assignment]: value assigned to "x" is never read
+  dirty.mc:8:9: warning W005 [constant-condition]: condition is always false
+  dirty.mc:9:9: warning W004 [unreachable-code]: statement is unreachable (condition is always false)
+  dirty.mc:11:15: warning W007 [shift-out-of-range]: shift amount of '<<' may be outside 0..31 (range [40, 40])
+  dirty.mc:12:9: warning W008 [width-overflow]: "q" (width 16) may overflow: inferred range [-35184372088832, 35184372088832] exceeds [-32768, 32767]
+  dirty.mc:12:13: warning W006 [possible-div-by-zero]: right operand of '/' is always zero
+  dirty.mc:17:9: warning W008 [width-overflow]: "acc" (width 16) may overflow: inferred range [-35184372088832, 35184372088832] exceeds [-32768, 32767]
+  dirty.mc:18:9: warning W008 [width-overflow]: "i" (width 16) may overflow: inferred range [0, 35184372088832] exceeds [-32768, 32767]
+  dirty.mc:21:9: warning W009 [induction-write]: loop induction variable "i" is written inside the loop body
+  12 warnings
+  hypar: denied lint codes present: W001, W002, W003, W004, W005, W006, W007, W008, W009
+  [1]
+
+So does a warning budget:
+
+  $ hypar lint dirty.mc --max-warnings 3 > /dev/null
+  hypar: 12 warnings exceed --max-warnings 3
+  [1]
+
+Machine-readable output for editor/CI integration:
+
+  $ hypar lint dirty.mc --format=json | head -5
+  {
+    "file": "dirty.mc",
+    "count": 12,
+    "diagnostics": [
+      {"code": "W002", "name": "unused-parameter", "line": 2, "col": 5, "message": "parameter \"w\" of \"scale\" is never read"},
+
+--verify-ir re-checks the IR invariants around every pass; a clean
+compile is unaffected:
+
+  $ hypar partition fir.mc -t 8000 --verify-ir | head -2
+  partitioning of fir.mc on A_FPGA=1500, two 2x2 CGCs (constraint 8000):
+    initial (all-FPGA): t_fpga=15985 t_coarse=0 (=0 CGC cycles) t_comm=0 t_total=15985
+
+A hand-corrupted IR file (it reads a register nothing defines) is
+rejected before partitioning starts:
+
+  $ hypar partition broken.ir -t 100 --verify-ir
+  hypar: IR verification failed after "broken.ir":
+  defs-before-uses(entry): registers read before any definition: ghost#7
+  [3]

@@ -1,3 +1,8 @@
+(* every simplify/optimize in the whole suite runs under the IR invariant
+   verifier (Hypar_ir.Verify); a pass that corrupts the IR fails loudly
+   with the pass name rather than skewing downstream numbers *)
+let () = Hypar_ir.Passes.verify_passes := true
+
 let () =
   Alcotest.run "hypar"
     [
@@ -10,6 +15,7 @@ let () =
       ("live", Test_live.suite);
       ("serialize", Test_serialize.suite);
       ("passes", Test_passes.suite);
+      ("verify", Test_verify.suite);
       ("opt", Test_opt.suite);
       ("licm", Test_licm.suite);
       ("cfg_simplify", Test_cfg_simplify.suite);
@@ -24,6 +30,7 @@ let () =
       ("profile", Test_profile.suite);
       ("analysis", Test_analysis.suite);
       ("range", Test_range.suite);
+      ("lint", Test_lint.suite);
       ("temporal", Test_temporal.suite);
       ("fine_map", Test_fine_map.suite);
       ("bitstream", Test_bitstream.suite);

@@ -1,0 +1,250 @@
+(* Unit tests for the IR invariant verifier. *)
+
+module Ir = Hypar_ir
+module Verify = Hypar_ir.Verify
+module Block = Hypar_ir.Block
+module Instr = Hypar_ir.Instr
+module Cfg = Hypar_ir.Cfg
+module Cdfg = Hypar_ir.Cdfg
+module Dfg = Hypar_ir.Dfg
+module Live = Hypar_ir.Live
+
+let compile = Hypar_minic.Driver.compile_exn ~simplify:false ~verify_ir:false
+
+let fir_src =
+  {|
+int x[16];
+int h[16];
+int y[16];
+void main() {
+  int n;
+  for (n = 0; n < 16; n = n + 1) {
+    int s = 0;
+    int k;
+    for (k = 0; k <= n; k = k + 1) {
+      s = s + h[k] * x[n - k];
+    }
+    y[n] = s;
+  }
+}
+|}
+
+let invariants vs =
+  List.sort_uniq compare
+    (List.map (fun (v : Verify.violation) -> v.Verify.invariant) vs)
+
+let has inv vs = List.mem inv (invariants vs)
+
+let check_has inv msg vs =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s reported" msg (Verify.invariant_name inv))
+    true (has inv vs)
+
+let var ?(w = 16) vname vid = { Instr.vname; vid; vwidth = w }
+
+(* --- positives: real programs pass every invariant ----------------------- *)
+
+let test_compiled_program_clean () =
+  let cdfg = compile fir_src in
+  Alcotest.(check (list string)) "unoptimised IR verifies" []
+    (List.map (Format.asprintf "%a" Verify.pp_violation) (Verify.check cdfg));
+  let optimised = Ir.Passes.optimize ~verify:true cdfg in
+  Alcotest.(check int) "optimised IR verifies" 0
+    (List.length (Verify.check optimised))
+
+let test_check_exn_silent_on_clean () =
+  Verify.check_exn ~context:"test" (compile fir_src)
+
+(* --- entry-reachable ------------------------------------------------------ *)
+
+let test_no_blocks_flagged () =
+  check_has Verify.Entry_reachable "empty program" (Verify.check_blocks [])
+
+(* --- terminators-resolve -------------------------------------------------- *)
+
+let ret = Block.Return None
+
+let test_duplicate_labels_flagged () =
+  let b = Block.make ~label:"bb0" ~instrs:[] ~term:ret in
+  check_has Verify.Terminators_resolve "duplicate label"
+    (Verify.check_blocks [ b; b ])
+
+let test_unknown_target_flagged () =
+  let b = Block.make ~label:"bb0" ~instrs:[] ~term:(Block.Jump "nowhere") in
+  check_has Verify.Terminators_resolve "dangling jump"
+    (Verify.check_blocks [ b ])
+
+let test_resolving_blocks_clean () =
+  let b0 = Block.make ~label:"bb0" ~instrs:[] ~term:(Block.Jump "bb1") in
+  let b1 = Block.make ~label:"bb1" ~instrs:[] ~term:ret in
+  Alcotest.(check int) "well-linked blocks" 0
+    (List.length (Verify.check_blocks [ b0; b1 ]))
+
+(* --- dfg-well-formed ------------------------------------------------------ *)
+
+let mov dst src = Instr.Mov { dst; src }
+
+let two_instrs =
+  let a = var "a" 0 and b = var "b" 1 in
+  [ mov a (Instr.Imm 1); mov b (Instr.Var a) ]
+
+let test_dfg_node_count_mismatch () =
+  let block = Block.make ~label:"bb0" ~instrs:two_instrs ~term:ret in
+  let stale = Dfg.of_instrs [ List.hd two_instrs ] in
+  check_has Verify.Dfg_well_formed "stale DFG"
+    (Verify.check_dfg_against block stale)
+
+let test_dfg_instr_mismatch () =
+  let block = Block.make ~label:"bb0" ~instrs:two_instrs ~term:ret in
+  let other =
+    Dfg.of_instrs [ mov (var "a" 0) (Instr.Imm 9); mov (var "b" 1) (Instr.Imm 9) ]
+  in
+  check_has Verify.Dfg_well_formed "DFG of other instructions"
+    (Verify.check_dfg_against block other)
+
+let test_dfg_matching_clean () =
+  let block = Block.make ~label:"bb0" ~instrs:two_instrs ~term:ret in
+  Alcotest.(check int) "fresh DFG" 0
+    (List.length (Verify.check_dfg_against block (Dfg.of_instrs two_instrs)))
+
+(* --- defs-before-uses ----------------------------------------------------- *)
+
+let use_before_def_cdfg () =
+  (* reads "ghost" which no instruction ever defines *)
+  let x = var "x" 0 and ghost = var "ghost" 7 in
+  let b =
+    Block.make ~label:"bb0" ~instrs:[ mov x (Instr.Var ghost) ] ~term:ret
+  in
+  Cdfg.make ~name:"broken" ~arrays:[] (Cfg.of_blocks [ b ])
+
+let test_use_before_def_flagged () =
+  let vs = Verify.check (use_before_def_cdfg ()) in
+  check_has Verify.Defs_before_uses "ghost read" vs;
+  Alcotest.(check bool) "violation names the register" true
+    (List.exists
+       (fun (v : Verify.violation) ->
+         v.Verify.invariant = Verify.Defs_before_uses
+         && String.length v.Verify.detail > 0)
+       vs)
+
+let test_check_exn_raises_with_context () =
+  match Verify.check_exn ~context:"unit-test" (use_before_def_cdfg ()) with
+  | () -> Alcotest.fail "expected Verify.Failed"
+  | exception Verify.Failed { context; violations } ->
+    Alcotest.(check string) "context" "unit-test" context;
+    Alcotest.(check bool) "non-empty" true (violations <> [])
+
+(* --- liveness-consistent -------------------------------------------------- *)
+
+let test_bogus_liveness_flagged () =
+  let cdfg = compile fir_src in
+  let cfg = Cdfg.cfg cdfg in
+  (* claim nothing is ever live: the data-flow equations cannot hold *)
+  check_has Verify.Liveness_consistent "empty live sets"
+    (Verify.check_liveness cfg
+       ~live_in:(fun _ -> [])
+       ~live_out:(fun _ -> []))
+
+let test_real_liveness_clean () =
+  let cfg = Cdfg.cfg (compile fir_src) in
+  let live = Live.analyse cfg in
+  Alcotest.(check int) "Live.analyse satisfies its own equations" 0
+    (List.length
+       (Verify.check_liveness cfg ~live_in:(Live.live_in live)
+          ~live_out:(Live.live_out live)))
+
+(* --- arrays-declared ------------------------------------------------------ *)
+
+let test_undeclared_array_flagged () =
+  let t = var "t" 0 in
+  let b =
+    Block.make ~label:"bb0"
+      ~instrs:[ Instr.Load { dst = t; arr = "phantom"; index = Instr.Imm 0 } ]
+      ~term:ret
+  in
+  check_has Verify.Arrays_declared "undeclared array"
+    (Verify.check (Cdfg.make ~arrays:[] (Cfg.of_blocks [ b ])))
+
+let test_const_store_flagged () =
+  let rom =
+    {
+      Cdfg.aname = "rom";
+      size = 4;
+      init = Some [| 1; 2; 3; 4 |];
+      is_const = true;
+      elem_width = 16;
+    }
+  in
+  let b =
+    Block.make ~label:"bb0"
+      ~instrs:
+        [ Instr.Store { arr = "rom"; index = Instr.Imm 0; value = Instr.Imm 5 } ]
+      ~term:ret
+  in
+  check_has Verify.Arrays_declared "store to const array"
+    (Verify.check (Cdfg.make ~arrays:[ rom ] (Cfg.of_blocks [ b ])))
+
+(* --- roundtrip-stable ----------------------------------------------------- *)
+
+let test_roundtrip_diff_flagged () =
+  let a = compile fir_src in
+  let b = compile ~name:"other" fir_src in
+  check_has Verify.Roundtrip_stable "renamed program"
+    (Verify.structural_diff a b)
+
+let test_roundtrip_self_clean () =
+  let a = compile fir_src in
+  Alcotest.(check int) "no self-diff" 0
+    (List.length (Verify.structural_diff a a))
+
+(* --- report / fixture ----------------------------------------------------- *)
+
+let test_report_names_invariant () =
+  let vs = Verify.check (use_before_def_cdfg ()) in
+  let text = Verify.report vs in
+  Alcotest.(check bool) "report mentions defs-before-uses" true
+    (let needle = "defs-before-uses" in
+     let rec find i =
+       i + String.length needle <= String.length text
+       && (String.sub text i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
+let test_broken_fixture_serialises_and_fails () =
+  (* the corrupted CDFG survives a serialise/load cycle and still fails
+     verification: exactly what the cli.t broken.ir fixture relies on *)
+  let broken = use_before_def_cdfg () in
+  let reloaded =
+    Ir.Serialize.of_string (Ir.Serialize.to_string broken)
+  in
+  check_has Verify.Defs_before_uses "reloaded fixture" (Verify.check reloaded)
+
+let test_all_invariants_named () =
+  let names = List.map Verify.invariant_name Verify.all_invariants in
+  Alcotest.(check int) "seven invariants" 7 (List.length names);
+  Alcotest.(check int) "names distinct" 7
+    (List.length (List.sort_uniq compare names))
+
+let suite =
+  [
+    Alcotest.test_case "compiled programs verify" `Quick test_compiled_program_clean;
+    Alcotest.test_case "check_exn silent when clean" `Quick test_check_exn_silent_on_clean;
+    Alcotest.test_case "no blocks" `Quick test_no_blocks_flagged;
+    Alcotest.test_case "duplicate labels" `Quick test_duplicate_labels_flagged;
+    Alcotest.test_case "unknown jump target" `Quick test_unknown_target_flagged;
+    Alcotest.test_case "well-linked blocks clean" `Quick test_resolving_blocks_clean;
+    Alcotest.test_case "stale DFG" `Quick test_dfg_node_count_mismatch;
+    Alcotest.test_case "mismatched DFG" `Quick test_dfg_instr_mismatch;
+    Alcotest.test_case "fresh DFG clean" `Quick test_dfg_matching_clean;
+    Alcotest.test_case "use before def" `Quick test_use_before_def_flagged;
+    Alcotest.test_case "check_exn carries context" `Quick test_check_exn_raises_with_context;
+    Alcotest.test_case "bogus liveness" `Quick test_bogus_liveness_flagged;
+    Alcotest.test_case "real liveness clean" `Quick test_real_liveness_clean;
+    Alcotest.test_case "undeclared array" `Quick test_undeclared_array_flagged;
+    Alcotest.test_case "const store" `Quick test_const_store_flagged;
+    Alcotest.test_case "roundtrip diff" `Quick test_roundtrip_diff_flagged;
+    Alcotest.test_case "roundtrip self clean" `Quick test_roundtrip_self_clean;
+    Alcotest.test_case "report names invariants" `Quick test_report_names_invariant;
+    Alcotest.test_case "broken fixture round-trips" `Quick test_broken_fixture_serialises_and_fails;
+    Alcotest.test_case "invariant names" `Quick test_all_invariants_named;
+  ]
