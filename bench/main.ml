@@ -420,6 +420,79 @@ let extension_energy () =
       print_newline ())
     (apps ())
 
+(* ---- Explore: parallel DSE throughput + cache hit-rate ------------------- *)
+
+(* Points/sec of the exploration engine, sequential vs multi-domain, on a
+   duplicate-free grid; then the memo cache on a grid that repeats one
+   configuration.  Identical summaries across jobs levels are asserted —
+   the determinism the unit suite also pins down. *)
+let explore_bench () =
+  section_header "Explore — DSE throughput (jobs) and memo-cache hit-rate";
+  let module Space = Hypar_explore.Space in
+  let module Driver = Hypar_explore.Driver in
+  let module Render = Hypar_explore.Render in
+  let n = 12 in
+  let inputs =
+    [
+      ("a", Array.init (n * n) (fun i -> (i * 7) mod 23));
+      ("b", Array.init (n * n) (fun i -> (i * 5) mod 19));
+    ]
+  in
+  let prepared =
+    Flow.prepare ~name:"matmul12" ~inputs (Hypar_apps.Synth.matmul_source ~n)
+  in
+  let budget =
+    match
+      Hypar_explore.Eval.evaluate prepared
+        { Space.area = 1500; cgcs = 2; rows = 2; cols = 2; clock_ratio = 3;
+          timing = max_int }
+    with
+    | Ok m -> m.Hypar_explore.Eval.initial.Engine.t_total / 2
+    | Error msg -> failwith msg
+  in
+  let space =
+    Space.make
+      ~areas:[ 400; 800; 1200; 1600; 2000; 2400 ]
+      ~cgcs:[ 1; 2; 3 ] ~timings:[ budget ] ()
+  in
+  Printf.printf "grid: %d points (no duplicates), constraint %d\n"
+    (Space.size space) budget;
+  Printf.printf "%6s %10s %12s %12s\n" "jobs" "points" "seconds" "points/s";
+  let reference = ref None in
+  List.iter
+    (fun jobs ->
+      let t0 = Unix.gettimeofday () in
+      match Driver.run ~jobs prepared space with
+      | Error msg -> Printf.printf "  jobs=%d failed: %s\n" jobs msg
+      | Ok summary ->
+        let dt = Unix.gettimeofday () -. t0 in
+        let pts = Array.length summary.Driver.results in
+        Printf.printf "%6d %10d %12.3f %12.1f\n" jobs pts dt
+          (float_of_int pts /. dt);
+        let rendered = Render.json summary in
+        (match !reference with
+        | None -> reference := Some rendered
+        | Some r ->
+          if r <> rendered then
+            Printf.printf "  WARNING: jobs=%d diverged from jobs=1\n" jobs))
+    [ 1; 2; 4 ];
+  let dup =
+    Space.make ~areas:[ 1500; 1500; 1500; 1500 ] ~cgcs:[ 2; 2 ]
+      ~clock_ratios:[ 3; 3 ] ~timings:[ budget ] ()
+  in
+  (match Driver.run prepared dup with
+  | Error msg -> Printf.printf "duplicate grid failed: %s\n" msg
+  | Ok summary ->
+    let stats = summary.Driver.cache in
+    let total = stats.Hypar_explore.Cache.hits + stats.Hypar_explore.Cache.misses in
+    Printf.printf
+      "duplicate grid: %d points, %d unique -> %d hits / %d misses (%.0f%% \
+       hit-rate)\n"
+      total stats.Hypar_explore.Cache.misses stats.Hypar_explore.Cache.hits
+      stats.Hypar_explore.Cache.misses
+      (100. *. float_of_int stats.Hypar_explore.Cache.hits /. float_of_int total));
+  print_newline ()
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -501,6 +574,7 @@ let sections =
     ("ablation:reconfig", ablation_reconfig);
     ("ablation:priority", ablation_priority);
     ("ablation:scaling", ablation_scaling);
+    ("explore", explore_bench);
     ("extension:pipeline", extension_pipeline);
     ("extension:energy", extension_energy);
     ("extension:modulo", extension_modulo);

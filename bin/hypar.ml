@@ -9,7 +9,10 @@
      lint       source diagnostics (W001-W009; --deny for CI gates)
      baselines  compare kernel-selection strategies
      ranges     value-range / width-overflow analysis
+     explore    design-space exploration (axis grids, --jobs N parallel
+                evaluation, memo cache, Pareto frontier, text/csv/json/md)
      sweep      partition across an A_FPGA x CGC design-space grid
+                (a thin preset over the explore engine)
      dump       serialise the compiled CDFG (.ir)
      dot        emit the CFG (or one block's DFG) as Graphviz
      demo       reproduce the paper's Tables 2 and 3
@@ -20,6 +23,7 @@
 module Flow = Hypar_core.Flow
 module Platform = Hypar_core.Platform
 module Engine = Hypar_core.Engine
+module Explore = Hypar_explore
 
 let read_file path =
   let ic = open_in_bin path in
@@ -361,31 +365,163 @@ let ranges_cmd =
        ~doc:"Value-range analysis: flag registers that may overflow their declared width")
     term
 
+(* shared by sweep and explore: run the exploration engine and report
+   failed points as warnings; only an all-failed run exits non-zero *)
+let exit_of_summary (summary : Explore.Driver.t) =
+  let failed = Explore.Driver.failed_count summary in
+  if failed > 0 then
+    Printf.eprintf "hypar: %d of %d points failed\n" failed
+      (Array.length summary.Explore.Driver.results);
+  if Explore.Driver.all_failed summary then 1 else 0
+
 let sweep_cmd =
+  let module Space = Explore.Space in
+  let module Driver = Explore.Driver in
   let run file ratio timing =
     with_verification @@ fun () ->
     let prepared = prepare_file file in
-    Printf.printf "%8s %10s %16s %16s %10s %7s\n" "A_FPGA" "CGCs" "initial"
-      "final" "reduction" "moved";
-    List.iter
-      (fun area ->
-        List.iter
-          (fun cgcs ->
-            let platform = platform_of ~area ~cgcs ~rows:2 ~cols:2 ~ratio in
-            let r = Flow.partition platform ~timing_constraint:timing prepared in
-            Printf.printf "%8d %10s %16d %16d %9.1f%% %7d\n" area
-              (Hypar_coarsegrain.Cgc.describe platform.Platform.cgc)
-              r.Engine.initial.Engine.t_total r.Engine.final.Engine.t_total
-              (Engine.reduction_percent r)
-              (List.length r.Engine.moved))
-          [ 1; 2; 3 ])
-      [ 500; 1500; 5000 ];
-    0
+    let space =
+      Space.make ~areas:[ 500; 1500; 5000 ] ~cgcs:[ 1; 2; 3 ]
+        ~clock_ratios:[ ratio ] ~timings:[ timing ] ()
+    in
+    match Driver.run ~workload:(Filename.basename file) prepared space with
+    | Error msg ->
+      Printf.eprintf "hypar: %s\n" msg;
+      2
+    | Ok summary ->
+      Printf.printf "%8s %10s %16s %16s %10s %7s\n" "A_FPGA" "CGCs" "initial"
+        "final" "reduction" "moved";
+      Array.iter
+        (fun (r : Driver.point_result) ->
+          match r.Driver.outcome with
+          | Ok m ->
+            Printf.printf "%8d %10s %16d %16d %9.1f%% %7d\n"
+              r.Driver.point.Space.area m.Explore.Eval.cgc_desc
+              m.Explore.Eval.initial.Engine.t_total
+              m.Explore.Eval.final.Engine.t_total m.Explore.Eval.reduction
+              (List.length m.Explore.Eval.moved)
+          | Error msg ->
+            Printf.printf "%8d %10d %16s  %s\n" r.Driver.point.Space.area
+              r.Driver.point.Space.cgcs "FAILED" msg)
+        summary.Driver.results;
+      exit_of_summary summary
   in
   let term = Term.(const run $ file_arg $ ratio_arg $ constraint_arg) in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Partition across an A_FPGA x CGC-count design-space grid")
+       ~doc:"Partition across an A_FPGA x CGC-count design-space grid \
+             (preset of $(b,explore))")
+    term
+
+let explore_cmd =
+  let module Space = Explore.Space in
+  let module Driver = Explore.Driver in
+  let module Render = Explore.Render in
+  let axis_conv =
+    let parse s =
+      match Space.axis_of_string s with
+      | Ok v -> Ok v
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf vs =
+      Format.pp_print_string ppf (String.concat "," (List.map string_of_int vs))
+    in
+    Arg.conv (parse, print)
+  in
+  let axis_arg ~names ~default ~docv ~doc =
+    Arg.(value & opt axis_conv default & info names ~docv ~doc)
+  in
+  let areas_arg =
+    axis_arg ~names:[ "area"; "a" ] ~default:[ 500; 1500; 5000 ] ~docv:"AXIS"
+      ~doc:"A_FPGA axis: scalars and ranges, e.g. $(b,500,1500,5000) or \
+            $(b,500..5000:500)"
+  in
+  let cgcs_arg =
+    axis_arg ~names:[ "cgcs"; "k" ] ~default:[ 1; 2; 3 ] ~docv:"AXIS"
+      ~doc:"CGC-count axis"
+  in
+  let rows_arg =
+    axis_arg ~names:[ "rows" ] ~default:[ 2 ] ~docv:"AXIS" ~doc:"CGC rows axis"
+  in
+  let cols_arg =
+    axis_arg ~names:[ "cols" ] ~default:[ 2 ] ~docv:"AXIS"
+      ~doc:"CGC columns axis"
+  in
+  let ratios_arg =
+    axis_arg ~names:[ "clock-ratio" ] ~default:[ 3 ] ~docv:"AXIS"
+      ~doc:"T_FPGA / T_CGC axis"
+  in
+  let timings_arg =
+    Arg.(
+      required
+      & opt (some axis_conv) None
+      & info [ "timing"; "t" ] ~docv:"AXIS"
+          ~doc:"timing-constraint axis, in FPGA cycles")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"evaluate points on $(docv) domains; results are identical \
+                for every $(docv)")
+  in
+  let max_points_arg =
+    Arg.(
+      value
+      & opt int Space.default_max_points
+      & info [ "max-points" ] ~docv:"N"
+          ~doc:"refuse to expand a space larger than $(docv) points")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("text", `Text); ("csv", `Csv); ("json", `Json);
+               ("markdown", `Markdown) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"output format: $(b,text), $(b,csv), $(b,json) or $(b,markdown)")
+  in
+  let pareto_only_arg =
+    Arg.(
+      value & flag
+      & info [ "pareto-only" ]
+          ~doc:"list only the Pareto frontier (area, t_total, energy)")
+  in
+  let run file areas cgcs rows cols ratios timings jobs max_points format
+      pareto_only =
+    with_verification @@ fun () ->
+    let prepared = prepare_file file in
+    let space =
+      Space.make ~areas ~cgcs ~rows ~cols ~clock_ratios:ratios
+        ~timings ~max_points ()
+    in
+    match Driver.run ~jobs ~workload:(Filename.basename file) prepared space with
+    | Error msg ->
+      Printf.eprintf "hypar: %s\n" msg;
+      2
+    | Ok summary ->
+      let render =
+        match format with
+        | `Text -> Render.text
+        | `Csv -> Render.csv
+        | `Json -> Render.json
+        | `Markdown -> Render.markdown
+      in
+      print_string (render ~pareto_only summary);
+      exit_of_summary summary
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ areas_arg $ cgcs_arg $ rows_arg $ cols_arg
+      $ ratios_arg $ timings_arg $ jobs_arg $ max_points_arg $ format_arg
+      $ pareto_only_arg)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Design-space exploration: axis grids over the platform \
+             parameters, parallel cached evaluation, Pareto reporting")
     term
 
 let dump_cmd =
@@ -430,4 +566,4 @@ let demo_cmd =
 let () =
   let doc = "hybrid fine/coarse-grain reconfigurable partitioning (DATE'04/05 methodology)" in
   let info = Cmd.info "hypar" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; sweep_cmd; dump_cmd; demo_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; dump_cmd; demo_cmd ]))

@@ -1,18 +1,30 @@
-(* Design-space exploration with the engine: sweep A_FPGA, the CGC count
-   and the clock ratio for a matrix-multiplication workload, printing one
-   series per axis (the shape behind the paper's §4 observations).
+(* Design-space exploration with the Hypar_explore engine: sweep A_FPGA,
+   the CGC count and the clock ratio for a matrix-multiplication workload,
+   printing one series per axis (the shape behind the paper's §4
+   observations).  Each sweep is a declarative Space expanded and
+   evaluated by Driver.run — no hand-rolled grid loops.
 
    Run with:  dune exec examples/platform_sweep.exe *)
 
 module Flow = Hypar_core.Flow
 module Engine = Hypar_core.Engine
-module Platform = Hypar_core.Platform
+module Space = Hypar_explore.Space
+module Driver = Hypar_explore.Driver
+module Eval = Hypar_explore.Eval
 
-let platform ?(area = 1500) ?(cgcs = 2) ?(ratio = 3) () =
-  Platform.make ~clock_ratio:ratio
-    ~fpga:(Hypar_finegrain.Fpga.make ~area ())
-    ~cgc:(Hypar_coarsegrain.Cgc.two_by_two cgcs)
-    ()
+let results space prepared =
+  match Driver.run ~workload:"matmul16" prepared space with
+  | Ok summary -> summary.Driver.results
+  | Error msg -> failwith msg
+
+let iter_ok f rs =
+  Array.iter
+    (fun (r : Driver.point_result) ->
+      match r.Driver.outcome with
+      | Ok m -> f r.Driver.point m
+      | Error msg ->
+        Printf.printf "%8d  FAILED: %s\n" r.Driver.point.Space.area msg)
+    rs
 
 let () =
   let n = 16 in
@@ -25,43 +37,45 @@ let () =
   let prepared =
     Flow.prepare ~name:"matmul16" ~inputs (Hypar_apps.Synth.matmul_source ~n)
   in
-  let initial area =
-    (Flow.partition (platform ~area ()) ~timing_constraint:max_int prepared)
-      .Engine.initial.Engine.t_total
+  let budget =
+    match
+      Eval.evaluate prepared
+        { Space.area = 1500; cgcs = 2; rows = 2; cols = 2; clock_ratio = 3;
+          timing = max_int }
+    with
+    | Ok m -> m.Eval.initial.Engine.t_total / 2
+    | Error msg -> failwith msg
   in
-  let budget = initial 1500 / 2 in
   Printf.printf "matmul %dx%d — timing constraint %d cycles\n\n" n n budget;
 
   Printf.printf "A_FPGA sweep (two 2x2 CGCs):\n";
   Printf.printf "%8s %14s %14s %10s %8s\n" "A_FPGA" "initial" "final" "reduction"
     "moved";
-  List.iter
-    (fun area ->
-      let r = Flow.partition (platform ~area ()) ~timing_constraint:budget prepared in
-      Printf.printf "%8d %14d %14d %9.1f%% %8d\n" area
-        r.Engine.initial.Engine.t_total r.Engine.final.Engine.t_total
-        (Engine.reduction_percent r)
-        (List.length r.Engine.moved))
-    [ 500; 1000; 1500; 2500; 5000; 10000 ];
+  results
+    (Space.make ~areas:[ 500; 1000; 1500; 2500; 5000; 10000 ] ~cgcs:[ 2 ]
+       ~timings:[ budget ] ())
+    prepared
+  |> iter_ok (fun p m ->
+         Printf.printf "%8d %14d %14d %9.1f%% %8d\n" p.Space.area
+           m.Eval.initial.Engine.t_total m.Eval.final.Engine.t_total
+           m.Eval.reduction
+           (List.length m.Eval.moved));
 
   Printf.printf "\nCGC count sweep (A_FPGA = 1500):\n";
   Printf.printf "%8s %14s %14s %10s\n" "CGCs" "cycles-in-CGC" "final" "reduction";
-  List.iter
-    (fun cgcs ->
-      let r = Flow.partition (platform ~cgcs ()) ~timing_constraint:budget prepared in
-      Printf.printf "%8d %14d %14d %9.1f%%\n" cgcs
-        (Engine.coarse_cycles_of_moved r)
-        r.Engine.final.Engine.t_total
-        (Engine.reduction_percent r))
-    [ 1; 2; 3; 4 ];
+  results
+    (Space.make ~areas:[ 1500 ] ~cgcs:[ 1; 2; 3; 4 ] ~timings:[ budget ] ())
+    prepared
+  |> iter_ok (fun p m ->
+         Printf.printf "%8d %14d %14d %9.1f%%\n" p.Space.cgcs
+           m.Eval.coarse_cgc_cycles m.Eval.final.Engine.t_total m.Eval.reduction);
 
   Printf.printf "\nClock-ratio sweep (A_FPGA = 1500, two 2x2 CGCs):\n";
   Printf.printf "%8s %14s %10s\n" "ratio" "final" "reduction";
-  List.iter
-    (fun ratio ->
-      let r =
-        Flow.partition (platform ~ratio ()) ~timing_constraint:budget prepared
-      in
-      Printf.printf "%8d %14d %9.1f%%\n" ratio r.Engine.final.Engine.t_total
-        (Engine.reduction_percent r))
-    [ 1; 2; 3; 4; 6 ]
+  results
+    (Space.make ~areas:[ 1500 ] ~cgcs:[ 2 ] ~clock_ratios:[ 1; 2; 3; 4; 6 ]
+       ~timings:[ budget ] ())
+    prepared
+  |> iter_ok (fun p m ->
+         Printf.printf "%8d %14d %9.1f%%\n" p.Space.clock_ratio
+           m.Eval.final.Engine.t_total m.Eval.reduction)

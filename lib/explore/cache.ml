@@ -1,0 +1,26 @@
+type stats = { hits : int; misses : int }
+
+type 'a t = {
+  tbl : (string, 'a) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let digest_of_cdfg cdfg =
+  Digest.to_hex (Digest.string (Hypar_ir.Serialize.to_string cdfg))
+
+let key ~digest point = digest ^ "|" ^ Space.point_key point
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some _ as v ->
+    t.hits <- t.hits + 1;
+    v
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let add t k v = Hashtbl.replace t.tbl k v
+let stats t = { hits = t.hits; misses = t.misses }

@@ -1,0 +1,30 @@
+(** Memo cache for point evaluations.
+
+    Keys pair the workload with the platform configuration: the CDFG
+    digest (MD5 of the canonical serialisation, so two compilations of
+    the same source share a digest) and the stable {!Space.point_key}.
+    A sweep whose axes repeat a configuration evaluates it once; the
+    hit/miss counters are surfaced in the exploration summary.
+
+    The table is used from the coordinating domain only — the parallel
+    evaluator deduplicates points against it {e before} fanning out, so
+    no synchronisation is needed. *)
+
+type stats = { hits : int; misses : int }
+
+type 'a t
+
+val create : unit -> 'a t
+
+val digest_of_cdfg : Hypar_ir.Cdfg.t -> string
+(** Hex MD5 of {!Hypar_ir.Serialize.to_string}. *)
+
+val key : digest:string -> Space.point -> string
+(** ["<digest>|<point_key>"]. *)
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit when the key is present, a miss otherwise. *)
+
+val add : 'a t -> string -> 'a -> unit
+
+val stats : 'a t -> stats

@@ -1,0 +1,107 @@
+module Flow = Hypar_core.Flow
+
+type point_result = {
+  point : Space.point;
+  outcome : (Eval.metrics, string) result;
+  cached : bool;
+}
+
+type t = {
+  workload : string;
+  digest : string;
+  jobs : int;
+  results : point_result array;
+  cache : Cache.stats;
+  pareto : bool array;
+  best_time : int option;
+  best_area : int option;
+  best_energy : int option;
+}
+
+let ok_count t =
+  Array.fold_left
+    (fun n r -> if Result.is_ok r.outcome then n + 1 else n)
+    0 t.results
+
+let failed_count t = Array.length t.results - ok_count t
+let all_failed t = Array.length t.results > 0 && ok_count t = 0
+
+(* analysis over the successful points only: frontier flags mapped back to
+   result indices, plus one best index per objective (met points first) *)
+let analyse results =
+  let ok =
+    Array.to_list results
+    |> List.mapi (fun i r -> (i, r.outcome))
+    |> List.filter_map (function i, Ok m -> Some (i, m) | _, Error _ -> None)
+    |> Array.of_list
+  in
+  let n = Array.length results in
+  let pareto = Array.make n false in
+  let objectives (i, (m : Eval.metrics)) =
+    [| results.(i).point.Space.area; m.Eval.final.Hypar_core.Engine.t_total; m.Eval.energy |]
+  in
+  Array.iteri
+    (fun k flag -> if flag then pareto.(fst ok.(k)) <- true)
+    (Pareto.frontier_flags objectives ok);
+  let candidates =
+    let met = Array.of_list (List.filter (fun (_, m) -> m.Eval.met) (Array.to_list ok)) in
+    if Array.length met > 0 then met else ok
+  in
+  let best f =
+    Option.map (fun k -> fst candidates.(k)) (Pareto.best_by f candidates)
+  in
+  ( pareto,
+    best (fun (_, m) -> m.Eval.final.Hypar_core.Engine.t_total),
+    best (fun (i, _) -> results.(i).point.Space.area),
+    best (fun (_, m) -> m.Eval.energy) )
+
+let run ?(jobs = 1) ?workload (prepared : Flow.prepared) space =
+  match Space.points space with
+  | Error _ as e -> e
+  | Ok pts ->
+    let workload =
+      match workload with
+      | Some w -> w
+      | None -> Hypar_ir.Cdfg.name prepared.Flow.cdfg
+    in
+    let digest = Cache.digest_of_cdfg prepared.Flow.cdfg in
+    let cache = Cache.create () in
+    (* deduplicate before fanning out: the cache maps each configuration
+       key to the index of its unique evaluation job *)
+    let unique = ref [] in
+    let n_unique = ref 0 in
+    let slots =
+      List.map
+        (fun p ->
+          let k = Cache.key ~digest p in
+          match Cache.find cache k with
+          | Some j -> (p, j, true)
+          | None ->
+            let j = !n_unique in
+            incr n_unique;
+            unique := p :: !unique;
+            Cache.add cache k j;
+            (p, j, false))
+        pts
+    in
+    let unique = Array.of_list (List.rev !unique) in
+    let outcomes = Pool.map ~jobs (Eval.evaluate prepared) unique in
+    let results =
+      Array.of_list
+        (List.map
+           (fun (point, j, cached) -> { point; outcome = outcomes.(j); cached })
+           slots)
+    in
+    let pareto, best_time, best_area, best_energy = analyse results in
+    Ok
+      {
+        workload;
+        digest;
+        jobs;
+        results;
+        cache = Cache.stats cache;
+        pareto;
+        best_time;
+        best_area;
+        best_energy;
+      }

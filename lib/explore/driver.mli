@@ -1,0 +1,49 @@
+(** The exploration engine: space in, evaluated + analysed summary out.
+
+    [run] expands the space, deduplicates the points against the memo
+    cache (shared CDFG digest × platform key), fans the unique
+    configurations out over {!Pool.map}, and reassembles per-point
+    results in enumeration order — so the summary (and anything rendered
+    from it) is byte-identical for every [jobs] value.
+
+    Failed points (see {!Eval.evaluate}) are carried in the result list
+    with their error string; {!all_failed} is the only condition callers
+    should treat as fatal.
+
+    Analysis: the Pareto frontier minimises (A_FPGA area, final t_total,
+    energy) over the successful points, and one best point is selected
+    per objective — among constraint-meeting points when any exists,
+    otherwise among all successful ones. *)
+
+type point_result = {
+  point : Space.point;
+  outcome : (Eval.metrics, string) result;
+  cached : bool;  (** served from an earlier identical configuration *)
+}
+
+type t = {
+  workload : string;
+  digest : string;  (** CDFG digest shared by every cache key *)
+  jobs : int;
+  results : point_result array;  (** in {!Space.points} order *)
+  cache : Cache.stats;
+  pareto : bool array;  (** frontier membership per result (failed: false) *)
+  best_time : int option;  (** result index minimising final [t_total] *)
+  best_area : int option;  (** result index minimising A_FPGA *)
+  best_energy : int option;  (** result index minimising energy *)
+}
+
+val run :
+  ?jobs:int ->
+  ?workload:string ->
+  Hypar_core.Flow.prepared ->
+  Space.t ->
+  (t, string) result
+(** [jobs] defaults to 1; [workload] (default the CDFG name) labels the
+    reports.  [Error] only for an invalid space (empty, or larger than
+    [max_points]). *)
+
+val ok_count : t -> int
+val failed_count : t -> int
+val all_failed : t -> bool
+(** No point evaluated successfully (and the space was non-empty). *)

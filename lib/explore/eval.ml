@@ -1,0 +1,62 @@
+module Flow = Hypar_core.Flow
+module Engine = Hypar_core.Engine
+module Platform = Hypar_core.Platform
+module Energy = Hypar_core.Energy
+
+type metrics = {
+  cgc_desc : string;
+  initial : Engine.times;
+  final : Engine.times;
+  coarse_cgc_cycles : int;
+  moved : int list;
+  skipped : int;
+  status : Engine.status;
+  met : bool;
+  reduction : float;
+  energy : int;
+}
+
+let platform_of (p : Space.point) =
+  Platform.make ~clock_ratio:p.clock_ratio
+    ~fpga:(Hypar_finegrain.Fpga.make ~area:p.area ())
+    ~cgc:(Hypar_coarsegrain.Cgc.make ~cgcs:p.cgcs ~rows:p.rows ~cols:p.cols ())
+    ()
+
+let status_string = function
+  | Engine.Met_without_partitioning -> "met-without-partitioning"
+  | Engine.Met_after n -> Printf.sprintf "met-after-%d" n
+  | Engine.Infeasible -> "infeasible"
+
+let error_string = function
+  | Invalid_argument msg | Failure msg -> msg
+  | Hypar_ir.Verify.Failed { context; violations } ->
+    Printf.sprintf "IR verification failed after %S: %s" context
+      (String.concat "; "
+         (String.split_on_char '\n'
+            (String.trim (Hypar_ir.Verify.report violations))))
+  | exn -> Printexc.to_string exn
+
+let evaluate (prepared : Flow.prepared) (p : Space.point) =
+  match
+    let platform = platform_of p in
+    let r = Flow.partition platform ~timing_constraint:p.timing prepared in
+    let energy =
+      Energy.app_energy Energy.default platform prepared.Flow.cdfg
+        ~freq:(fun b -> r.Engine.freq.(b))
+        ~moved:r.Engine.moved
+    in
+    {
+      cgc_desc = Hypar_coarsegrain.Cgc.describe platform.Platform.cgc;
+      initial = r.Engine.initial;
+      final = r.Engine.final;
+      coarse_cgc_cycles = Engine.coarse_cycles_of_moved r;
+      moved = r.Engine.moved;
+      skipped = List.length r.Engine.skipped;
+      status = r.Engine.status;
+      met = Engine.met r;
+      reduction = Engine.reduction_percent r;
+      energy;
+    }
+  with
+  | m -> Ok m
+  | exception e -> Error (error_string e)

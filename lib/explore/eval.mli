@@ -1,0 +1,37 @@
+(** Robust evaluation of one design-space point.
+
+    Builds the platform the point describes, runs the Figure-2 flow
+    ({!Hypar_core.Flow.partition}) on the shared prepared application and
+    distils the result into a flat {!metrics} record (timing components,
+    moved set, Eq.-2 reduction, and the energy of the partitioned
+    execution under {!Hypar_core.Energy.default}).
+
+    A point whose evaluation raises — an invalid platform
+    ([Invalid_argument] from the device models), a failed IR invariant
+    ({!Hypar_ir.Verify.Failed}), or any other exception — is returned as
+    [Error reason] instead of aborting the sweep. *)
+
+type metrics = {
+  cgc_desc : string;  (** e.g. ["two 2x2"], {!Hypar_coarsegrain.Cgc.describe} *)
+  initial : Hypar_core.Engine.times;  (** the all-FPGA mapping *)
+  final : Hypar_core.Engine.times;
+  coarse_cgc_cycles : int;  (** "Cycles in CGC" row, CGC cycles *)
+  moved : int list;  (** moved kernels, in move order *)
+  skipped : int;  (** kernels that could not move *)
+  status : Hypar_core.Engine.status;
+  met : bool;
+  reduction : float;  (** percent vs the all-FPGA mapping *)
+  energy : int;  (** partitioned-execution energy, {!Hypar_core.Energy} units *)
+}
+
+val platform_of : Space.point -> Hypar_core.Platform.t
+(** Raises [Invalid_argument] on non-positive dimensions (the device
+    models' own validation). *)
+
+val evaluate : Hypar_core.Flow.prepared -> Space.point -> (metrics, string) result
+
+val status_string : Hypar_core.Engine.status -> string
+(** ["met-without-partitioning"] / ["met-after-N"] / ["infeasible"]. *)
+
+val error_string : exn -> string
+(** The message recorded for a failed point. *)

@@ -1,0 +1,28 @@
+let dominates a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Pareto.dominates: mismatched objective vectors";
+  let no_worse = ref true and better = ref false in
+  Array.iteri
+    (fun i x ->
+      if x > b.(i) then no_worse := false else if x < b.(i) then better := true)
+    a;
+  !no_worse && !better
+
+let frontier_flags objectives xs =
+  let vecs = Array.map objectives xs in
+  Array.map (fun v -> not (Array.exists (fun w -> dominates w v) vecs)) vecs
+
+let frontier objectives l =
+  let xs = Array.of_list l in
+  let flags = frontier_flags objectives xs in
+  List.filteri (fun i _ -> flags.(i)) l
+
+let best_by f xs =
+  let best = ref None in
+  Array.iteri
+    (fun i x ->
+      match !best with
+      | Some (_, v) when v <= f x -> ()
+      | _ -> best := Some (i, f x))
+    xs;
+  Option.map fst !best

@@ -1,0 +1,19 @@
+(** Pareto analysis over integer objective vectors (minimisation).
+
+    [a] dominates [b] when it is no worse on every objective and strictly
+    better on at least one; points with {e equal} vectors do not dominate
+    each other, so ties (and cache-shared duplicate configurations) all
+    stay on the frontier. *)
+
+val dominates : int array -> int array -> bool
+(** [dominates a b] — [a] weakly better everywhere, strictly somewhere.
+    Raises [Invalid_argument] on mismatched lengths. *)
+
+val frontier_flags : ('a -> int array) -> 'a array -> bool array
+(** Per-index membership of the Pareto frontier (O(n²) pairwise scan). *)
+
+val frontier : ('a -> int array) -> 'a list -> 'a list
+(** The non-dominated subset, in input order. *)
+
+val best_by : ('a -> int) -> 'a array -> int option
+(** Index of the minimum (first on ties); [None] on an empty array. *)

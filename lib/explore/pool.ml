@@ -1,0 +1,24 @@
+let map ~jobs f xs =
+  let n = Array.length xs in
+  if jobs <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let workers = min jobs n in
+    let out = Array.make n None in
+    (* worker [d] owns indices d, d+workers, d+2*workers, ... — disjoint
+       slots, so the unsynchronised writes below never race *)
+    let worker d () =
+      let i = ref d in
+      while !i < n do
+        out.(!i) <- Some (f xs.(!i));
+        i := !i + workers
+      done
+    in
+    let spawned =
+      List.init (workers - 1) (fun d -> Domain.spawn (worker (d + 1)))
+    in
+    let own = try Ok (worker 0 ()) with e -> Error e in
+    (* join everyone before re-raising, or spawned domains would leak *)
+    let joined = List.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned in
+    List.iter (function Error e -> raise e | Ok () -> ()) (own :: joined);
+    Array.map (function Some v -> v | None -> assert false) out
+  end

@@ -1,0 +1,28 @@
+(** Exporters for exploration summaries.
+
+    All four formats carry the same data: one record per point (platform
+    configuration, status, timing components, moved set, reduction,
+    energy, cache hit/miss, frontier membership), the cache counters and
+    the per-objective best points.  The [jobs] count is deliberately never
+    rendered: output depends only on the evaluated results, which
+    {!Driver.run} makes independent of [jobs] — so every format is
+    byte-identical across parallelism levels.
+
+    [pareto_only] restricts the per-point listing to the Pareto frontier
+    (failed points are never on it); the summary counters still describe
+    the full run. *)
+
+val text : ?pareto_only:bool -> Driver.t -> string
+(** Aligned columns plus a summary block. *)
+
+val csv : ?pareto_only:bool -> Driver.t -> string
+(** One header row; fields with commas/quotes are RFC-4180 quoted. *)
+
+val json : ?pareto_only:bool -> Driver.t -> string
+(** One top-level object; [results] in point order, each with a
+    ["status"] of ["ok"] or ["failed"], plus ["cache"] counters,
+    ["pareto"] indices and per-objective ["best"] indices (into the
+    emitted [results] array). *)
+
+val markdown : ?pareto_only:bool -> Driver.t -> string
+(** A GitHub-style table plus the summary. *)

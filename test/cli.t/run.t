@@ -72,6 +72,79 @@ The design-space sweep covers an A_FPGA x CGC grid:
        500    two 2x2            26737             4057      84.8%       1
        500  three 2x2            26737             4057      84.8%       1
 
+explore generalises the sweep to arbitrary axis grids with cached,
+Pareto-analysed evaluation.  A zero-area point fails the device model's
+validation but is recorded instead of aborting — the run still exits 0,
+with a warning count on stderr (exit 1 is reserved for all points
+failing).  The duplicated 1500 in the area axis is served by the memo
+cache:
+
+  $ hypar explore fir.mc -t 8000 --area 0,500,1500,1500 --cgcs 1,2 --format csv
+  area,cgcs,rows,cols,clock_ratio,timing,status,met,initial,final,t_fpga,t_coarse,t_comm,cycles_in_cgc,moved,reduction,energy,cache,pareto,error
+  0,1,2,2,3,8000,failed,,,,,,,,,,,miss,false,Fpga.make: area must be positive
+  0,2,2,2,3,8000,failed,,,,,,,,,,,miss,false,Fpga.make: area must be positive
+  500,1,2,2,3,8000,met-after-1,true,26737,4057,2993,448,616,1344,2,84.8,94135,miss,true,
+  500,2,2,2,3,8000,met-after-1,true,26737,4057,2993,448,616,1344,2,84.8,94135,miss,true,
+  1500,1,2,2,3,8000,met-after-1,true,15985,4057,2993,448,616,1344,2,74.6,94135,miss,false,
+  1500,2,2,2,3,8000,met-after-1,true,15985,4057,2993,448,616,1344,2,74.6,94135,miss,false,
+  1500,1,2,2,3,8000,met-after-1,true,15985,4057,2993,448,616,1344,2,74.6,94135,hit,false,
+  1500,2,2,2,3,8000,met-after-1,true,15985,4057,2993,448,616,1344,2,74.6,94135,hit,false,
+  hypar: 2 of 8 points failed
+  $ echo $?
+  0
+
+JSON output carries per-point status, the cache counters and the Pareto
+frontier (the digest line is elided — it tracks the IR, not this test):
+
+  $ hypar explore fir.mc -t 8000 --area 0,1500 --format json | grep -v '"digest"'
+  hypar: 3 of 6 points failed
+  {
+    "workload": "fir.mc",
+    "jobs": 1,
+    "points": 6,
+    "ok": 3,
+    "met": 3,
+    "failed": 3,
+    "cache": {"hits": 0, "misses": 6},
+    "results": [
+      {"area": 0, "cgcs": 1, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "failed", "cache": "miss", "error": "Fpga.make: area must be positive"},
+      {"area": 0, "cgcs": 2, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "failed", "cache": "miss", "error": "Fpga.make: area must be positive"},
+      {"area": 0, "cgcs": 3, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "failed", "cache": "miss", "error": "Fpga.make: area must be positive"},
+      {"area": 1500, "cgcs": 1, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "ok", "engine": "met-after-1", "met": true, "initial": 15985, "final": 4057, "t_fpga": 2993, "t_coarse": 448, "t_comm": 616, "cycles_in_cgc": 1344, "moved": [2], "reduction": 74.6, "energy": 94135, "cache": "miss", "pareto": true},
+      {"area": 1500, "cgcs": 2, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "ok", "engine": "met-after-1", "met": true, "initial": 15985, "final": 4057, "t_fpga": 2993, "t_coarse": 448, "t_comm": 616, "cycles_in_cgc": 1344, "moved": [2], "reduction": 74.6, "energy": 94135, "cache": "miss", "pareto": true},
+      {"area": 1500, "cgcs": 3, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "ok", "engine": "met-after-1", "met": true, "initial": 15985, "final": 4057, "t_fpga": 2993, "t_coarse": 448, "t_comm": 616, "cycles_in_cgc": 1344, "moved": [2], "reduction": 74.6, "energy": 94135, "cache": "miss", "pareto": true}
+    ],
+    "pareto": [3, 4, 5],
+    "best": {"t_total": 3, "area": 3, "energy": 3}
+  }
+
+--pareto-only restricts the listing to the frontier (the 1500-area point
+is dominated: same t_total and energy, more area):
+
+  $ hypar explore fir.mc -t 8000 --area 500,1500 --cgcs 1 --pareto-only
+  explore fir.mc — 2 points, jobs 1
+    A_FPGA       CGCs  ratio    timing                   status      initial        final reduction       energy  moved  cache  pareto
+       500    one 2x2      3      8000              met-after-1        26737         4057     84.8%        94135      1   miss       *
+  summary: 2/2 ok (2 met constraint), 0 failed; cache: 2 misses, 0 hits
+  pareto frontier (A_FPGA, t_total, energy): 1 point
+  best t_total: a500/k1/g2x2/r3/t8000 -> t_total=4057 energy=94135
+  best A_FPGA : a500/k1/g2x2/r3/t8000 -> t_total=4057 energy=94135
+  best energy : a500/k1/g2x2/r3/t8000 -> t_total=4057 energy=94135
+
+An oversized space is refused before any evaluation:
+
+  $ hypar explore fir.mc -t 8000 --area 1..100 --cgcs 1..100 --max-points 50
+  hypar: design space has 10000 points, above the bound of 50 (raise --max-points)
+  [2]
+
+A malformed axis is a usage error:
+
+  $ hypar explore fir.mc -t 8000 --area 5..1
+  hypar: option '--area': range "5..1": end is below start
+  Usage: hypar explore [OPTION]… FILE
+  Try 'hypar explore --help' or 'hypar --help' for more information.
+  [124]
+
 The linter warns about the FIR kernel's int16 MAC accumulator but exits
 zero — warnings alone never fail:
 

@@ -46,6 +46,7 @@ let () =
       ("engine", Test_engine.suite);
       ("flow", Test_flow.suite);
       ("energy", Test_energy.suite);
+      ("explore", Test_explore.suite);
       ("pipeline", Test_pipeline.suite);
       ("apps", Test_apps.suite);
       ("sobel", Test_sobel.suite);

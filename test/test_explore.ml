@@ -1,0 +1,283 @@
+(* Unit tests for the Hypar_explore design-space exploration engine:
+   axis parsing, Pareto-frontier correctness, cache-key stability,
+   failed-point robustness and jobs-N determinism. *)
+
+module Flow = Hypar_core.Flow
+module Engine = Hypar_core.Engine
+module Space = Hypar_explore.Space
+module Cache = Hypar_explore.Cache
+module Pool = Hypar_explore.Pool
+module Pareto = Hypar_explore.Pareto
+module Eval = Hypar_explore.Eval
+module Driver = Hypar_explore.Driver
+module Render = Hypar_explore.Render
+
+let matmul =
+  lazy
+    (let n = 8 in
+     let inputs =
+       [
+         ("a", Array.init (n * n) (fun i -> (i * 7) mod 23));
+         ("b", Array.init (n * n) (fun i -> (i * 5) mod 19));
+       ]
+     in
+     Flow.prepare ~name:"matmul8" ~inputs (Hypar_apps.Synth.matmul_source ~n))
+
+let budget prepared =
+  match
+    Eval.evaluate prepared
+      { Space.area = 1500; cgcs = 2; rows = 2; cols = 2; clock_ratio = 3;
+        timing = max_int }
+  with
+  | Ok m -> m.Eval.initial.Engine.t_total / 2
+  | Error msg -> Alcotest.fail msg
+
+(* ---- axis parsing ------------------------------------------------------- *)
+
+let check_axis s expected =
+  match Space.axis_of_string s with
+  | Ok vs -> Alcotest.(check (list int)) s expected vs
+  | Error e -> Alcotest.failf "axis %S rejected: %s" s e
+
+let test_axis_parsing () =
+  check_axis "1500" [ 1500 ];
+  check_axis "500,1500,5000" [ 500; 1500; 5000 ];
+  check_axis "1..4" [ 1; 2; 3; 4 ];
+  check_axis "500..2000:500" [ 500; 1000; 1500; 2000 ];
+  check_axis "1,3..5,10" [ 1; 3; 4; 5; 10 ];
+  check_axis " 2 , 4 " [ 2; 4 ];
+  (* duplicates are preserved: the cache deduplicates, not the parser *)
+  check_axis "1500,1500" [ 1500; 1500 ]
+
+let test_axis_errors () =
+  List.iter
+    (fun s ->
+      match Space.axis_of_string s with
+      | Ok _ -> Alcotest.failf "axis %S should be rejected" s
+      | Error _ -> ())
+    [ ""; "abc"; "1,,2"; "5..1"; "1..9:0"; "1..9:-2" ]
+
+let test_space_bounds () =
+  let space =
+    Space.make ~areas:[ 1; 2; 3 ] ~cgcs:[ 1; 2 ] ~max_points:5
+      ~timings:[ 100 ] ()
+  in
+  Alcotest.(check int) "size" 6 (Space.size space);
+  (match Space.points space with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "6 points should exceed max_points 5");
+  match Space.points { space with Space.max_points = 6 } with
+  | Ok pts -> Alcotest.(check int) "expanded" 6 (List.length pts)
+  | Error e -> Alcotest.fail e
+
+let test_enumeration_order () =
+  let space =
+    Space.make ~areas:[ 10; 20 ] ~cgcs:[ 1; 2 ] ~timings:[ 5 ] ()
+  in
+  match Space.points space with
+  | Error e -> Alcotest.fail e
+  | Ok pts ->
+    Alcotest.(check (list (pair int int)))
+      "areas outermost, cgcs inner"
+      [ (10, 1); (10, 2); (20, 1); (20, 2) ]
+      (List.map (fun (p : Space.point) -> (p.Space.area, p.Space.cgcs)) pts)
+
+(* ---- Pareto frontier ---------------------------------------------------- *)
+
+let test_pareto_dominance () =
+  Alcotest.(check bool) "strictly better" true
+    (Pareto.dominates [| 1; 1 |] [| 2; 2 |]);
+  Alcotest.(check bool) "better on one axis" true
+    (Pareto.dominates [| 1; 2 |] [| 2; 2 |]);
+  Alcotest.(check bool) "worse on one axis" false
+    (Pareto.dominates [| 1; 3 |] [| 2; 2 |]);
+  Alcotest.(check bool) "equal does not dominate" false
+    (Pareto.dominates [| 2; 2 |] [| 2; 2 |]);
+  Alcotest.(check bool) "dominated" false
+    (Pareto.dominates [| 3; 3 |] [| 2; 2 |])
+
+let test_pareto_frontier () =
+  let id x = x in
+  let frontier pts = Pareto.frontier id pts in
+  (* classic trade-off curve + one dominated point *)
+  Alcotest.(check (list (array int)))
+    "dominated point removed"
+    [ [| 1; 9 |]; [| 5; 5 |]; [| 9; 1 |] ]
+    (frontier [ [| 1; 9 |]; [| 5; 5 |]; [| 9; 1 |]; [| 6; 6 |] ]);
+  (* ties: equal vectors never dominate each other, both stay *)
+  Alcotest.(check (list (array int)))
+    "ties all kept"
+    [ [| 3; 3 |]; [| 3; 3 |] ]
+    (frontier [ [| 3; 3 |]; [| 3; 3 |]; [| 4; 4 |] ]);
+  (* degenerate cases *)
+  Alcotest.(check (list (array int)))
+    "single point is its own frontier" [ [| 7 |] ]
+    (frontier [ [| 7 |] ]);
+  Alcotest.(check (list (array int))) "empty" [] (frontier [])
+
+let test_pareto_best_by () =
+  Alcotest.(check (option int)) "min index" (Some 2)
+    (Pareto.best_by (fun x -> x) [| 5; 3; 1; 4 |]);
+  Alcotest.(check (option int)) "first on tie" (Some 0)
+    (Pareto.best_by (fun x -> x) [| 2; 2; 2 |]);
+  Alcotest.(check (option int)) "empty" None (Pareto.best_by (fun x -> x) [||])
+
+(* ---- pool --------------------------------------------------------------- *)
+
+let test_pool_matches_sequential () =
+  let xs = Array.init 37 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let seq = Pool.map ~jobs:1 f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        seq (Pool.map ~jobs f xs))
+    [ 2; 3; 8; 64 ]
+
+(* ---- cache key stability ------------------------------------------------ *)
+
+let test_point_key_stable () =
+  let p =
+    { Space.area = 1500; cgcs = 2; rows = 2; cols = 2; clock_ratio = 3;
+      timing = 8000 }
+  in
+  (* the documented format: renderers, tests and cram output rely on it *)
+  Alcotest.(check string) "point key" "a1500/k2/g2x2/r3/t8000"
+    (Space.point_key p);
+  Alcotest.(check string) "cache key" "d|a1500/k2/g2x2/r3/t8000"
+    (Cache.key ~digest:"d" p)
+
+let test_digest_stable_across_compiles () =
+  let source = Hypar_apps.Synth.matmul_source ~n:4 in
+  let d1 = Cache.digest_of_cdfg (Flow.prepare ~name:"m" source).Flow.cdfg in
+  let d2 = Cache.digest_of_cdfg (Flow.prepare ~name:"m" source).Flow.cdfg in
+  Alcotest.(check string) "same source, same digest" d1 d2;
+  let other =
+    Cache.digest_of_cdfg
+      (Flow.prepare ~name:"m" (Hypar_apps.Synth.matmul_source ~n:5)).Flow.cdfg
+  in
+  Alcotest.(check bool) "different source, different digest" true (d1 <> other)
+
+let test_cache_counters () =
+  let c = Cache.create () in
+  Alcotest.(check bool) "miss" true (Cache.find c "k" = None);
+  Cache.add c "k" 1;
+  Alcotest.(check bool) "hit" true (Cache.find c "k" = Some 1);
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses
+
+(* ---- driver: duplicates, failures, determinism -------------------------- *)
+
+let test_duplicate_configs_hit_cache () =
+  let prepared = Lazy.force matmul in
+  let t = budget prepared in
+  let space =
+    Space.make ~areas:[ 1500; 1500; 1500 ] ~cgcs:[ 2 ] ~timings:[ t ] ()
+  in
+  match Driver.run prepared space with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check int) "one unique evaluation" 1 s.Driver.cache.Cache.misses;
+    Alcotest.(check int) "two served from cache" 2 s.Driver.cache.Cache.hits;
+    Alcotest.(check bool) "first point computed" false s.Driver.results.(0).Driver.cached;
+    Alcotest.(check bool) "later points cached" true s.Driver.results.(1).Driver.cached;
+    (* cached points carry the same outcome *)
+    Alcotest.(check bool) "outcomes shared" true
+      (s.Driver.results.(0).Driver.outcome = s.Driver.results.(1).Driver.outcome)
+
+let test_failed_point_recorded () =
+  let prepared = Lazy.force matmul in
+  let t = budget prepared in
+  let space = Space.make ~areas:[ 0; 1500 ] ~cgcs:[ 2 ] ~timings:[ t ] () in
+  match Driver.run prepared space with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check int) "one failed" 1 (Driver.failed_count s);
+    Alcotest.(check int) "one ok" 1 (Driver.ok_count s);
+    Alcotest.(check bool) "not all failed" false (Driver.all_failed s);
+    (match s.Driver.results.(0).Driver.outcome with
+    | Error msg ->
+      Alcotest.(check string) "validation message"
+        "Fpga.make: area must be positive" msg
+    | Ok _ -> Alcotest.fail "area 0 should fail");
+    Alcotest.(check bool) "failed point never on the frontier" false
+      s.Driver.pareto.(0)
+
+let test_all_failed () =
+  let prepared = Lazy.force matmul in
+  let space = Space.make ~areas:[ 0; -5 ] ~cgcs:[ 2 ] ~timings:[ 100 ] () in
+  match Driver.run prepared space with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check bool) "all failed" true (Driver.all_failed s);
+    Alcotest.(check (option int)) "no best point" None s.Driver.best_time
+
+let test_jobs_determinism () =
+  let prepared = Lazy.force matmul in
+  let t = budget prepared in
+  let space =
+    Space.make ~areas:[ 0; 500; 1500 ] ~cgcs:[ 1; 2 ] ~clock_ratios:[ 3 ]
+      ~timings:[ t ] ()
+  in
+  let render jobs =
+    match Driver.run ~jobs ~workload:"matmul8" prepared space with
+    | Error e -> Alcotest.fail e
+    | Ok s -> (Render.text s, Render.csv s, Render.json s, Render.markdown s)
+  in
+  let t1, c1, j1, m1 = render 1 in
+  let t4, c4, j4, m4 = render 4 in
+  Alcotest.(check string) "text jobs=4 == jobs=1" t1 t4;
+  Alcotest.(check string) "csv jobs=4 == jobs=1" c1 c4;
+  Alcotest.(check string) "json jobs=4 == jobs=1" j1 j4;
+  Alcotest.(check string) "markdown jobs=4 == jobs=1" m1 m4
+
+let test_best_and_frontier_sane () =
+  let prepared = Lazy.force matmul in
+  let t = budget prepared in
+  let space =
+    Space.make ~areas:[ 500; 1500; 5000 ] ~cgcs:[ 1; 2 ] ~timings:[ t ] ()
+  in
+  match Driver.run prepared space with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    let n = Array.length s.Driver.results in
+    Alcotest.(check int) "six points" 6 n;
+    Alcotest.(check bool) "frontier non-empty" true
+      (Array.exists (fun f -> f) s.Driver.pareto);
+    (match s.Driver.best_time with
+    | None -> Alcotest.fail "best t_total missing"
+    | Some i -> (
+      match s.Driver.results.(i).Driver.outcome with
+      | Error _ -> Alcotest.fail "best points to a failed result"
+      | Ok best ->
+        Array.iter
+          (fun (r : Driver.point_result) ->
+            match r.Driver.outcome with
+            | Ok m when m.Eval.met ->
+              Alcotest.(check bool) "best t_total minimal among met" true
+                (best.Eval.final.Engine.t_total
+                <= m.Eval.final.Engine.t_total)
+            | _ -> ())
+          s.Driver.results))
+
+let suite =
+  [
+    Alcotest.test_case "axis parsing" `Quick test_axis_parsing;
+    Alcotest.test_case "axis errors" `Quick test_axis_errors;
+    Alcotest.test_case "space bounds" `Quick test_space_bounds;
+    Alcotest.test_case "enumeration order" `Quick test_enumeration_order;
+    Alcotest.test_case "pareto dominance" `Quick test_pareto_dominance;
+    Alcotest.test_case "pareto frontier" `Quick test_pareto_frontier;
+    Alcotest.test_case "pareto best_by" `Quick test_pareto_best_by;
+    Alcotest.test_case "pool matches sequential" `Quick test_pool_matches_sequential;
+    Alcotest.test_case "point key stable" `Quick test_point_key_stable;
+    Alcotest.test_case "digest stable" `Quick test_digest_stable_across_compiles;
+    Alcotest.test_case "cache counters" `Quick test_cache_counters;
+    Alcotest.test_case "duplicates hit cache" `Quick test_duplicate_configs_hit_cache;
+    Alcotest.test_case "failed point recorded" `Quick test_failed_point_recorded;
+    Alcotest.test_case "all points failed" `Quick test_all_failed;
+    Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
+    Alcotest.test_case "best + frontier sane" `Quick test_best_and_frontier_sane;
+  ]
