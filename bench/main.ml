@@ -493,6 +493,69 @@ let explore_bench () =
       (100. *. float_of_int stats.Hypar_explore.Cache.hits /. float_of_int total));
   print_newline ()
 
+(* ---- Observability overhead gate ----------------------------------------- *)
+
+(* The disabled-path guarantee is part of the Hypar_obs contract: with
+   tracing off, every probe is a single atomic load.  Measure the full
+   OFDM flow with the sink off and on, count the probes a traced run
+   fires, and price the disabled probe directly in a tight loop; the
+   estimated disabled-path overhead (probes/run x ns/probe, relative to
+   the untraced run) must stay under 2% or the bench exits 1.  Pricing
+   the probe directly instead of differencing two full-flow timings keeps
+   the gate robust to scheduler noise. *)
+let obs_bench () =
+  section_header "Obs — tracing overhead (enabled vs disabled) on OFDM";
+  let prepared = Ofdm.prepared () in
+  let pl = platform () in
+  let flow () =
+    ignore (Flow.partition pl ~timing_constraint:Ofdm.timing_constraint prepared)
+  in
+  let time_best ~reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  flow ();
+  (* warmed up *)
+  let t_off = time_best ~reps:7 flow in
+  Hypar_obs.Sink.enable ();
+  let t_on =
+    time_best ~reps:7 (fun () ->
+        Hypar_obs.Sink.clear ();
+        flow ())
+  in
+  Hypar_obs.Sink.clear ();
+  flow ();
+  let events_per_run = List.length (Hypar_obs.Sink.events ()) in
+  Hypar_obs.Sink.disable ();
+  Hypar_obs.Sink.clear ();
+  let calls = 5_000_000 in
+  let t_probe =
+    time_best ~reps:5 (fun () ->
+        for _ = 1 to calls do
+          Hypar_obs.Counter.incr "bench.probe"
+        done)
+  in
+  let per_probe = t_probe /. float_of_int calls in
+  let disabled_overhead = float_of_int events_per_run *. per_probe /. t_off in
+  Printf.printf "flow, tracing off : %10.3f ms/run (best of 7)\n" (t_off *. 1e3);
+  Printf.printf "flow, tracing on  : %10.3f ms/run, %d events/run (x%.2f)\n"
+    (t_on *. 1e3) events_per_run (t_on /. t_off);
+  Printf.printf "disabled probe    : %10.2f ns/call\n" (per_probe *. 1e9);
+  Printf.printf
+    "disabled-path overhead: %.4f%% of the untraced run (budget: 2%%)\n"
+    (100. *. disabled_overhead);
+  if disabled_overhead > 0.02 then begin
+    Printf.printf "FAIL: disabled tracing path exceeds the 2%% overhead budget\n";
+    exit 1
+  end;
+  print_newline ()
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -575,6 +638,7 @@ let sections =
     ("ablation:priority", ablation_priority);
     ("ablation:scaling", ablation_scaling);
     ("explore", explore_bench);
+    ("obs", obs_bench);
     ("extension:pipeline", extension_pipeline);
     ("extension:energy", extension_energy);
     ("extension:modulo", extension_modulo);

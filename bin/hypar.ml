@@ -16,6 +16,11 @@
      dump       serialise the compiled CDFG (.ir)
      dot        emit the CFG (or one block's DFG) as Graphviz
      demo       reproduce the paper's Tables 2 and 3
+     trace      validate and summarise a --trace output file
+
+   Most commands also take --trace FILE (Chrome trace_event JSON of the
+   run; HYPAR_TRACE=FILE is an equivalent default) and --stats (per-stage
+   timings and counters on stderr).
 
    partition and map accept --verify-ir to run the Hypar_ir.Verify
    structural checker on the IR before and after every pass. *)
@@ -69,6 +74,65 @@ let platform_of ~area ~cgcs ~rows ~cols ~ratio =
 
 open Cmdliner
 
+(* ---- observability: --trace FILE / --stats / HYPAR_TRACE env ---- *)
+
+type obs = { trace_file : string option; stats : bool }
+
+let obs_args =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "write a Chrome trace_event JSON of this run to $(docv); open it \
+             in chrome://tracing or Perfetto. The $(b,HYPAR_TRACE) \
+             environment variable provides a default (empty or $(b,0) \
+             disables it)")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"print per-stage span timings and counter totals to stderr")
+  in
+  Term.(
+    const (fun trace_file stats -> { trace_file; stats })
+    $ trace_arg $ stats_arg)
+
+(* Wraps a subcommand body: when --trace/--stats (or HYPAR_TRACE) asks for
+   observability, enable the sink around the run, emit the trace file and
+   stats afterwards — even if the body raises.  Without them this adds
+   nothing, keeping output byte-identical to an uninstrumented build. *)
+let with_obs ~command (obs : obs) f =
+  let trace_file =
+    match obs.trace_file with
+    | Some _ as t -> t
+    | None -> (
+      match Sys.getenv_opt "HYPAR_TRACE" with
+      | None | Some "" | Some "0" -> None
+      | Some file -> Some file)
+  in
+  if trace_file = None && not obs.stats then f ()
+  else begin
+    Hypar_obs.Sink.clear ();
+    Hypar_obs.Sink.enable ();
+    let finish () =
+      let events = Hypar_obs.Sink.events () in
+      Hypar_obs.Sink.disable ();
+      Hypar_obs.Sink.clear ();
+      (match trace_file with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        output_string oc (Hypar_obs.Export.chrome events);
+        close_out oc);
+      if obs.stats then prerr_string (Hypar_obs.Stats.render events)
+    in
+    Fun.protect ~finally:finish (fun () ->
+        Hypar_obs.Span.with_ ~cat:"cli" ("cli." ^ command) f)
+  end
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-C source file")
 
@@ -98,7 +162,8 @@ let verify_ir_arg =
 
 let partition_cmd =
   let run file area cgcs rows cols ratio timing report loops pipelined verify_ir
-      =
+      obs =
+    with_obs ~command:"partition" obs @@ fun () ->
     with_verification @@ fun () ->
     let prepared = prepare_file ~verify_ir file in
     let platform = platform_of ~area ~cgcs ~rows ~cols ~ratio in
@@ -126,7 +191,7 @@ let partition_cmd =
     Term.(
       const run $ file_arg $ area_arg $ cgcs_arg $ rows_arg $ cols_arg
       $ ratio_arg $ constraint_arg $ report_arg $ loops_arg $ pipelined_arg
-      $ verify_ir_arg)
+      $ verify_ir_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "partition"
@@ -134,7 +199,8 @@ let partition_cmd =
     term
 
 let analyze_cmd =
-  let run file top =
+  let run file top obs =
+    with_obs ~command:"analyze" obs @@ fun () ->
     with_verification @@ fun () ->
     let prepared = prepare_file file in
     let analysis =
@@ -147,17 +213,18 @@ let analyze_cmd =
   let top_arg =
     Arg.(value & opt int 8 & info [ "top" ] ~docv:"N" ~doc:"number of kernels to list")
   in
-  let term = Term.(const run $ file_arg $ top_arg) in
+  let term = Term.(const run $ file_arg $ top_arg $ obs_args) in
   Cmd.v (Cmd.info "analyze" ~doc:"Kernel analysis (Table-1 style)") term
 
 let profile_cmd =
-  let run file =
+  let run file obs =
+    with_obs ~command:"profile" obs @@ fun () ->
     with_verification @@ fun () ->
     let prepared = prepare_file file in
     Format.printf "%a@." Hypar_profiling.Profile.pp prepared.Flow.profile;
     0
   in
-  let term = Term.(const run $ file_arg) in
+  let term = Term.(const run $ file_arg $ obs_args) in
   Cmd.v (Cmd.info "profile" ~doc:"Dynamic profile of a Mini-C program") term
 
 let dot_cmd =
@@ -182,7 +249,8 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Graphviz export of the CFG or one DFG") term
 
 let map_cmd =
-  let run file block area cgcs rows cols verify_ir =
+  let run file block area cgcs rows cols verify_ir obs =
+    with_obs ~command:"map" obs @@ fun () ->
     with_verification @@ fun () ->
     let prepared = prepare_file ~verify_ir file in
     let cdfg = prepared.Flow.cdfg in
@@ -222,7 +290,7 @@ let map_cmd =
   let term =
     Term.(
       const run $ file_arg $ block_arg $ area_arg $ cgcs_arg $ rows_arg
-      $ cols_arg $ verify_ir_arg)
+      $ cols_arg $ verify_ir_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "map"
@@ -316,7 +384,8 @@ let lint_cmd =
     term
 
 let baselines_cmd =
-  let run file area cgcs rows cols ratio timing =
+  let run file area cgcs rows cols ratio timing obs =
+    with_obs ~command:"baselines" obs @@ fun () ->
     with_verification @@ fun () ->
     let prepared = prepare_file file in
     let platform = platform_of ~area ~cgcs ~rows ~cols ~ratio in
@@ -335,7 +404,7 @@ let baselines_cmd =
   let term =
     Term.(
       const run $ file_arg $ area_arg $ cgcs_arg $ rows_arg $ cols_arg
-      $ ratio_arg $ constraint_arg)
+      $ ratio_arg $ constraint_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "baselines"
@@ -377,7 +446,8 @@ let exit_of_summary (summary : Explore.Driver.t) =
 let sweep_cmd =
   let module Space = Explore.Space in
   let module Driver = Explore.Driver in
-  let run file ratio timing =
+  let run file ratio timing obs =
+    with_obs ~command:"sweep" obs @@ fun () ->
     with_verification @@ fun () ->
     let prepared = prepare_file file in
     let space =
@@ -406,7 +476,9 @@ let sweep_cmd =
         summary.Driver.results;
       exit_of_summary summary
   in
-  let term = Term.(const run $ file_arg $ ratio_arg $ constraint_arg) in
+  let term =
+    Term.(const run $ file_arg $ ratio_arg $ constraint_arg $ obs_args)
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Partition across an A_FPGA x CGC-count design-space grid \
@@ -490,7 +562,8 @@ let explore_cmd =
           ~doc:"list only the Pareto frontier (area, t_total, energy)")
   in
   let run file areas cgcs rows cols ratios timings jobs max_points format
-      pareto_only =
+      pareto_only obs =
+    with_obs ~command:"explore" obs @@ fun () ->
     with_verification @@ fun () ->
     let prepared = prepare_file file in
     let space =
@@ -516,7 +589,7 @@ let explore_cmd =
     Term.(
       const run $ file_arg $ areas_arg $ cgcs_arg $ rows_arg $ cols_arg
       $ ratios_arg $ timings_arg $ jobs_arg $ max_points_arg $ format_arg
-      $ pareto_only_arg)
+      $ pareto_only_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -537,7 +610,8 @@ let dump_cmd =
     term
 
 let demo_cmd =
-  let run () =
+  let run obs =
+    with_obs ~command:"demo" obs @@ fun () ->
     let apps =
       [
         ( "OFDM transmitter (Table 2)",
@@ -560,10 +634,45 @@ let demo_cmd =
       apps;
     0
   in
-  let term = Term.(const run $ const ()) in
+  let term = Term.(const run $ obs_args) in
   Cmd.v (Cmd.info "demo" ~doc:"Reproduce the paper's Tables 2 and 3") term
+
+let trace_cmd =
+  let run file =
+    match Hypar_obs.Export.parse_chrome (read_file file) with
+    | Error msg ->
+      Printf.eprintf "hypar: %s: %s\n" file msg;
+      2
+    | Ok events -> (
+      match Hypar_obs.Span.validate events with
+      | Error msg ->
+        Printf.eprintf "hypar: %s: invalid trace: %s\n" file msg;
+        1
+      | Ok s ->
+        Printf.printf "%s: %d events, %d spans, balanced, max depth %d\n" file
+          s.Hypar_obs.Span.events s.Hypar_obs.Span.spans
+          s.Hypar_obs.Span.max_depth;
+        List.iter
+          (fun (name, count) -> Printf.printf "  %-32s %d\n" name count)
+          (List.sort compare s.Hypar_obs.Span.names);
+        0)
+  in
+  let trace_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace_event JSON file")
+  in
+  let term = Term.(const run $ trace_file_arg) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Validate and summarise a trace produced with $(b,--trace): checks \
+          every span end matches the most recent open begin, then lists \
+          per-name span counts")
+    term
 
 let () =
   let doc = "hybrid fine/coarse-grain reconfigurable partitioning (DATE'04/05 methodology)" in
   let info = Cmd.info "hypar" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; dump_cmd; demo_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; dump_cmd; demo_cmd; trace_cmd ]))

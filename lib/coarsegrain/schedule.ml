@@ -55,6 +55,7 @@ let priority_order ?(priority = `Alap) dfg =
    its producer's column, below it — the steering-logic chaining — and
    only onto the current tail of that dependency chain. *)
 let schedule ?priority cgc dfg =
+  Hypar_obs.Span.with_ ~cat:"cgc" "cgc.schedule" @@ fun () ->
   let n = Ir.Dfg.node_count dfg in
   let kinds =
     Array.init n (fun i -> kind_of (Ir.Dfg.node dfg i).Ir.Dfg.instr)
@@ -161,6 +162,8 @@ let schedule ?priority cgc dfg =
     incr t
   done;
   let makespan = Array.fold_left max 0 finish in
+  if Hypar_obs.Sink.enabled () then
+    Hypar_obs.Counter.set "cgc.schedule_length" makespan;
   { placements; makespan }
 
 let chains_in_cycle t cycle =

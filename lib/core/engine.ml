@@ -78,6 +78,7 @@ let times_of platform ~pricing ~fine ~coarse ~pipeline ~entries ~comm ~live
 
 let characterise ?(cgc_pipelining = false) (platform : Platform.t) cdfg profile
     =
+  Hypar_obs.Span.with_ ~cat:"engine" "engine.characterise" @@ fun () ->
   let n = Ir.Cdfg.block_count cdfg in
   let freq = Array.init n (fun i -> Profiling.Profile.freq profile i) in
   let fine =
@@ -174,6 +175,13 @@ let group_kernels_by_loop cdfg (kernels : Analysis.Kernel.entry list) =
 let run ?weights ?max_moves ?(comm_pricing = `Transition) ?cgc_pipelining
     ?(granularity = `Block) ?verify_ir (platform : Platform.t)
     ~timing_constraint cdfg profile =
+  Hypar_obs.Span.with_ ~cat:"engine" "engine.run"
+    ~args:
+      [
+        ("app", Hypar_obs.Event.Str (Ir.Cdfg.name cdfg));
+        ("constraint", Hypar_obs.Event.Int timing_constraint);
+      ]
+  @@ fun () ->
   if Option.value verify_ir ~default:!Ir.Passes.verify_passes then
     Ir.Verify.check_exn ~context:"engine input" cdfg;
   let n = Ir.Cdfg.block_count cdfg in
@@ -181,6 +189,7 @@ let run ?weights ?max_moves ?(comm_pricing = `Transition) ?cgc_pipelining
     characterise ?cgc_pipelining platform cdfg profile
   in
   let compute moved =
+    Hypar_obs.Counter.incr "engine.evaluations";
     times_of platform ~pricing:comm_pricing ~fine ~coarse ~pipeline ~entries
       ~comm ~live ~edges ~freq ~moved n
   in
@@ -251,6 +260,7 @@ let run ?weights ?max_moves ?(comm_pricing = `Transition) ?cgc_pipelining
         let skipped =
           List.fold_left
             (fun acc (k : Analysis.Kernel.entry) ->
+              Hypar_obs.Counter.incr "engine.skipped";
               (k.block_id, "not CGC-executable (division)") :: acc)
             skipped unmovable
         in
@@ -262,25 +272,32 @@ let run ?weights ?max_moves ?(comm_pricing = `Transition) ?cgc_pipelining
               (List.rev_map (fun (k : Analysis.Kernel.entry) -> k.block_id) movable)
               moved
           in
-          let times = compute moved in
-          let meets = times.t_total <= timing_constraint in
           let step =
+            Hypar_obs.Span.with_ ~cat:"engine" "engine.move"
+              ~args:
+                [
+                  ("block", Hypar_obs.Event.Int k.block_id);
+                  ("step", Hypar_obs.Event.Int (count + 1));
+                ]
+            @@ fun () ->
+            Hypar_obs.Counter.incr "engine.moves";
+            let times = compute moved in
             {
               step_index = count + 1;
               moved_block = k.block_id;
               kernel = k;
               on_cgc = List.rev moved;
               times;
-              meets_constraint = meets;
+              meets_constraint = times.t_total <= timing_constraint;
             }
           in
-          if meets then
+          if step.meets_constraint then
             {
               base with
               steps = List.rev (step :: steps);
               skipped = List.rev skipped;
               status = Met_after (count + 1);
-              final = times;
+              final = step.times;
               moved = List.rev moved;
             }
           else go rest (step :: steps) skipped moved (count + 1)

@@ -56,6 +56,7 @@ let analyse results =
     best (fun (_, m) -> m.Eval.energy) )
 
 let run ?(jobs = 1) ?workload (prepared : Flow.prepared) space =
+  Hypar_obs.Span.with_ ~cat:"explore" "explore.run" @@ fun () ->
   match Space.points space with
   | Error _ as e -> e
   | Ok pts ->
@@ -75,8 +76,11 @@ let run ?(jobs = 1) ?workload (prepared : Flow.prepared) space =
         (fun p ->
           let k = Cache.key ~digest p in
           match Cache.find cache k with
-          | Some j -> (p, j, true)
+          | Some j ->
+            Hypar_obs.Counter.incr "explore.cache_hits";
+            (p, j, true)
           | None ->
+            Hypar_obs.Counter.incr "explore.cache_misses";
             let j = !n_unique in
             incr n_unique;
             unique := p :: !unique;
@@ -85,7 +89,20 @@ let run ?(jobs = 1) ?workload (prepared : Flow.prepared) space =
         pts
     in
     let unique = Array.of_list (List.rev !unique) in
-    let outcomes = Pool.map ~jobs (Eval.evaluate prepared) unique in
+    (* Under tracing, each worker captures its point's events privately and
+       the coordinator replays them in unique-point order, so the merged
+       trace is identical whatever [jobs] is (modulo timestamps). *)
+    let outcomes =
+      if not (Hypar_obs.Sink.enabled ()) then
+        Pool.map ~jobs (Eval.evaluate prepared) unique
+      else
+        Pool.map ~jobs
+          (fun p -> Hypar_obs.Sink.collect (fun () -> Eval.evaluate prepared p))
+          unique
+        |> Array.map (fun (outcome, events) ->
+               Hypar_obs.Sink.replay events;
+               outcome)
+    in
     let results =
       Array.of_list
         (List.map

@@ -37,6 +37,16 @@ let error_string = function
   | exn -> Printexc.to_string exn
 
 let evaluate (prepared : Flow.prepared) (p : Space.point) =
+  Hypar_obs.Span.with_ ~cat:"explore" "explore.point"
+    ~args:
+      [
+        ("area", Hypar_obs.Event.Int p.area);
+        ("cgcs", Hypar_obs.Event.Int p.cgcs);
+        ("rows", Hypar_obs.Event.Int p.rows);
+        ("cols", Hypar_obs.Event.Int p.cols);
+        ("timing", Hypar_obs.Event.Int p.timing);
+      ]
+  @@ fun () ->
   match
     let platform = platform_of p in
     let r = Flow.partition platform ~timing_constraint:p.timing prepared in

@@ -24,6 +24,9 @@ let compute_cycles_of fpga dfg (tp : Temporal.t) =
   Hashtbl.fold (fun _ cost acc -> acc + cost) group_cost 0
 
 let map_dfg_id fpga ~block_id dfg =
+  Hypar_obs.Span.with_ ~cat:"fine" "fine.map_block"
+    ~args:[ ("block", Hypar_obs.Event.Int block_id) ]
+  @@ fun () ->
   let tp = Temporal.partition ~area:fpga.Fpga.area ~size:(Fpga.op_area fpga) dfg in
   let parts = Temporal.count tp in
   let compute = compute_cycles_of fpga dfg tp in

@@ -4,13 +4,26 @@ type partition = { index : int; node_ids : int list; area_used : int }
 
 type t = { partitions : partition list; assignment : int array }
 
+(* Tracing wrapper shared by both algorithms: a span per call plus the
+   running total of partitions created (the "temporal-partition count"
+   the --stats breakdown reports). *)
+let traced span_name impl ~area ~size dfg =
+  if not (Hypar_obs.Sink.enabled ()) then impl ~area ~size dfg
+  else
+    Hypar_obs.Span.with_ ~cat:"fine" span_name (fun () ->
+        let tp = impl ~area ~size dfg in
+        Hypar_obs.Counter.incr
+          ~by:(List.length tp.partitions)
+          "fine.temporal_partitions";
+        tp)
+
 (* Direct transcription of Figure 3:
      i = 1; area_covered = 0;
      for level = 1 .. max_level:
        for each node u with level(u) = level:
          if area_covered + size(u) <= A then partition(u) = i; accumulate
          else i = i+1; partition(u) = i; area_covered = size(u) *)
-let partition ~area ~size dfg =
+let partition_figure3 ~area ~size dfg =
   if area <= 0 then invalid_arg "Temporal.partition: area must be positive";
   let n = Ir.Dfg.node_count dfg in
   let assignment = Array.make n 0 in
@@ -65,10 +78,12 @@ let partition ~area ~size dfg =
   in
   { partitions; assignment }
 
+let partition = traced "fine.temporal" partition_figure3
+
 (* Baseline: first-fit with backfill.  Visiting nodes in the same
    level-by-level order, place each node into the lowest-indexed
    partition with room, at or after all its predecessors' partitions. *)
-let partition_best_fit ~area ~size dfg =
+let partition_best_fit_impl ~area ~size dfg =
   if area <= 0 then invalid_arg "Temporal.partition_best_fit: area must be positive";
   let n = Ir.Dfg.node_count dfg in
   let assignment = Array.make n 0 in
@@ -123,6 +138,8 @@ let partition_best_fit ~area ~size dfg =
         (List.init !highest Fun.id)
   in
   { partitions; assignment }
+
+let partition_best_fit = traced "fine.temporal" partition_best_fit_impl
 
 let count t = List.length t.partitions
 

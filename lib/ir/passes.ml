@@ -7,12 +7,19 @@ let verify_passes =
     | Some _ | None -> false)
 
 let checked ?verify name pass cdfg =
-  if not (Option.value verify ~default:!verify_passes) then pass cdfg
-  else begin
+  let run () =
     let out = pass cdfg in
-    Verify.check_exn ~context:name out;
+    if Option.value verify ~default:!verify_passes then
+      Verify.check_exn ~context:name out;
+    if Hypar_obs.Sink.enabled () then begin
+      Hypar_obs.Counter.set "ir.blocks" (Cdfg.block_count out);
+      Hypar_obs.Counter.set "ir.instrs" (Cdfg.total_instrs out)
+    end;
     out
-  end
+  in
+  if Hypar_obs.Sink.enabled () then
+    Hypar_obs.Span.with_ ~cat:"ir" ("ir.pass." ^ name) run
+  else run ()
 
 let rebuild cdfg blocks =
   Cdfg.make ~name:(Cdfg.name cdfg) ~arrays:(Cdfg.arrays cdfg)

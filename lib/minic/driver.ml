@@ -4,23 +4,29 @@ let string_of_error e = Printf.sprintf "%d:%d: %s" e.line e.col e.msg
 
 let of_pos (pos : Token.pos) msg = { line = pos.line; col = pos.col; msg }
 
+let span name f = Hypar_obs.Span.with_ ~cat:"minic" name f
+
 let compile ?name ?(simplify = true) ?verify_ir src =
   let verify =
     Option.value verify_ir ~default:!Hypar_ir.Passes.verify_passes
   in
   try
-    let ast = Parser.parse_program src in
-    match Typecheck.check ast with
+    span "minic.compile" @@ fun () ->
+    let ast = span "minic.parse" (fun () -> Parser.parse_program src) in
+    match span "minic.typecheck" (fun () -> Typecheck.check ast) with
     | Error e -> Error (of_pos e.Typecheck.pos e.Typecheck.msg)
     | Ok () ->
-      let inlined = Inline.program ast in
-      let cdfg = Lower.program ?name inlined in
+      let inlined = span "minic.inline" (fun () -> Inline.program ast) in
+      let cdfg = span "minic.lower" (fun () -> Lower.program ?name inlined) in
       (match Hypar_ir.Cdfg.validate cdfg with
       | Error msg -> Error { line = 0; col = 0; msg = "lowering produced: " ^ msg }
       | Ok () ->
         if verify then Hypar_ir.Verify.check_exn ~context:"lower" cdfg;
         let cdfg =
-          if simplify then Hypar_ir.Passes.optimize ~verify cdfg else cdfg
+          if simplify then
+            span "minic.optimize" (fun () ->
+                Hypar_ir.Passes.optimize ~verify cdfg)
+          else cdfg
         in
         Ok cdfg)
   with

@@ -1,0 +1,27 @@
+type t = unit -> float
+
+let t0 = Unix.gettimeofday ()
+
+(* Wall time since process start, in microseconds, monotonised: a reading
+   never goes backwards even if the system clock is stepped. The CAS loop
+   keeps the watermark correct when several domains read concurrently. *)
+let watermark = Atomic.make 0.0
+
+let default () =
+  let now = (Unix.gettimeofday () -. t0) *. 1e6 in
+  let rec fix () =
+    let prev = Atomic.get watermark in
+    if now >= prev then
+      if Atomic.compare_and_set watermark prev now then now else fix ()
+    else prev
+  in
+  fix ()
+
+let counter ?(start = 0.0) ?(step = 1.0) () =
+  let state = Atomic.make start in
+  fun () ->
+    let rec go () =
+      let v = Atomic.get state in
+      if Atomic.compare_and_set state v (v +. step) then v else go ()
+    in
+    go ()

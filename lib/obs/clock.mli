@@ -1,0 +1,17 @@
+(** Clock abstraction for the tracing sink.
+
+    A clock returns a timestamp in microseconds.  The default clock is
+    wall time since process start, monotonised so successive readings
+    never decrease (even across domains or if the system clock steps).
+    Tests inject {!counter} through {!Sink.with_clock} for fully
+    deterministic event streams. *)
+
+type t = unit -> float
+
+val default : t
+(** Monotonised wall-clock microseconds since process start. *)
+
+val counter : ?start:float -> ?step:float -> unit -> t
+(** A fake clock: returns [start], [start +. step], [start +. 2. *. step],
+    … on successive calls.  Thread-safe (atomic fetch-and-add), so a run
+    under a fake clock is still well-ordered per domain. *)

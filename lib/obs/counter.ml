@@ -1,0 +1,48 @@
+let incr ?(by = 1) name =
+  if Sink.enabled () then
+    Sink.emit
+      {
+        Event.name;
+        ts = Sink.now ();
+        tid = Sink.tid ();
+        kind = Event.Counter { delta = by };
+      }
+
+let set name value =
+  if Sink.enabled () then
+    Sink.emit
+      {
+        Event.name;
+        ts = Sink.now ();
+        tid = Sink.tid ();
+        kind = Event.Gauge { value };
+      }
+
+(* assoc-list accumulation keeps first-appearance order; counter and
+   gauge name sets are small *)
+let update_assoc acc name f =
+  let rec go = function
+    | [] -> [ (name, f None) ]
+    | (n, old) :: tl when n = name -> (n, f (Some old)) :: tl
+    | hd :: tl -> hd :: go tl
+  in
+  go acc
+
+let totals events =
+  List.fold_left
+    (fun acc (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Counter { delta } ->
+        update_assoc acc e.Event.name (fun old ->
+            delta + Option.value old ~default:0)
+      | Event.Begin _ | Event.End | Event.Gauge _ | Event.Instant _ -> acc)
+    [] events
+
+let gauges events =
+  List.fold_left
+    (fun acc (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Gauge { value } ->
+        update_assoc acc e.Event.name (fun _ -> value)
+      | Event.Begin _ | Event.End | Event.Counter _ | Event.Instant _ -> acc)
+    [] events

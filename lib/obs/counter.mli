@@ -1,0 +1,16 @@
+(** Named counters (monotonic deltas) and gauges (last-write values).
+
+    [incr]/[set] are no-ops when the sink is disabled — a single atomic
+    load and no allocation, safe on hot paths. *)
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to a named counter. *)
+
+val set : string -> int -> unit
+(** Record an absolute gauge value (e.g. a schedule length). *)
+
+val totals : Event.t list -> (string * int) list
+(** Sum of deltas per counter name, in first-appearance order. *)
+
+val gauges : Event.t list -> (string * int) list
+(** Last recorded value per gauge name, in first-appearance order. *)

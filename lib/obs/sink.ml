@@ -1,0 +1,66 @@
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let clock : Clock.t ref = ref Clock.default
+let now () = !clock ()
+
+let with_clock c f =
+  let old = !clock in
+  clock := c;
+  Fun.protect ~finally:(fun () -> clock := old) f
+
+let tid () = (Domain.self () :> int)
+
+(* The process-wide buffer, newest first.  A mutex (not an atomic list)
+   because emission must be ordered with respect to concurrent drains. *)
+let mutex = Mutex.create ()
+let global : Event.t list ref = ref []
+
+(* Redirection stack for [collect]: domain-local, so parallel workers
+   capture their own events privately without touching the global
+   buffer (or its lock) at all. *)
+let redirect : Event.t list ref list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let emit e =
+  match !(Domain.DLS.get redirect) with
+  | buf :: _ -> buf := e :: !buf
+  | [] ->
+    Mutex.lock mutex;
+    global := e :: !global;
+    Mutex.unlock mutex
+
+let collect f =
+  if not (enabled ()) then (f (), [])
+  else begin
+    let stack = Domain.DLS.get redirect in
+    let buf = ref [] in
+    stack := buf :: !stack;
+    let pop () =
+      match !stack with _ :: tl -> stack := tl | [] -> ()
+    in
+    match f () with
+    | v ->
+      pop ();
+      (v, List.rev !buf)
+    | exception e ->
+      pop ();
+      raise e
+  end
+
+let replay events =
+  let t = tid () in
+  List.iter (fun (e : Event.t) -> emit { e with Event.tid = t }) events
+
+let events () =
+  Mutex.lock mutex;
+  let es = List.rev !global in
+  Mutex.unlock mutex;
+  es
+
+let clear () =
+  Mutex.lock mutex;
+  global := [];
+  Mutex.unlock mutex

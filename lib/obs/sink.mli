@@ -1,0 +1,42 @@
+(** The process-wide event sink.
+
+    Disabled by default: every emission point in the pipeline first
+    checks {!enabled}, so a disabled run performs one atomic load per
+    potential event and records nothing.  When enabled, events go to a
+    mutex-protected process-wide buffer — or, inside {!collect}, to a
+    domain-local capture buffer, which is how the parallel explorer
+    merges worker traces back deterministically. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val now : unit -> float
+(** Current timestamp (microseconds) from the active clock. *)
+
+val with_clock : Clock.t -> (unit -> 'a) -> 'a
+(** Run [f] with the given clock installed; restores the previous clock
+    afterwards (also on exceptions).  Tests inject {!Clock.counter} here
+    for deterministic timestamps. *)
+
+val tid : unit -> int
+(** The calling domain's id, recorded on each event. *)
+
+val emit : Event.t -> unit
+(** Append an event.  Callers are expected to have checked {!enabled};
+    emitting while disabled still records the event. *)
+
+val collect : (unit -> 'a) -> 'a * Event.t list
+(** [collect f] runs [f] with this domain's emissions redirected to a
+    private buffer and returns them (oldest first) alongside [f]'s
+    result.  Nests; a no-op returning [[]] when the sink is disabled. *)
+
+val replay : Event.t list -> unit
+(** Re-emit previously captured events, rewriting their [tid] to the
+    replaying domain — the deterministic merge step: replaying worker
+    captures in a fixed order yields the same stream for any [--jobs]. *)
+
+val events : unit -> Event.t list
+(** Snapshot of the process-wide buffer, oldest first. *)
+
+val clear : unit -> unit

@@ -1,0 +1,87 @@
+let with_ ?(cat = "hypar") ?(args = []) name f =
+  if not (Sink.enabled ()) then f ()
+  else begin
+    let tid = Sink.tid () in
+    Sink.emit
+      { Event.name; ts = Sink.now (); tid; kind = Event.Begin { cat; args } };
+    Fun.protect
+      ~finally:(fun () ->
+        Sink.emit { Event.name; ts = Sink.now (); tid; kind = Event.End })
+      f
+  end
+
+let instant ?(cat = "hypar") name =
+  if Sink.enabled () then
+    Sink.emit
+      {
+        Event.name;
+        ts = Sink.now ();
+        tid = Sink.tid ();
+        kind = Event.Instant { cat };
+      }
+
+type summary = {
+  events : int;
+  spans : int;
+  max_depth : int;
+  names : (string * int) list;
+}
+
+(* Structural validation: per-tid stacks; every End must close the most
+   recent open Begin of its thread, and no span may stay open. *)
+let validate events =
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 4 in
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let max_depth = ref 0 in
+  let exception Bad of string in
+  try
+    List.iter
+      (fun (e : Event.t) ->
+        let stack =
+          Option.value (Hashtbl.find_opt stacks e.Event.tid) ~default:[]
+        in
+        match e.Event.kind with
+        | Event.Begin _ ->
+          let stack = e.Event.name :: stack in
+          if List.length stack > !max_depth then
+            max_depth := List.length stack;
+          Hashtbl.replace stacks e.Event.tid stack
+        | Event.End -> (
+          match stack with
+          | [] ->
+            raise
+              (Bad
+                 (Printf.sprintf "end of %S (tid %d) with no open span"
+                    e.Event.name e.Event.tid))
+          | top :: rest ->
+            if top <> e.Event.name then
+              raise
+                (Bad
+                   (Printf.sprintf
+                      "end of %S (tid %d) does not match innermost open span \
+                       %S"
+                      e.Event.name e.Event.tid top));
+            if not (Hashtbl.mem counts top) then order := top :: !order;
+            Hashtbl.replace counts top
+              (1 + Option.value (Hashtbl.find_opt counts top) ~default:0);
+            Hashtbl.replace stacks e.Event.tid rest)
+        | Event.Counter _ | Event.Gauge _ | Event.Instant _ -> ())
+      events;
+    Hashtbl.iter
+      (fun tid stack ->
+        match stack with
+        | [] -> ()
+        | top :: _ ->
+          raise
+            (Bad (Printf.sprintf "span %S (tid %d) never closed" top tid)))
+      stacks;
+    Ok
+      {
+        events = List.length events;
+        spans = Hashtbl.fold (fun _ c acc -> acc + c) counts 0;
+        max_depth = !max_depth;
+        names =
+          List.rev_map (fun n -> (n, Hashtbl.find counts n)) !order;
+      }
+  with Bad msg -> Error msg

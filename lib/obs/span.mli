@@ -1,0 +1,25 @@
+(** Scoped spans over the sink.
+
+    [with_ name f] emits a [Begin] event, runs [f], and always emits the
+    matching [End] (also when [f] raises), so a recorded stream is
+    balanced by construction.  When the sink is disabled it calls [f]
+    directly — one atomic load of overhead. *)
+
+val with_ :
+  ?cat:string -> ?args:(string * Event.arg) list -> string -> (unit -> 'a) -> 'a
+
+val instant : ?cat:string -> string -> unit
+(** A zero-duration marker event. *)
+
+type summary = {
+  events : int;  (** total events, of any kind *)
+  spans : int;  (** completed spans *)
+  max_depth : int;  (** deepest nesting seen on any thread *)
+  names : (string * int) list;
+      (** completed-span count per name, in first-completion order *)
+}
+
+val validate : Event.t list -> (summary, string) result
+(** Check structural well-formedness: per thread, every [End] closes the
+    most recently opened [Begin] of the same name, and nothing stays
+    open.  This is what [hypar trace] runs over an exported file. *)

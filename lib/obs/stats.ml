@@ -1,0 +1,74 @@
+type span_stat = { name : string; count : int; total_us : float; self_us : float }
+
+(* Per-tid stacks of (name, start_ts, child time accumulator): on close,
+   the span's duration feeds the per-name totals and its parent's child
+   accumulator, giving self = total - children. *)
+let spans events =
+  let stacks : (int, (string * float * float ref) list) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let agg : (string, int * float * float) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Event.t) ->
+      let stack =
+        Option.value (Hashtbl.find_opt stacks e.Event.tid) ~default:[]
+      in
+      match e.Event.kind with
+      | Event.Begin _ ->
+        Hashtbl.replace stacks e.Event.tid
+          ((e.Event.name, e.Event.ts, ref 0.0) :: stack)
+      | Event.End -> (
+        match stack with
+        | (name, start, children) :: rest when name = e.Event.name ->
+          let dur = e.Event.ts -. start in
+          let self = dur -. !children in
+          (match rest with
+          | (_, _, parent_children) :: _ ->
+            parent_children := !parent_children +. dur
+          | [] -> ());
+          if not (Hashtbl.mem agg name) then order := name :: !order;
+          let c, t, s =
+            Option.value (Hashtbl.find_opt agg name) ~default:(0, 0.0, 0.0)
+          in
+          Hashtbl.replace agg name (c + 1, t +. dur, s +. self);
+          Hashtbl.replace stacks e.Event.tid rest
+        | _ -> (* unbalanced stream: ignore, validation reports it *) ())
+      | Event.Counter _ | Event.Gauge _ | Event.Instant _ -> ())
+    events;
+  List.rev_map
+    (fun name ->
+      let count, total_us, self_us = Hashtbl.find agg name in
+      { name; count; total_us; self_us })
+    !order
+
+let render events =
+  let buf = Buffer.create 1024 in
+  let span_stats = spans events in
+  Buffer.add_string buf "== hypar stats ==\n";
+  if span_stats <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-32s %7s %14s %14s\n" "span" "count" "total_us"
+         "self_us");
+    List.iter
+      (fun s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-32s %7d %14.1f %14.1f\n" s.name s.count
+             s.total_us s.self_us))
+      span_stats
+  end;
+  let totals = Counter.totals events in
+  if totals <> [] then begin
+    Buffer.add_string buf (Printf.sprintf "%-32s %7s\n" "counter" "total");
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%-32s %7d\n" n v))
+      totals
+  end;
+  let gauges = Counter.gauges events in
+  if gauges <> [] then begin
+    Buffer.add_string buf (Printf.sprintf "%-32s %7s\n" "gauge" "last");
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%-32s %7d\n" n v))
+      gauges
+  end;
+  Buffer.contents buf

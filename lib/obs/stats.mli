@@ -1,0 +1,19 @@
+(** Aggregated per-stage statistics over an event stream — the [--stats]
+    breakdown. *)
+
+type span_stat = {
+  name : string;
+  count : int;
+  total_us : float;  (** summed wall time of all spans with this name *)
+  self_us : float;  (** total minus time spent in child spans *)
+}
+
+val spans : Event.t list -> span_stat list
+(** Per-name aggregates in first-completion order.  Tolerates unbalanced
+    streams (drops the broken tail); use {!Span.validate} to detect
+    them. *)
+
+val render : Event.t list -> string
+(** Human-readable breakdown: span table, counter totals, gauge values.
+    Counts are deterministic for a deterministic run; only the [_us]
+    columns vary (tests scrub them). *)

@@ -96,6 +96,7 @@ let exec_instr mach instr =
     a.(i) <- operand mach value
 
 let run ?(fuel = 400_000_000) ?(inputs = []) cdfg =
+  Hypar_obs.Span.with_ ~cat:"profile" "profile.run" @@ fun () ->
   let cfg = Ir.Cdfg.cfg cdfg in
   let n = Ir.Cdfg.block_count cdfg in
   let mach =
@@ -175,6 +176,10 @@ let run ?(fuel = 400_000_000) ?(inputs = []) cdfg =
   let edge_freq =
     List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) edges [])
   in
+  if Hypar_obs.Sink.enabled () then begin
+    Hypar_obs.Counter.incr ~by:!instrs_executed "profile.instrs_executed";
+    Hypar_obs.Counter.incr ~by:!blocks_executed "profile.blocks_executed"
+  end;
   {
     exec_freq;
     mem_reads;

@@ -100,7 +100,6 @@ frontier (the digest line is elided — it tracks the IR, not this test):
   hypar: 3 of 6 points failed
   {
     "workload": "fir.mc",
-    "jobs": 1,
     "points": 6,
     "ok": 3,
     "met": 3,
@@ -122,7 +121,7 @@ frontier (the digest line is elided — it tracks the IR, not this test):
 is dominated: same t_total and energy, more area):
 
   $ hypar explore fir.mc -t 8000 --area 500,1500 --cgcs 1 --pareto-only
-  explore fir.mc — 2 points, jobs 1
+  explore fir.mc — 2 points
     A_FPGA       CGCs  ratio    timing                   status      initial        final reduction       energy  moved  cache  pareto
        500    one 2x2      3      8000              met-after-1        26737         4057     84.8%        94135      1   miss       *
   summary: 2/2 ok (2 met constraint), 0 failed; cache: 2 misses, 0 hits
@@ -209,3 +208,111 @@ rejected before partitioning starts:
   hypar: IR verification failed after "broken.ir":
   defs-before-uses(entry): registers read before any definition: ghost#7
   [3]
+
+Observability: --stats prints a per-stage breakdown on stderr.  Span and
+counter names and counts are deterministic; only the microsecond columns
+vary, so they are scrubbed:
+
+  $ hypar partition fir.mc -t 8000 --stats > /dev/null 2> stats.txt
+  $ sed -E 's/[0-9]+\.[0-9]+/T/g' stats.txt
+  == hypar stats ==
+  span                               count       total_us        self_us
+  minic.parse                            1           T           T
+  minic.typecheck                        1            T            T
+  minic.inline                           1           T           T
+  minic.lower                            1           T           T
+  ir.pass.input                          1            T            T
+  ir.pass.const_fold                     3           T           T
+  ir.pass.algebraic_simplify             3           T           T
+  ir.pass.copy_propagate                 3           T           T
+  ir.pass.common_subexpressions          3          T          T
+  ir.pass.dead_code_eliminate            3          T          T
+  ir.pass.simplify_cfg                   2           T           T
+  ir.pass.loop_invariant_motion          1           T           T
+  minic.optimize                         1          T            T
+  minic.compile                          1          T            T
+  profile.run                            1          T          T
+  fine.temporal                          5           T           T
+  fine.map_block                         5           T            T
+  cgc.schedule                           5           T           T
+  cgc.bind                               5            T            T
+  engine.characterise                    1           T           T
+  engine.move                            1            T            T
+  engine.run                             1           T            T
+  cli.partition                          1         T           T
+  counter                            total
+  profile.instrs_executed             3473
+  profile.blocks_executed              562
+  fine.temporal_partitions               4
+  engine.evaluations                     2
+  engine.moves                           1
+  gauge                               last
+  ir.blocks                              5
+  ir.instrs                             14
+  cgc.schedule_length                    0
+
+--trace writes a Chrome trace_event JSON; the trace subcommand validates
+the file (balanced spans, every end matching the most recent open begin)
+and summarises per-name span counts:
+
+  $ hypar partition fir.mc -t 8000 --trace run.json > /dev/null
+  $ hypar trace run.json
+  run.json: 153 events, 50 spans, balanced, max depth 5
+    cgc.bind                         5
+    cgc.schedule                     5
+    cli.partition                    1
+    engine.characterise              1
+    engine.move                      1
+    engine.run                       1
+    fine.map_block                   5
+    fine.temporal                    5
+    ir.pass.algebraic_simplify       3
+    ir.pass.common_subexpressions    3
+    ir.pass.const_fold               3
+    ir.pass.copy_propagate           3
+    ir.pass.dead_code_eliminate      3
+    ir.pass.input                    1
+    ir.pass.loop_invariant_motion    1
+    ir.pass.simplify_cfg             2
+    minic.compile                    1
+    minic.inline                     1
+    minic.lower                      1
+    minic.optimize                   1
+    minic.parse                      1
+    minic.typecheck                  1
+    profile.run                      1
+
+The JSON schema after scrubbing timestamps:
+
+  $ sed -E 's/"ts":[0-9]+(\.[0-9]+)?/"ts":T/g' run.json | head -6
+  {"traceEvents":[
+  {"name":"cli.partition","cat":"cli","ph":"B","pid":0,"tid":0,"ts":T},
+  {"name":"minic.compile","cat":"minic","ph":"B","pid":0,"tid":0,"ts":T},
+  {"name":"minic.parse","cat":"minic","ph":"B","pid":0,"tid":0,"ts":T},
+  {"name":"minic.parse","ph":"E","pid":0,"tid":0,"ts":T},
+  {"name":"minic.typecheck","cat":"minic","ph":"B","pid":0,"tid":0,"ts":T},
+
+Without --trace/--stats the commands print exactly what they always did
+(the sink stays disabled), and a garbage trace file is rejected:
+
+  $ echo 'not a trace' > bad.json
+  $ hypar trace bad.json
+  hypar: bad.json: not valid JSON: expected null at offset 0
+  [2]
+
+HYPAR_TRACE in the environment is an equivalent default for --trace:
+
+  $ HYPAR_TRACE=env.json hypar analyze fir.mc --top 1 > /dev/null
+  $ hypar trace env.json | head -1
+  env.json: 94 events, 27 spans, balanced, max depth 4
+
+Parallel exploration merges worker traces deterministically: after
+scrubbing timestamps, --jobs 2 produces a byte-identical trace to
+--jobs 1:
+
+  $ hypar explore fir.mc -t 8000 --area 500,1500 --cgcs 1,2 --jobs 1 --trace j1.json > /dev/null
+  $ hypar explore fir.mc -t 8000 --area 500,1500 --cgcs 1,2 --jobs 2 --trace j2.json > /dev/null
+  $ sed -E 's/"ts":[0-9]+(\.[0-9]+)?/"ts":T/g' j1.json > j1.scrubbed
+  $ sed -E 's/"ts":[0-9]+(\.[0-9]+)?/"ts":T/g' j2.json > j2.scrubbed
+  $ cmp j1.scrubbed j2.scrubbed && echo 'identical modulo timestamps'
+  identical modulo timestamps

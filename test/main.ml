@@ -55,5 +55,6 @@ let () =
       ("synth", Test_synth.suite);
       ("baselines", Test_baselines.suite);
       ("report", Test_report.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_props.suite);
     ]

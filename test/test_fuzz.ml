@@ -18,12 +18,23 @@ let random_source seed len =
   let alphabet = "abixy0159 +-*/%&|^<>=!~?:;,(){}[]\n\"intvoidforwhilereturn" in
   String.init len (fun _ -> alphabet.[next (String.length alphabet)])
 
-let compiles_or_reports src =
+(* Resource exhaustion is a crash, not a documented error: a catch-all
+   would swallow Stack_overflow/Out_of_memory and report them as the
+   generic "leaked an exception", losing the reproducer.  Fail fast with
+   the offending seed instead. *)
+let compiles_or_reports ?seed src =
+  let where =
+    match seed with None -> "" | Some s -> Printf.sprintf " (seed %d)" s
+  in
   match Driver.compile ~name:"fuzz" src with
   | Ok _ -> true
   | Error _ -> true
   | exception Lexer.Error _ -> true (* documented *)
   | exception Parser.Error _ -> true (* documented *)
+  | exception Stack_overflow ->
+    Alcotest.failf "driver crashed: Stack_overflow%s" where
+  | exception Out_of_memory ->
+    Alcotest.failf "driver crashed: Out_of_memory%s" where
   | exception _ -> false
 
 let test_lexer_total () =
@@ -50,7 +61,7 @@ let test_parser_total () =
 let test_driver_total () =
   for seed = 201 to 320 do
     let src = random_source seed (1 + (seed mod 160)) in
-    if not (compiles_or_reports src) then
+    if not (compiles_or_reports ~seed src) then
       Alcotest.failf "driver leaked an exception on seed %d" seed
   done
 
@@ -66,11 +77,11 @@ void main() {
 }
 |} in
   let next = lcg 99 in
-  for _ = 1 to 150 do
+  for it = 1 to 150 do
     let b = Bytes.of_string base in
     let pos = next (Bytes.length b) in
     Bytes.set b pos "+-;)({".[next 6];
-    if not (compiles_or_reports (Bytes.to_string b)) then
+    if not (compiles_or_reports ~seed:it (Bytes.to_string b)) then
       Alcotest.failf "mutation at %d leaked an exception" pos
   done
 

@@ -216,6 +216,89 @@ let prop_gantt_row_count =
       && List.length (String.split_on_char '\n' gantt)
          >= (Cgc.node_slots cgc + cgc.Cgc.mem_ports))
 
+module Obs = Hypar_obs
+
+let with_recording f =
+  Obs.Sink.clear ();
+  Obs.Sink.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Sink.disable ();
+      Obs.Sink.clear ())
+    (fun () -> Obs.Sink.with_clock (Obs.Clock.counter ()) f)
+
+(* Random span trees with interleaved counter increments: the recorded
+   stream must be properly nested (every end closes the most recent open
+   begin), the span count must match the executed tree, and each counter
+   total must equal the sum of its per-node increments. *)
+let prop_obs_random_trees =
+  QCheck.Test.make ~name:"obs: random span trees balanced, totals add up"
+    ~count:60
+    (QCheck.make
+       ~print:(fun (seed, n) -> Printf.sprintf "seed=%d nodes=%d" seed n)
+       QCheck.Gen.(pair (int_range 1 10_000) (int_range 1 60)))
+    (fun (seed, n) ->
+      let next = ref seed in
+      let rand bound =
+        next := ((!next * 1103515245) + 12345) land 0x3FFFFFFF;
+        !next mod bound
+      in
+      let budget = ref n in
+      let executed = ref 0 in
+      let increments : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      let rec node depth =
+        if !budget > 0 then begin
+          decr budget;
+          incr executed;
+          Obs.Span.with_ (Printf.sprintf "d%d" depth) (fun () ->
+              let name = Printf.sprintf "c%d" (rand 3) in
+              let by = 1 + rand 5 in
+              Obs.Counter.incr ~by name;
+              Hashtbl.replace increments name
+                (by + Option.value (Hashtbl.find_opt increments name) ~default:0);
+              for _ = 1 to rand 3 do
+                node (depth + 1)
+              done)
+        end
+      in
+      let events =
+        with_recording (fun () ->
+            while !budget > 0 do
+              node 0
+            done;
+            Obs.Sink.events ())
+      in
+      match Obs.Span.validate events with
+      | Error _ -> false
+      | Ok s ->
+        let totals = Obs.Counter.totals events in
+        s.Obs.Span.spans = !executed
+        && List.length totals = Hashtbl.length increments
+        && List.for_all
+             (fun (name, total) -> Hashtbl.find_opt increments name = Some total)
+             totals)
+
+(* The instrumented production pipeline itself must emit a well-nested
+   stream for arbitrary compiled programs. *)
+let prop_obs_pipeline_balanced =
+  QCheck.Test.make ~name:"obs: real pipeline traces are balanced" ~count:10
+    (QCheck.make
+       ~print:(fun (seed, depth) -> Printf.sprintf "seed=%d depth=%d" seed depth)
+       QCheck.Gen.(pair (int_range 1 100_000) (int_range 1 3)))
+    (fun (seed, depth) ->
+      let src = Synth.random_structured_main ~seed ~depth () in
+      let events =
+        with_recording (fun () ->
+            let prepared = Hypar_core.Flow.prepare ~name:"prop" src in
+            let platform = List.hd (Hypar_core.Platform.paper_configs ()) in
+            ignore
+              (Hypar_core.Flow.partition platform ~timing_constraint:1 prepared);
+            Obs.Sink.events ())
+      in
+      match Obs.Span.validate events with
+      | Ok s -> s.Obs.Span.spans > 0
+      | Error _ -> false)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -233,4 +316,6 @@ let suite =
       prop_best_fit_valid_and_no_worse;
       prop_bitstream_verifies;
       prop_gantt_row_count;
+      prop_obs_random_trees;
+      prop_obs_pipeline_balanced;
     ]
