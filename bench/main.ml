@@ -556,6 +556,70 @@ let obs_bench () =
   end;
   print_newline ()
 
+(* ---- Resilience overhead gate -------------------------------------------- *)
+
+(* The hardened explore driver wraps every point evaluation in
+   [Retry.run] and consults the fault spec; with no faults and no
+   retries configured that wrapper is the only cost the resilience layer
+   adds to a fault-free sweep.  Price the wrapper directly in a tight
+   loop (same technique as the obs gate — differencing two full sweeps
+   drowns in scheduler noise), relate it to the time of one real point
+   evaluation, and fail the bench if the fault-free overhead exceeds
+   2%. *)
+let resilience_bench () =
+  section_header "Resilience — fault-free hardening overhead on explore";
+  let module Eval = Hypar_explore.Eval in
+  let module Space = Hypar_explore.Space in
+  let module Retry = Hypar_resilience.Retry in
+  let prepared = Ofdm.prepared () in
+  let point =
+    { Space.area = 1500; cgcs = 2; rows = 2; cols = 2; clock_ratio = 3;
+      timing = Ofdm.timing_constraint }
+  in
+  let time_best ~reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let eval () = ignore (Eval.evaluate prepared point) in
+  eval ();
+  (* warmed up *)
+  let t_eval = time_best ~reps:7 eval in
+  let calls = 2_000_000 in
+  let payload _attempt = Ok () in
+  let bare () =
+    for _ = 1 to calls do
+      ignore (Sys.opaque_identity (payload 1))
+    done
+  in
+  let wrapped () =
+    for _ = 1 to calls do
+      ignore (Sys.opaque_identity (Retry.run ~retries:0 payload))
+    done
+  in
+  let t_bare = time_best ~reps:5 bare in
+  let t_wrapped = time_best ~reps:5 wrapped in
+  let per_call =
+    Float.max 0. ((t_wrapped -. t_bare) /. float_of_int calls)
+  in
+  let overhead = per_call /. t_eval in
+  Printf.printf "point evaluation   : %10.3f ms (OFDM, best of 7)\n"
+    (t_eval *. 1e3);
+  Printf.printf "retry wrapper      : %10.2f ns/point\n" (per_call *. 1e9);
+  Printf.printf
+    "fault-free overhead: %.6f%% of one point evaluation (budget: 2%%)\n"
+    (100. *. overhead);
+  if overhead > 0.02 then begin
+    Printf.printf "FAIL: resilience hardening exceeds the 2%% overhead budget\n";
+    exit 1
+  end;
+  print_newline ()
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -639,6 +703,7 @@ let sections =
     ("ablation:scaling", ablation_scaling);
     ("explore", explore_bench);
     ("obs", obs_bench);
+    ("resilience", resilience_bench);
     ("extension:pipeline", extension_pipeline);
     ("extension:energy", extension_energy);
     ("extension:modulo", extension_modulo);

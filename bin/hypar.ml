@@ -10,9 +10,13 @@
      baselines  compare kernel-selection strategies
      ranges     value-range / width-overflow analysis
      explore    design-space exploration (axis grids, --jobs N parallel
-                evaluation, memo cache, Pareto frontier, text/csv/json/md)
+                evaluation, memo cache, Pareto frontier, text/csv/json/md;
+                hardened: --faults/--retries/--point-fuel and a crash-safe
+                --checkpoint FILE journal with --resume)
      sweep      partition across an A_FPGA x CGC design-space grid
                 (a thin preset over the explore engine)
+     faults     parse/print a fault specification and show the degraded
+                platform it produces (see docs/resilience.md)
      dump       serialise the compiled CDFG (.ir)
      dot        emit the CFG (or one block's DFG) as Graphviz
      demo       reproduce the paper's Tables 2 and 3
@@ -51,19 +55,34 @@ let load_cdfg ?(verify_ir = false) path =
       ?verify_ir:(if verify_ir then Some true else None)
       (read_file path)
 
-let prepare_file ?verify_ir path =
+let prepare_file ?verify_ir ?max_steps path =
   let cdfg = load_cdfg ?verify_ir path in
-  let interp = Hypar_profiling.Interp.run cdfg in
+  let interp = Hypar_profiling.Interp.run ?max_steps cdfg in
   let profile = Hypar_profiling.Profile.of_result cdfg interp in
   { Flow.cdfg; profile; interp }
 
-(* uniform reporting + exit code when --verify-ir finds a broken IR *)
+(* Uniform reporting + exit codes for the typed failures every subcommand
+   can hit: frontend errors render as a located file:line:col diagnostic
+   (exit 2, never a backtrace), an exhausted profiling budget as a plain
+   message (exit 2), and a broken IR invariant as the verifier report
+   (exit 3). *)
 let with_verification f =
   match f () with
   | exception Hypar_ir.Verify.Failed { context; violations } ->
     Printf.eprintf "hypar: IR verification failed after %S:\n%s\n" context
       (Hypar_ir.Verify.report violations);
     3
+  | exception Hypar_minic.Driver.Frontend_error { name; err } ->
+    Printf.eprintf "%s%d:%d: %s\n"
+      (match name with Some n -> n ^ ":" | None -> "")
+      err.Hypar_minic.Driver.line err.Hypar_minic.Driver.col
+      err.Hypar_minic.Driver.msg;
+    2
+  | exception Hypar_profiling.Interp.Fuel_exhausted { steps } ->
+    Printf.eprintf
+      "hypar: profiling budget exhausted after %d steps (raise --point-fuel)\n"
+      steps;
+    2
   | code -> code
 
 let platform_of ~area ~cgcs ~rows ~cols ~ratio =
@@ -160,23 +179,53 @@ let verify_ir_arg =
     & info [ "verify-ir" ]
         ~doc:"check IR structural invariants before and after every pass")
 
+let faults_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "fault specification file to degrade the platform with (see \
+           $(b,hypar faults --help) for the syntax)")
+
 let partition_cmd =
   let run file area cgcs rows cols ratio timing report loops pipelined verify_ir
-      obs =
+      faults obs =
     with_obs ~command:"partition" obs @@ fun () ->
     with_verification @@ fun () ->
     let prepared = prepare_file ~verify_ir file in
     let platform = platform_of ~area ~cgcs ~rows ~cols ~ratio in
     let granularity = if loops then `Loop else `Block in
-    let r =
+    let go platform =
       Engine.run ~granularity ~cgc_pipelining:pipelined
         ?verify_ir:(if verify_ir then Some true else None)
         platform ~timing_constraint:timing prepared.Flow.cdfg
         prepared.Flow.profile
     in
-    if report then print_string (Hypar_core.Report.markdown r)
-    else Format.printf "%a@." Engine.pp r;
-    if Engine.met r then 0 else 1
+    match faults with
+    | None ->
+      let r = go platform in
+      if report then print_string (Hypar_core.Report.markdown r)
+      else Format.printf "%a@." Engine.pp r;
+      if Engine.met r then 0 else 1
+    | Some spec_file -> (
+      match
+        Result.bind (Hypar_resilience.Spec.load spec_file) (fun spec ->
+            Result.map
+              (fun degraded ->
+                Hypar_resilience.Delta.of_runs ~healthy:(go platform)
+                  ~degraded:(go degraded))
+              (Hypar_resilience.Degrade.apply spec platform))
+      with
+      | Error msg ->
+        Printf.eprintf "hypar: %s\n" msg;
+        2
+      | Ok delta ->
+        let r = delta.Hypar_resilience.Delta.degraded in
+        if report then print_string (Hypar_core.Report.markdown r)
+        else Format.printf "%a@." Engine.pp r;
+        Format.printf "%a@." Hypar_resilience.Delta.pp delta;
+        if Engine.met r then 0 else 1)
   in
   let report_arg =
     Arg.(value & flag & info [ "report" ] ~doc:"emit a Markdown report instead of the trace")
@@ -191,11 +240,12 @@ let partition_cmd =
     Term.(
       const run $ file_arg $ area_arg $ cgcs_arg $ rows_arg $ cols_arg
       $ ratio_arg $ constraint_arg $ report_arg $ loops_arg $ pipelined_arg
-      $ verify_ir_arg $ obs_args)
+      $ verify_ir_arg $ faults_file_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "partition"
-       ~doc:"Partition a Mini-C program between fine and coarse-grain hardware")
+       ~doc:"Partition a Mini-C program between fine and coarse-grain hardware \
+             (optionally on a $(b,--faults)-degraded platform)")
     term
 
 let analyze_cmd =
@@ -561,40 +611,142 @@ let explore_cmd =
       & info [ "pareto-only" ]
           ~doc:"list only the Pareto frontier (area, t_total, energy)")
   in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "re-attempt a failed point evaluation up to $(docv) times \
+             (deterministic backoff)")
+  in
+  let point_fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "point-fuel" ] ~docv:"N"
+          ~doc:
+            "per-point budget: bounds the profiling interpreter at \
+             preparation and each point's kernel-movement search")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "journal every completed point to the crash-safe $(docv); an \
+             interrupted sweep can continue with $(b,--resume)")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "restore points already journalled in $(b,--checkpoint) instead \
+             of re-evaluating them; the output is byte-identical to an \
+             uninterrupted run")
+  in
   let run file areas cgcs rows cols ratios timings jobs max_points format
-      pareto_only obs =
+      pareto_only faults retries point_fuel checkpoint resume obs =
     with_obs ~command:"explore" obs @@ fun () ->
     with_verification @@ fun () ->
-    let prepared = prepare_file file in
-    let space =
-      Space.make ~areas ~cgcs ~rows ~cols ~clock_ratios:ratios
-        ~timings ~max_points ()
-    in
-    match Driver.run ~jobs ~workload:(Filename.basename file) prepared space with
-    | Error msg ->
-      Printf.eprintf "hypar: %s\n" msg;
+    if resume && checkpoint = None then begin
+      Printf.eprintf "hypar: --resume requires --checkpoint FILE\n";
       2
-    | Ok summary ->
-      let render =
-        match format with
-        | `Text -> Render.text
-        | `Csv -> Render.csv
-        | `Json -> Render.json
-        | `Markdown -> Render.markdown
-      in
-      print_string (render ~pareto_only summary);
-      exit_of_summary summary
+    end
+    else
+      match
+        match faults with
+        | None -> Ok None
+        | Some f -> Result.map Option.some (Hypar_resilience.Spec.load f)
+      with
+      | Error msg ->
+        Printf.eprintf "hypar: %s\n" msg;
+        2
+      | Ok faults -> (
+        let prepared = prepare_file ?max_steps:point_fuel file in
+        let space =
+          Space.make ~areas ~cgcs ~rows ~cols ~clock_ratios:ratios
+            ~timings ~max_points ()
+        in
+        match
+          Driver.run ~jobs ~workload:(Filename.basename file) ?faults ~retries
+            ?point_fuel ?checkpoint ~resume prepared space
+        with
+        | Error msg ->
+          Printf.eprintf "hypar: %s\n" msg;
+          2
+        | Ok summary ->
+          let render =
+            match format with
+            | `Text -> Render.text
+            | `Csv -> Render.csv
+            | `Json -> Render.json
+            | `Markdown -> Render.markdown
+          in
+          print_string (render ~pareto_only summary);
+          exit_of_summary summary)
   in
   let term =
     Term.(
       const run $ file_arg $ areas_arg $ cgcs_arg $ rows_arg $ cols_arg
       $ ratios_arg $ timings_arg $ jobs_arg $ max_points_arg $ format_arg
-      $ pareto_only_arg $ obs_args)
+      $ pareto_only_arg $ faults_file_arg $ retries_arg $ point_fuel_arg
+      $ checkpoint_arg $ resume_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Design-space exploration: axis grids over the platform \
              parameters, parallel cached evaluation, Pareto reporting")
+    term
+
+let faults_cmd =
+  let module R = Hypar_resilience in
+  let run spec_file format area cgcs rows cols ratio =
+    match R.Spec.load spec_file with
+    | Error msg ->
+      Printf.eprintf "hypar: %s\n%s\n" msg R.Spec.syntax_help;
+      2
+    | Ok spec -> (
+      (match format with
+      | `Text -> print_string (R.Spec.to_text spec)
+      | `Json -> print_endline (R.Spec.to_json spec));
+      let platform = platform_of ~area ~cgcs ~rows ~cols ~ratio in
+      match R.Degrade.apply spec platform with
+      | Error msg ->
+        Printf.eprintf "hypar: %s\n" msg;
+        2
+      | Ok degraded ->
+        Format.printf "%a@." Platform.pp degraded;
+        (match degraded.Platform.cgc_health with
+        | Some h when Platform.degraded degraded ->
+          Format.printf "%a@." Hypar_coarsegrain.Cgc.pp_health h
+        | Some _ | None -> ());
+        0)
+  in
+  let spec_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SPEC" ~doc:"fault specification file")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"print the parsed spec as $(b,text) or $(b,json)")
+  in
+  let term =
+    Term.(
+      const run $ spec_file_arg $ format_arg $ area_arg $ cgcs_arg $ rows_arg
+      $ cols_arg $ ratio_arg)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Parse a fault specification, print its canonical form, and show \
+          the degraded platform it produces on the given geometry")
     term
 
 let dump_cmd =
@@ -675,4 +827,4 @@ let trace_cmd =
 let () =
   let doc = "hybrid fine/coarse-grain reconfigurable partitioning (DATE'04/05 methodology)" in
   let info = Cmd.info "hypar" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; dump_cmd; demo_cmd; trace_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; faults_cmd; dump_cmd; demo_cmd; trace_cmd ]))

@@ -63,7 +63,7 @@ let bind (cgc : Cgc.t) dfg (sched : Schedule.t) =
     fits_register_bank = max_live <= cgc.Cgc.register_bank;
   }
 
-let is_valid (cgc : Cgc.t) t =
+let is_valid ?health (cgc : Cgc.t) t =
   let seen = Hashtbl.create 64 in
   let ok = ref true in
   List.iter
@@ -71,6 +71,16 @@ let is_valid (cgc : Cgc.t) t =
       if s.cgc < 0 || s.cgc >= cgc.Cgc.cgcs then ok := false;
       if s.row < 0 || s.row >= cgc.Cgc.rows then ok := false;
       if s.col < 0 || s.col >= cgc.Cgc.cols then ok := false;
+      (match health with
+      | None -> ()
+      | Some (h : Cgc.health) ->
+        (* a slot on dead hardware (beyond its column's usable depth) is
+           a binding bug under degradation *)
+        let chain = Cgc.chain_of cgc ~cgc:s.cgc ~col:s.col in
+        if
+          chain >= Array.length h.Cgc.col_rows
+          || s.row + 1 > h.Cgc.col_rows.(chain)
+        then ok := false);
       let key = (s.cycle, s.cgc, s.row, s.col) in
       if Hashtbl.mem seen key then ok := false;
       Hashtbl.replace seen key ())

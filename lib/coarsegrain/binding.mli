@@ -17,9 +17,11 @@ type t = {
 
 val bind : Cgc.t -> Hypar_ir.Dfg.t -> Schedule.t -> t
 
-val is_valid : Cgc.t -> t -> bool
+val is_valid : ?health:Cgc.health -> Cgc.t -> t -> bool
 (** No two slots share (cycle, cgc, row, col); no two memory ops share
-    (cycle, port); coordinates within bounds. *)
+    (cycle, port); coordinates within bounds.  With [health], also checks
+    that no slot occupies dead hardware (a position beyond its column's
+    usable chain depth). *)
 
 val pp : Format.formatter -> t -> unit
 

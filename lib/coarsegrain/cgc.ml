@@ -16,6 +16,58 @@ let two_by_two k = make ~cgcs:k ~rows:2 ~cols:2 ()
 let chains t = t.cgcs * t.cols
 let node_slots t = t.cgcs * t.rows * t.cols
 
+(* ---- degraded data-paths (resilience layer) ---------------------------- *)
+
+type health = {
+  col_rows : int array;
+  no_mul : (int * int) list;
+  no_alu : (int * int) list;
+}
+
+let full_health t =
+  { col_rows = Array.make (chains t) t.rows; no_mul = []; no_alu = [] }
+
+let healthy t h =
+  Array.for_all (fun r -> r = t.rows) h.col_rows
+  && h.no_mul = [] && h.no_alu = []
+
+let usable_slots h = Array.fold_left ( + ) 0 h.col_rows
+
+let chain_of t ~cgc ~col = (cgc * t.cols) + col
+
+(* depth slots are filled bottom-up, so a dead node at row [r] of a column
+   truncates its usable chain depth to [r] (the steering logic cannot skip
+   over a dead node) *)
+let kill_node t h ~cgc ~row ~col =
+  let c = chain_of t ~cgc ~col in
+  { h with col_rows = Array.mapi (fun i r -> if i = c then min r row else r) h.col_rows }
+
+let kill_unit t h ~cgc ~row ~col ~mul =
+  let slot = (chain_of t ~cgc ~col, row + 1) in
+  if mul then { h with no_mul = slot :: List.filter (( <> ) slot) h.no_mul }
+  else { h with no_alu = slot :: List.filter (( <> ) slot) h.no_alu }
+
+let kill_cgc t h ~cgc =
+  {
+    h with
+    col_rows =
+      Array.mapi
+        (fun i r -> if i / t.cols = cgc then 0 else r)
+        h.col_rows;
+  }
+
+let pp_health ppf h =
+  Format.fprintf ppf "health{cols=[%s]%s%s}"
+    (String.concat ";" (Array.to_list (Array.map string_of_int h.col_rows)))
+    (if h.no_mul = [] then ""
+     else
+       " no_mul=" ^ String.concat ","
+         (List.map (fun (c, d) -> Printf.sprintf "%d.%d" c d) h.no_mul))
+    (if h.no_alu = [] then ""
+     else
+       " no_alu=" ^ String.concat ","
+         (List.map (fun (c, d) -> Printf.sprintf "%d.%d" c d) h.no_alu))
+
 let describe t =
   let count =
     match t.cgcs with

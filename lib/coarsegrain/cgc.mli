@@ -33,6 +33,45 @@ val chains : t -> int
 val node_slots : t -> int
 (** Total node slots per cycle: [cgcs * rows * cols]. *)
 
+(** {2 Degraded data-paths}
+
+    A [health] value describes which parts of the data-path still work; it
+    is threaded through {!Schedule} and {!Coarse_map} so a degraded
+    platform schedules around dead hardware instead of crashing.  Columns
+    are indexed in chain space ([cgc * cols + col]); slots are
+    [(chain, depth)] with depth 1-based as in {!Schedule.placement}. *)
+
+type health = {
+  col_rows : int array;  (** usable chain depth per column, [0..rows] *)
+  no_mul : (int * int) list;  (** slots whose multiplier is dead *)
+  no_alu : (int * int) list;  (** slots whose ALU is dead *)
+}
+
+val full_health : t -> health
+(** Every node of every CGC works. *)
+
+val healthy : t -> health -> bool
+(** [true] iff the health equals {!full_health}. *)
+
+val usable_slots : health -> int
+(** Sum of usable chain depths — 0 means no node op can execute at all. *)
+
+val chain_of : t -> cgc:int -> col:int -> int
+(** Chain-space index of a CGC column. *)
+
+val kill_node : t -> health -> cgc:int -> row:int -> col:int -> health
+(** Whole node dead: truncates its column's usable depth to [row] (the
+    steering chain cannot route around a dead node). *)
+
+val kill_unit : t -> health -> cgc:int -> row:int -> col:int -> mul:bool -> health
+(** One functional unit dead: the slot can no longer host multiplies
+    ([mul:true]) or ALU operations ([mul:false]) but still chains. *)
+
+val kill_cgc : t -> health -> cgc:int -> health
+(** Whole CGC component dead: all its columns drop to depth 0. *)
+
+val pp_health : Format.formatter -> health -> unit
+
 val describe : t -> string
 (** e.g. ["two 2x2"] / ["three 2x2"] / ["4x 3x2"]. *)
 

@@ -7,10 +7,10 @@ type block_mapping = {
   binding : Binding.t;
 }
 
-let map_dfg_id cgc ~block_id dfg =
-  if not (Schedule.supported dfg) then None
+let map_dfg_id ?health cgc ~block_id dfg =
+  if not (Schedule.supported_on ?health cgc dfg) then None
   else begin
-    let schedule = Schedule.schedule cgc dfg in
+    let schedule = Schedule.schedule ?health cgc dfg in
     let binding = Binding.bind cgc dfg schedule in
     Some
       {
@@ -21,16 +21,16 @@ let map_dfg_id cgc ~block_id dfg =
       }
   end
 
-let map_dfg cgc dfg = map_dfg_id cgc ~block_id:(-1) dfg
+let map_dfg ?health cgc dfg = map_dfg_id ?health cgc ~block_id:(-1) dfg
 
-let map_block cgc cdfg i =
-  map_dfg_id cgc ~block_id:i (Ir.Cdfg.info cdfg i).Ir.Cdfg.dfg
+let map_block ?health cgc cdfg i =
+  map_dfg_id ?health cgc ~block_id:i (Ir.Cdfg.info cdfg i).Ir.Cdfg.dfg
 
-let app_cycles cgc cdfg ~freq ~on_cgc =
+let app_cycles ?health cgc cdfg ~freq ~on_cgc =
   List.fold_left
     (fun acc i ->
       if on_cgc i && freq i > 0 then
-        match map_block cgc cdfg i with
+        match map_block ?health cgc cdfg i with
         | Some m -> acc + (m.latency * freq i)
         | None ->
           invalid_arg

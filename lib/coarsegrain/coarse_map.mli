@@ -13,12 +13,16 @@ type block_mapping = {
   binding : Binding.t;
 }
 
-val map_dfg : Cgc.t -> Hypar_ir.Dfg.t -> block_mapping option
-(** [None] when the DFG is not CGC-executable (divisions). *)
+val map_dfg : ?health:Cgc.health -> Cgc.t -> Hypar_ir.Dfg.t -> block_mapping option
+(** [None] when the DFG is not CGC-executable: divisions, or — under a
+    degraded [health] — no live slot for an operation kind it needs
+    ({!Schedule.supported_on}). *)
 
-val map_block : Cgc.t -> Hypar_ir.Cdfg.t -> int -> block_mapping option
+val map_block :
+  ?health:Cgc.health -> Cgc.t -> Hypar_ir.Cdfg.t -> int -> block_mapping option
 
 val app_cycles :
+  ?health:Cgc.health ->
   Cgc.t -> Hypar_ir.Cdfg.t -> freq:(int -> int) -> on_cgc:(int -> bool) -> int
 (** Eq. 3: [t_coarse = Σ t_to_coarse(BB_i) · Iter(BB_i)] over the blocks
     selected by [on_cgc], in CGC cycles. Raises [Invalid_argument] if a

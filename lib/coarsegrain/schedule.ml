@@ -26,6 +26,39 @@ let supported dfg =
         true)
     (Ir.Dfg.nodes dfg)
 
+let is_mul = function Ir.Instr.Mul _ -> true | _ -> false
+
+(* Supported on a (possibly degraded) data-path: op support as above, plus
+   every node-op kind present must have at least one live column whose
+   first slot can host it — that column is reachable at the start of any
+   cycle, which also guarantees the greedy scheduler below terminates. *)
+let supported_on ?health cgc dfg =
+  supported dfg
+  &&
+  match health with
+  | None -> true
+  | Some (h : Cgc.health) ->
+    let needs_mul = ref false and needs_alu = ref false in
+    List.iter
+      (fun (nd : Ir.Dfg.node) ->
+        match nd.Ir.Dfg.instr with
+        | Ir.Instr.Mul _ -> needs_mul := true
+        | Ir.Instr.Bin _ | Ir.Instr.Un _ | Ir.Instr.Select _ -> needs_alu := true
+        | Ir.Instr.Mov _ | Ir.Instr.Load _ | Ir.Instr.Store _
+        | Ir.Instr.Div _ | Ir.Instr.Rem _ ->
+          ())
+      (Ir.Dfg.nodes dfg);
+    let columns = min (Cgc.chains cgc) (Array.length h.Cgc.col_rows) in
+    let some_column pred =
+      let found = ref false in
+      for c = 0 to columns - 1 do
+        if h.Cgc.col_rows.(c) >= 1 && pred c then found := true
+      done;
+      !found
+    in
+    (not !needs_mul || some_column (fun c -> not (List.mem (c, 1) h.Cgc.no_mul)))
+    && (not !needs_alu || some_column (fun c -> not (List.mem (c, 1) h.Cgc.no_alu)))
+
 (* Priority: by default most critical first (smallest ALAP), then most
    successors, then program order.  `Asap and `Program are the ablation
    baselines. *)
@@ -54,7 +87,7 @@ let priority_order ?(priority = `Alap) dfg =
    is a full compute unit); a *same-cycle dependent* operation must sit in
    its producer's column, below it — the steering-logic chaining — and
    only onto the current tail of that dependency chain. *)
-let schedule ?priority cgc dfg =
+let schedule ?priority ?health cgc dfg =
   Hypar_obs.Span.with_ ~cat:"cgc" "cgc.schedule" @@ fun () ->
   let n = Ir.Dfg.node_count dfg in
   let kinds =
@@ -66,7 +99,28 @@ let schedule ?priority cgc dfg =
   let order = priority_order ?priority dfg in
   let remaining = ref n in
   let columns = Cgc.chains cgc in
-  let bound = (10 * n) + 100 in
+  (match health with
+  | Some (h : Cgc.health) when Array.length h.Cgc.col_rows <> columns ->
+    invalid_arg "Schedule.schedule: health does not match the CGC geometry"
+  | Some h when not (supported_on ~health:h cgc dfg) ->
+    invalid_arg "Schedule.schedule: DFG not executable on this degraded CGC"
+  | _ -> ());
+  (* usable depth per column and per-slot functional-unit capability; the
+     healthy defaults make the constrained code paths below coincide
+     exactly with the unconstrained ones *)
+  let cap =
+    match health with
+    | None -> Array.make columns cgc.Cgc.rows
+    | Some h -> Array.copy h.Cgc.col_rows
+  in
+  let slot_ok v c depth =
+    match health with
+    | None -> true
+    | Some (h : Cgc.health) ->
+      let dead = if is_mul (Ir.Dfg.node dfg v).Ir.Dfg.instr then h.Cgc.no_mul else h.Cgc.no_alu in
+      not (List.mem (c, depth) dead)
+  in
+  let bound = (10 * n) + 100 + (2 * n * columns) in
   let t = ref 1 in
   while !remaining > 0 do
     if !t > bound then
@@ -79,12 +133,14 @@ let schedule ?priority cgc dfg =
     let preds_scheduled v =
       List.for_all (fun p -> scheduled.(p)) (Ir.Dfg.preds dfg v)
     in
-    (* emptiest column first, so later chain extensions find room *)
-    let pick_column () =
+    (* emptiest column first, so later chain extensions find room; a
+       column qualifies only if its next depth slot is alive for [v] *)
+    let pick_column v =
       let best = ref (-1) in
       for c = columns - 1 downto 0 do
         if
-          column_used.(c) < cgc.Cgc.rows
+          column_used.(c) < cap.(c)
+          && slot_ok v c (column_used.(c) + 1)
           && (!best = -1 || column_used.(c) < column_used.(!best))
         then best := c
       done;
@@ -131,14 +187,17 @@ let schedule ?priority cgc dfg =
         else
           match same_cycle_node_preds with
           | [] -> (
-            match pick_column () with
+            match pick_column v with
             | -1 -> false
             | c ->
               place v c;
               true)
           | [ p ] ->
             let c = placements.(p).chain in
-            if c >= 0 && chain_tail.(p) && column_used.(c) < cgc.Cgc.rows
+            if
+              c >= 0 && chain_tail.(p)
+              && column_used.(c) < cap.(c)
+              && slot_ok v c (column_used.(c) + 1)
             then begin
               chain_tail.(p) <- false;
               place v c;
@@ -173,9 +232,26 @@ let chains_in_cycle t cycle =
     t.placements;
   Hashtbl.length seen
 
-let is_valid cgc dfg t =
+let is_valid ?health cgc dfg t =
   let ok = ref true in
   let n = Ir.Dfg.node_count dfg in
+  (match health with
+  | None -> ()
+  | Some (h : Cgc.health) ->
+    Array.iteri
+      (fun v (p : placement) ->
+        if p.chain >= 0 then begin
+          if
+            p.chain >= Array.length h.Cgc.col_rows
+            || p.depth > h.Cgc.col_rows.(p.chain)
+          then ok := false;
+          let dead =
+            if is_mul (Ir.Dfg.node dfg v).Ir.Dfg.instr then h.Cgc.no_mul
+            else h.Cgc.no_alu
+          in
+          if List.mem (p.chain, p.depth) dead then ok := false
+        end)
+      t.placements);
   if Array.length t.placements <> n then ok := false
   else begin
     let kinds = Array.init n (fun i -> kind_of (Ir.Dfg.node dfg i).Ir.Dfg.instr) in

@@ -26,17 +26,33 @@ type t = {
 exception Unsupported of string
 (** Raised for DFGs containing divisions/remainders. *)
 
-val schedule : ?priority:[ `Alap | `Asap | `Program ] -> Cgc.t -> Hypar_ir.Dfg.t -> t
+val schedule :
+  ?priority:[ `Alap | `Asap | `Program ] ->
+  ?health:Cgc.health ->
+  Cgc.t ->
+  Hypar_ir.Dfg.t ->
+  t
 (** [priority] selects the list-scheduling order (default [`Alap] —
     most critical first, the choice the [ablation:priority] bench
-    justifies). *)
+    justifies).  [health] (default: fully healthy) restricts placements to
+    live slots: columns are truncated to their usable depth and slots with
+    a dead multiplier/ALU never host the corresponding operations.
+    Raises [Invalid_argument] when the health does not match the CGC
+    geometry or {!supported_on} is false for it. *)
 
 val supported : Hypar_ir.Dfg.t -> bool
 (** [true] when the DFG contains no division/remainder. *)
 
-val is_valid : Cgc.t -> Hypar_ir.Dfg.t -> t -> bool
+val supported_on : ?health:Cgc.health -> Cgc.t -> Hypar_ir.Dfg.t -> bool
+(** {!supported}, plus: every node-op kind the DFG uses (multiply / ALU)
+    has at least one live column whose first slot can host it, so the
+    degraded data-path can actually execute the block. *)
+
+val is_valid : ?health:Cgc.health -> Cgc.t -> Hypar_ir.Dfg.t -> t -> bool
 (** Re-checks all constraints: dependences respected (same-cycle only via
-    chaining), chain count and depth per cycle, memory ports per cycle. *)
+    chaining), chain count and depth per cycle, memory ports per cycle —
+    and, when [health] is given, that no placement lands on dead
+    hardware. *)
 
 val chains_in_cycle : t -> int -> int
 (** Number of distinct columns used in the given cycle. *)

@@ -23,6 +23,12 @@ type step = {
 
 type status = Met_without_partitioning | Met_after of int | Infeasible
 
+type skip_reason = Not_cgc_executable | No_cgc_capacity
+
+let skip_reason_string = function
+  | Not_cgc_executable -> "not CGC-executable (division)"
+  | No_cgc_capacity -> "no live CGC capacity (degraded data-path)"
+
 type t = {
   platform : Platform.t;
   timing_constraint : int;
@@ -30,7 +36,7 @@ type t = {
   initial : times;
   analysis : Analysis.Kernel.t;
   steps : step list;
-  skipped : (int * string) list;
+  skipped : (int * skip_reason) list;
   status : status;
   final : times;
   moved : int list;
@@ -86,19 +92,23 @@ let characterise ?(cgc_pipelining = false) (platform : Platform.t) cdfg profile
         (Finegrain.Fine_map.map_block platform.Platform.fpga cdfg i)
           .Finegrain.Fine_map.cycles_per_iteration)
   in
+  let health = platform.Platform.cgc_health in
   let coarse =
     Array.init n (fun i ->
         Option.map
           (fun (m : Coarsegrain.Coarse_map.block_mapping) ->
             m.Coarsegrain.Coarse_map.latency)
-          (Coarsegrain.Coarse_map.map_block platform.Platform.cgc cdfg i))
+          (Coarsegrain.Coarse_map.map_block ?health platform.Platform.cgc cdfg
+             i))
   in
   let live = Ir.Live.analyse (Ir.Cdfg.cfg cdfg) in
   let cfg = Ir.Cdfg.cfg cdfg in
-  (* pipelining applies to self-looping kernels only *)
+  (* pipelining applies to self-looping kernels only; on a degraded
+     data-path the modulo scheduler would over-claim dead resources, so
+     moved kernels conservatively fall back to non-pipelined pricing *)
   let pipeline =
     Array.init n (fun i ->
-        if not cgc_pipelining then None
+        if (not cgc_pipelining) || Platform.degraded platform then None
         else if not (List.mem i (Ir.Cfg.successors cfg i)) then None
         else
           match
@@ -131,7 +141,9 @@ let evaluate ?(comm_pricing = `Transition) ?cgc_pipelining
       ~comm ~live ~edges ~freq ~moved n
 
 let mappable (platform : Platform.t) cdfg i =
-  Coarsegrain.Schedule.supported (Ir.Cdfg.info cdfg i).Ir.Cdfg.dfg
+  Coarsegrain.Schedule.supported_on ?health:platform.Platform.cgc_health
+    platform.Platform.cgc
+    (Ir.Cdfg.info cdfg i).Ir.Cdfg.dfg
   && platform.Platform.cgc.Coarsegrain.Cgc.cgcs > 0
 
 (* Group the kernel worklist by innermost loop when the engine runs at
@@ -261,7 +273,19 @@ let run ?weights ?max_moves ?(comm_pricing = `Transition) ?cgc_pipelining
           List.fold_left
             (fun acc (k : Analysis.Kernel.entry) ->
               Hypar_obs.Counter.incr "engine.skipped";
-              (k.block_id, "not CGC-executable (division)") :: acc)
+              let reason =
+                (* distinguish a DFG the CGC can never run (division)
+                   from one only the current degradation rules out *)
+                if
+                  Coarsegrain.Schedule.supported
+                    (Ir.Cdfg.info cdfg k.block_id).Ir.Cdfg.dfg
+                then begin
+                  Hypar_obs.Counter.incr "resilience.fault.fallback";
+                  No_cgc_capacity
+                end
+                else Not_cgc_executable
+              in
+              (k.block_id, reason) :: acc)
             skipped unmovable
         in
         match movable with
@@ -336,7 +360,8 @@ let pp ppf t =
         (if s.meets_constraint then "  [met]" else ""))
     t.steps;
   List.iter
-    (fun (b, reason) -> Format.fprintf ppf "  skipped BB%d: %s@," b reason)
+    (fun (b, reason) ->
+      Format.fprintf ppf "  skipped BB%d: %s@," b (skip_reason_string reason))
     t.skipped;
   (match t.status with
   | Met_without_partitioning ->

@@ -35,6 +35,16 @@ type status =
   | Met_after of int  (** satisfied after this many kernel movements *)
   | Infeasible  (** kernels exhausted without meeting the constraint *)
 
+type skip_reason =
+  | Not_cgc_executable
+      (** the DFG contains operations no CGC can run (division) *)
+  | No_cgc_capacity
+      (** the CGC could run it, but the platform's degraded data-path
+          ({!Platform.t.cgc_health}) has no live resources for it — the
+          kernel falls back to the FPGA *)
+
+val skip_reason_string : skip_reason -> string
+
 type t = {
   platform : Platform.t;
   timing_constraint : int;
@@ -42,7 +52,8 @@ type t = {
   initial : times;  (** the all-fine-grain mapping *)
   analysis : Hypar_analysis.Kernel.t;
   steps : step list;  (** in execution order *)
-  skipped : (int * string) list;  (** kernels that could not move, with reason *)
+  skipped : (int * skip_reason) list;
+      (** kernels that could not move, with reason *)
   status : status;
   final : times;
   moved : int list;  (** final moved set, in move order *)

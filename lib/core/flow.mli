@@ -11,12 +11,16 @@ val prepare :
   ?name:string ->
   ?simplify:bool ->
   ?verify_ir:bool ->
+  ?max_steps:int ->
   ?inputs:(string * int array) list ->
   string ->
   prepared
 (** Compiles the source (frontend + clean-up passes) and profiles it on
-    the given inputs. Raises [Failure] on frontend errors and
-    {!Hypar_profiling.Interp.Runtime_error} on execution errors.
+    the given inputs. Raises {!Hypar_minic.Driver.Frontend_error} on
+    frontend errors and {!Hypar_profiling.Interp.Runtime_error} on
+    execution errors.  [max_steps] bounds the profiling interpreter
+    (default unlimited), raising
+    {!Hypar_profiling.Interp.Fuel_exhausted} when exceeded.
     [verify_ir] (default {!Hypar_ir.Passes.verify_passes}) checks the IR
     at every pass boundary, raising {!Hypar_ir.Verify.Failed}. *)
 

@@ -5,19 +5,30 @@ type t = {
   name : string;
   fpga : Fpga.t;
   cgc : Cgc.t;
+  cgc_health : Cgc.health option;
   clock_ratio : int;
   comm : Comm.model;
 }
 
-let make ?name ?(clock_ratio = 3) ?(comm = Comm.default) ~fpga ~cgc () =
+let make ?name ?(clock_ratio = 3) ?(comm = Comm.default) ?cgc_health ~fpga ~cgc
+    () =
   if clock_ratio <= 0 then invalid_arg "Platform.make: clock_ratio must be positive";
+  (match cgc_health with
+  | Some h when Array.length h.Cgc.col_rows <> Cgc.chains cgc ->
+    invalid_arg "Platform.make: cgc_health does not match the CGC geometry"
+  | _ -> ());
   let name =
     match name with
     | Some n -> n
     | None ->
       Printf.sprintf "A_FPGA=%d, %s CGCs" fpga.Fpga.area (Cgc.describe cgc)
   in
-  { name; fpga; cgc; clock_ratio; comm }
+  { name; fpga; cgc; cgc_health; clock_ratio; comm }
+
+let degraded t =
+  match t.cgc_health with
+  | Some h when not (Cgc.healthy t.cgc h) -> true
+  | Some _ | None -> false
 
 let paper_configs () =
   let mk area k =

@@ -6,6 +6,10 @@ type t = {
   name : string;
   fpga : Hypar_finegrain.Fpga.t;
   cgc : Hypar_coarsegrain.Cgc.t;
+  cgc_health : Hypar_coarsegrain.Cgc.health option;
+      (** [None] (the default) means fully healthy; [Some h] restricts the
+          coarse-grain mapping to the live slots of [h] — see
+          [Hypar_resilience.Degrade]. *)
   clock_ratio : int;  (** [T_FPGA / T_CGC]; the paper assumes 3 *)
   comm : Comm.model;
 }
@@ -14,11 +18,18 @@ val make :
   ?name:string ->
   ?clock_ratio:int ->
   ?comm:Comm.model ->
+  ?cgc_health:Hypar_coarsegrain.Cgc.health ->
   fpga:Hypar_finegrain.Fpga.t ->
   cgc:Hypar_coarsegrain.Cgc.t ->
   unit ->
   t
-(** Defaults: clock ratio 3 (paper §4), {!Comm.default}. *)
+(** Defaults: clock ratio 3 (paper §4), {!Comm.default}, healthy CGC
+    data-path.  Raises [Invalid_argument] when [cgc_health] does not match
+    the CGC geometry. *)
+
+val degraded : t -> bool
+(** [true] when the platform carries a health mask that actually disables
+    hardware. *)
 
 val paper_configs : unit -> t list
 (** The four platform configurations of Tables 2–3:

@@ -47,7 +47,10 @@ let markdown ?(top_kernels = 8) (r : Engine.t) =
   | skipped ->
     line "";
     line "Skipped kernels:";
-    List.iter (fun (b, reason) -> line "- BB%d: %s" b reason) skipped);
+    List.iter
+      (fun (b, reason) ->
+        line "- BB%d: %s" b (Engine.skip_reason_string reason))
+      skipped);
   line "";
   line "## Final assignment";
   line "";

@@ -1,4 +1,7 @@
 module Flow = Hypar_core.Flow
+module Fault = Hypar_resilience.Fault
+module Retry = Hypar_resilience.Retry
+module Journal = Hypar_resilience.Journal
 
 type point_result = {
   point : Space.point;
@@ -55,11 +58,15 @@ let analyse results =
     best (fun (i, _) -> results.(i).point.Space.area),
     best (fun (_, m) -> m.Eval.energy) )
 
-let run ?(jobs = 1) ?workload (prepared : Flow.prepared) space =
+exception Checkpoint_error of string
+
+let run ?(jobs = 1) ?workload ?faults ?(retries = 0) ?point_fuel ?checkpoint
+    ?(resume = false) (prepared : Flow.prepared) space =
   Hypar_obs.Span.with_ ~cat:"explore" "explore.run" @@ fun () ->
-  match Space.points space with
-  | Error _ as e -> e
-  | Ok pts ->
+  try
+    match Space.points space with
+    | Error _ as e -> e
+    | Ok pts ->
     let workload =
       match workload with
       | Some w -> w
@@ -89,19 +96,83 @@ let run ?(jobs = 1) ?workload (prepared : Flow.prepared) space =
         pts
     in
     let unique = Array.of_list (List.rev !unique) in
+    (* crash recovery: outcomes journalled by an interrupted run are
+       restored by key and their points never re-evaluated *)
+    let restored : (string, (Eval.metrics, string) result) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    (match checkpoint with
+    | Some path when resume -> (
+      match Checkpoint.load path with
+      | Ok entries ->
+        List.iter (fun (k, outcome) -> Hashtbl.replace restored k outcome) entries
+      | Error msg -> raise (Checkpoint_error msg))
+    | Some _ | None -> ());
+    let journal =
+      match checkpoint with
+      | None -> None
+      | Some path -> (
+        match Journal.create ~resume ~header:Checkpoint.header path with
+        | Ok j -> Some j
+        | Error msg -> raise (Checkpoint_error msg))
+    in
+    (* one attempt of one point, with transient-fault injection: the
+       injected failures are a pure function of (seed, point, attempt),
+       so a retried — or resumed — sweep stays deterministic *)
+    let attempt_point p attempt =
+      match faults with
+      | Some spec
+        when Fault.transient_should_fail spec ~key:(Space.point_key p) ~attempt
+        ->
+        Hypar_obs.Counter.incr "resilience.fault.transient";
+        Error
+          (Printf.sprintf "injected transient fault (attempt %d) [point %s]"
+             attempt (Space.point_key p))
+      | _ -> Eval.evaluate ?faults ?point_fuel prepared p
+    in
+    let evaluate_fresh p =
+      let outcome = Retry.run ~retries (attempt_point p) in
+      (match journal with
+      | Some j ->
+        Journal.append j (Checkpoint.encode ~key:(Cache.key ~digest p) outcome)
+      | None -> ());
+      outcome
+    in
+    let resumed = Array.map (fun p -> Hashtbl.find_opt restored (Cache.key ~digest p)) unique in
+    let fresh =
+      Array.of_list
+        (List.filteri
+           (fun j _ -> resumed.(j) = None)
+           (Array.to_list unique))
+    in
+    let n_resumed = Array.length unique - Array.length fresh in
+    if n_resumed > 0 then
+      Hypar_obs.Counter.incr ~by:n_resumed "explore.resumed_points";
     (* Under tracing, each worker captures its point's events privately and
        the coordinator replays them in unique-point order, so the merged
        trace is identical whatever [jobs] is (modulo timestamps). *)
-    let outcomes =
+    let fresh_outcomes =
       if not (Hypar_obs.Sink.enabled ()) then
-        Pool.map ~jobs (Eval.evaluate prepared) unique
+        Pool.map ~jobs evaluate_fresh fresh
       else
         Pool.map ~jobs
-          (fun p -> Hypar_obs.Sink.collect (fun () -> Eval.evaluate prepared p))
-          unique
+          (fun p -> Hypar_obs.Sink.collect (fun () -> evaluate_fresh p))
+          fresh
         |> Array.map (fun (outcome, events) ->
                Hypar_obs.Sink.replay events;
                outcome)
+    in
+    Option.iter Journal.close journal;
+    let outcomes =
+      let next = ref 0 in
+      Array.map
+        (function
+          | Some outcome -> outcome
+          | None ->
+            let o = fresh_outcomes.(!next) in
+            incr next;
+            o)
+        resumed
     in
     let results =
       Array.of_list
@@ -122,3 +193,4 @@ let run ?(jobs = 1) ?workload (prepared : Flow.prepared) space =
         best_area;
         best_energy;
       }
+  with Checkpoint_error msg -> Error msg

@@ -36,12 +36,28 @@ type t = {
 val run :
   ?jobs:int ->
   ?workload:string ->
+  ?faults:Hypar_resilience.Fault.spec ->
+  ?retries:int ->
+  ?point_fuel:int ->
+  ?checkpoint:string ->
+  ?resume:bool ->
   Hypar_core.Flow.prepared ->
   Space.t ->
   (t, string) result
 (** [jobs] defaults to 1; [workload] (default the CDFG name) labels the
-    reports.  [Error] only for an invalid space (empty, or larger than
-    [max_points]). *)
+    reports.  [Error] for an invalid space (empty, or larger than
+    [max_points]) or an unusable checkpoint file.
+
+    Resilience hardening: [faults] evaluates every point on the
+    {!Hypar_resilience.Degrade}d platform and injects the spec's
+    transient failures; [retries] (default 0) re-attempts a failed point
+    evaluation with deterministic backoff ({!Hypar_resilience.Retry});
+    [point_fuel] bounds each point's engine search ({!Eval.evaluate}).
+    [checkpoint] journals every completed point to a crash-safe file;
+    with [resume] (default false) outcomes already journalled there are
+    restored instead of re-evaluated (counted by the
+    [explore.resumed_points] counter) and the rendered summary is
+    byte-identical to an uninterrupted run. *)
 
 val ok_count : t -> int
 val failed_count : t -> int

@@ -27,16 +27,27 @@ let status_string = function
   | Engine.Met_after n -> Printf.sprintf "met-after-%d" n
   | Engine.Infeasible -> "infeasible"
 
-let error_string = function
-  | Invalid_argument msg | Failure msg -> msg
-  | Hypar_ir.Verify.Failed { context; violations } ->
-    Printf.sprintf "IR verification failed after %S: %s" context
-      (String.concat "; "
-         (String.split_on_char '\n'
-            (String.trim (Hypar_ir.Verify.report violations))))
-  | exn -> Printexc.to_string exn
+(* every failed point names the raising constructor and its own
+   coordinates, so a failure in a JSON/CSV report is reproducible without
+   the sweep's command line *)
+let error_string (p : Space.point) exn =
+  let message =
+    match exn with
+    | Invalid_argument msg -> "Invalid_argument: " ^ msg
+    | Failure msg -> "Failure: " ^ msg
+    | Hypar_profiling.Interp.Fuel_exhausted { steps } ->
+      Printf.sprintf "Fuel_exhausted: point budget spent after %d steps" steps
+    | Hypar_ir.Verify.Failed { context; violations } ->
+      Printf.sprintf "Verify.Failed: IR verification failed after %S: %s"
+        context
+        (String.concat "; "
+           (String.split_on_char '\n'
+              (String.trim (Hypar_ir.Verify.report violations))))
+    | exn -> Printexc.to_string exn
+  in
+  Printf.sprintf "%s [point %s]" message (Space.point_key p)
 
-let evaluate (prepared : Flow.prepared) (p : Space.point) =
+let evaluate ?faults ?point_fuel (prepared : Flow.prepared) (p : Space.point) =
   Hypar_obs.Span.with_ ~cat:"explore" "explore.point"
     ~args:
       [
@@ -49,7 +60,20 @@ let evaluate (prepared : Flow.prepared) (p : Space.point) =
   @@ fun () ->
   match
     let platform = platform_of p in
-    let r = Flow.partition platform ~timing_constraint:p.timing prepared in
+    let platform =
+      match faults with
+      | None -> platform
+      | Some spec -> (
+        (* non-strict: a sweep point smaller than the faulted hardware
+           simply ignores the inapplicable faults *)
+        match Hypar_resilience.Degrade.apply ~strict:false spec platform with
+        | Ok pl -> pl
+        | Error msg -> failwith msg)
+    in
+    let r =
+      Engine.run ?max_moves:point_fuel platform ~timing_constraint:p.timing
+        prepared.Flow.cdfg prepared.Flow.profile
+    in
     let energy =
       Energy.app_energy Energy.default platform prepared.Flow.cdfg
         ~freq:(fun b -> r.Engine.freq.(b))
@@ -69,4 +93,4 @@ let evaluate (prepared : Flow.prepared) (p : Space.point) =
     }
   with
   | m -> Ok m
-  | exception e -> Error (error_string e)
+  | exception e -> Error (error_string p e)

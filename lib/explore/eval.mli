@@ -28,10 +28,23 @@ val platform_of : Space.point -> Hypar_core.Platform.t
 (** Raises [Invalid_argument] on non-positive dimensions (the device
     models' own validation). *)
 
-val evaluate : Hypar_core.Flow.prepared -> Space.point -> (metrics, string) result
+val evaluate :
+  ?faults:Hypar_resilience.Fault.spec ->
+  ?point_fuel:int ->
+  Hypar_core.Flow.prepared ->
+  Space.point ->
+  (metrics, string) result
+(** [faults] degrades the point's platform first
+    ({!Hypar_resilience.Degrade.apply}, non-strict: faults naming
+    hardware this point does not have are skipped).  [point_fuel] bounds
+    the engine's kernel-movement search for this point (the companion
+    interpreter budget is applied once at preparation time, see
+    {!Hypar_core.Flow.prepare}). *)
 
 val status_string : Hypar_core.Engine.status -> string
 (** ["met-without-partitioning"] / ["met-after-N"] / ["infeasible"]. *)
 
-val error_string : exn -> string
-(** The message recorded for a failed point. *)
+val error_string : Space.point -> exn -> string
+(** The message recorded for a failed point: the raising exception's
+    constructor, its message, and the point's {!Space.point_key} — e.g.
+    ["Invalid_argument: ... [point a0/k2/g2x2/r3/t500]"]. *)

@@ -1,6 +1,17 @@
 type error = { line : int; col : int; msg : string }
 
+exception Frontend_error of { name : string option; err : error }
+
 let string_of_error e = Printf.sprintf "%d:%d: %s" e.line e.col e.msg
+
+let () =
+  Printexc.register_printer (function
+    | Frontend_error { name; err } ->
+      Some
+        (Printf.sprintf "%s%s"
+           (match name with Some n -> n ^ ":" | None -> "")
+           (string_of_error err))
+    | _ -> None)
 
 let of_pos (pos : Token.pos) msg = { line = pos.line; col = pos.col; msg }
 
@@ -39,4 +50,4 @@ let compile ?name ?(simplify = true) ?verify_ir src =
 let compile_exn ?name ?simplify ?verify_ir src =
   match compile ?name ?simplify ?verify_ir src with
   | Ok cdfg -> cdfg
-  | Error e -> failwith (string_of_error e)
+  | Error err -> raise (Frontend_error { name; err })

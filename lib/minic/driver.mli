@@ -2,6 +2,13 @@
 
 type error = { line : int; col : int; msg : string }
 
+exception Frontend_error of { name : string option; err : error }
+(** The single typed error raised by {!compile_exn}: every frontend
+    failure — lexer, parser, type checker, inliner, lowering — surfaces
+    as this exception so callers (the CLI in particular) can render a
+    located [file:line:col: message] diagnostic instead of a backtrace.
+    [name] is the [?name] the caller compiled under, when any. *)
+
 val compile :
   ?name:string ->
   ?simplify:bool ->
@@ -18,6 +25,6 @@ val compile :
 
 val compile_exn :
   ?name:string -> ?simplify:bool -> ?verify_ir:bool -> string -> Hypar_ir.Cdfg.t
-(** Like {!compile} but raises [Failure] with a formatted message. *)
+(** Like {!compile} but raises {!Frontend_error} on failure. *)
 
 val string_of_error : error -> string

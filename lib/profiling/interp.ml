@@ -1,8 +1,15 @@
 module Ir = Hypar_ir
 
 exception Runtime_error of string
+exception Fuel_exhausted of { steps : int }
 
 let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Fuel_exhausted { steps } ->
+      Some (Printf.sprintf "Fuel_exhausted(%d steps)" steps)
+    | _ -> None)
 
 type result = {
   exec_freq : int array;
@@ -95,7 +102,7 @@ let exec_instr mach instr =
     check_bounds arr a i;
     a.(i) <- operand mach value
 
-let run ?(fuel = 400_000_000) ?(inputs = []) cdfg =
+let run ?(fuel = 400_000_000) ?max_steps ?(inputs = []) cdfg =
   Hypar_obs.Span.with_ ~cat:"profile" "profile.run" @@ fun () ->
   let cfg = Ir.Cdfg.cfg cdfg in
   let n = Ir.Cdfg.block_count cdfg in
@@ -140,16 +147,25 @@ let run ?(fuel = 400_000_000) ?(inputs = []) cdfg =
   let instrs_executed = ref 0 in
   let blocks_executed = ref 0 in
   let budget = ref fuel in
-  let rec exec_block i =
+  let steps = ref 0 in
+  (* [fuel] preserves the legacy untyped diagnostic; [max_steps] is the
+     typed per-evaluation budget the hardened explore driver threads in *)
+  let tick () =
+    (match max_steps with
+    | Some limit when !steps >= limit -> raise (Fuel_exhausted { steps = !steps })
+    | Some _ | None -> ());
     if !budget <= 0 then error "fuel exhausted (infinite loop?)";
     decr budget;
+    incr steps
+  in
+  let rec exec_block i =
+    tick ();
     exec_freq.(i) <- exec_freq.(i) + 1;
     incr blocks_executed;
     let b = Ir.Cfg.block cfg i in
     List.iter
       (fun instr ->
-        if !budget <= 0 then error "fuel exhausted (infinite loop?)";
-        decr budget;
+        tick ();
         incr instrs_executed;
         if Ir.Instr.is_load instr then mem_reads.(i) <- mem_reads.(i) + 1;
         if Ir.Instr.is_store instr then mem_writes.(i) <- mem_writes.(i) + 1;

@@ -10,6 +10,12 @@ exception Runtime_error of string
 (** Division by zero, out-of-bounds access, read of an undefined scalar,
     store to a const array, or fuel exhaustion. *)
 
+exception Fuel_exhausted of { steps : int }
+(** The typed budget of [?max_steps] ran out after [steps] executed
+    units (instructions + blocks).  Unlike the legacy [?fuel] overflow —
+    which raises {!Runtime_error} — this is meant to be caught and
+    handled (e.g. by the hardened explore driver's per-point budget). *)
+
 type result = {
   exec_freq : int array;  (** per-block visit counts *)
   mem_reads : int array;  (** per-block dynamic load counts *)
@@ -22,14 +28,21 @@ type result = {
 }
 
 val run :
-  ?fuel:int -> ?inputs:(string * int array) list -> Hypar_ir.Cdfg.t -> result
+  ?fuel:int ->
+  ?max_steps:int ->
+  ?inputs:(string * int array) list ->
+  Hypar_ir.Cdfg.t ->
+  result
 (** Executes the program from its entry block.
 
     [inputs] preloads (non-const) arrays before execution; shorter inputs
     fill the array prefix.  [fuel] bounds the number of executed
-    instructions + blocks (default [400_000_000]).
+    instructions + blocks (default [400_000_000]) and overflows as an
+    untyped {!Runtime_error}; [max_steps] (default unlimited) bounds the
+    same units but raises the typed {!Fuel_exhausted} instead.
 
-    @raise Runtime_error on the conditions above. *)
+    @raise Runtime_error on the conditions above.
+    @raise Fuel_exhausted when [max_steps] runs out. *)
 
 val array_exn : result -> string -> int array
 (** Final contents of a named array. Raises [Not_found]. *)

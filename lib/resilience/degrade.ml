@@ -1,0 +1,106 @@
+module Cgc = Hypar_coarsegrain.Cgc
+module Fpga = Hypar_finegrain.Fpga
+module Platform = Hypar_core.Platform
+module Comm = Hypar_core.Comm
+
+let counter_of = function
+  | Fault.Dead_node _ -> "resilience.fault.dead_node"
+  | Fault.Dead_cgc _ -> "resilience.fault.dead_cgc"
+  | Fault.Area_loss _ -> "resilience.fault.area_loss"
+  | Fault.Comm_slowdown _ -> "resilience.fault.comm_slowdown"
+  | Fault.Transient _ -> "resilience.fault.transient"
+
+let ceil_pct v pct = ((v * pct) + 99) / 100
+
+type state = {
+  health : Cgc.health;
+  fpga : Fpga.t;
+  comm : Comm.model;
+  touched : bool;  (* any platform-affecting fault applied *)
+}
+
+let apply_fault ~strict cgc st f =
+  let skip msg = if strict then Error msg else Ok st in
+  match f with
+  | Fault.Dead_node { cgc = k; row; col; unit_kind } ->
+    if k < 0 || k >= cgc.Cgc.cgcs then
+      skip (Printf.sprintf "dead-node: CGC %d out of range [0, %d)" k cgc.Cgc.cgcs)
+    else if row < 0 || row >= cgc.Cgc.rows then
+      skip (Printf.sprintf "dead-node: row %d out of range [0, %d)" row cgc.Cgc.rows)
+    else if col < 0 || col >= cgc.Cgc.cols then
+      skip (Printf.sprintf "dead-node: col %d out of range [0, %d)" col cgc.Cgc.cols)
+    else
+      let health =
+        match unit_kind with
+        | Fault.Both -> Cgc.kill_node cgc st.health ~cgc:k ~row ~col
+        | Fault.Mult -> Cgc.kill_unit cgc st.health ~cgc:k ~row ~col ~mul:true
+        | Fault.Alu -> Cgc.kill_unit cgc st.health ~cgc:k ~row ~col ~mul:false
+      in
+      Ok { st with health; touched = true }
+  | Fault.Dead_cgc k ->
+    if k < 0 || k >= cgc.Cgc.cgcs then
+      skip (Printf.sprintf "dead-cgc: CGC %d out of range [0, %d)" k cgc.Cgc.cgcs)
+    else Ok { st with health = Cgc.kill_cgc cgc st.health ~cgc:k; touched = true }
+  | Fault.Area_loss loss ->
+    let area =
+      match loss with
+      | `Percent p -> st.fpga.Fpga.area - ceil_pct st.fpga.Fpga.area p
+      | `Units u -> st.fpga.Fpga.area - u
+    in
+    (* never drop below one CLB: a 100% loss leaves a minimal FPGA rather
+       than an unconstructible platform *)
+    let fpga = { st.fpga with Fpga.area = max 1 area } in
+    Ok { st with fpga; touched = true }
+  | Fault.Comm_slowdown pct ->
+    let comm =
+      {
+        st.comm with
+        Comm.cycles_per_word = ceil_pct st.comm.Comm.cycles_per_word pct;
+        fixed_overhead = ceil_pct st.comm.Comm.fixed_overhead pct;
+      }
+    in
+    Ok { st with comm; touched = true }
+  | Fault.Transient _ ->
+    (* injected at evaluation time, not a platform property *)
+    Ok st
+
+let apply ?(strict = true) (spec : Fault.spec) (platform : Platform.t) =
+  let cgc = platform.Platform.cgc in
+  let init =
+    {
+      health =
+        (match platform.Platform.cgc_health with
+        | Some h ->
+          {
+            Cgc.col_rows = Array.copy h.Cgc.col_rows;
+            no_mul = h.Cgc.no_mul;
+            no_alu = h.Cgc.no_alu;
+          }
+        | None -> Cgc.full_health cgc);
+      fpga = platform.Platform.fpga;
+      comm = platform.Platform.comm;
+      touched = false;
+    }
+  in
+  let rec fold st = function
+    | [] -> Ok st
+    | f :: rest -> (
+      match apply_fault ~strict cgc st f with
+      | Ok st' ->
+        if st' != st then Hypar_obs.Counter.incr (counter_of f);
+        fold st' rest
+      | Error _ as e -> e)
+  in
+  match fold init spec.Fault.faults with
+  | Error _ as e -> e
+  | Ok st ->
+    if not st.touched then Ok platform
+    else
+      Ok
+        {
+          platform with
+          Platform.name = platform.Platform.name ^ " [degraded]";
+          fpga = st.fpga;
+          comm = st.comm;
+          cgc_health = Some st.health;
+        }

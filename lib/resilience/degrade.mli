@@ -1,0 +1,23 @@
+(** Apply a fault specification to a platform.
+
+    The transform is pure: the input platform is never mutated; the
+    result carries a fresh {!Hypar_coarsegrain.Cgc.health} mask, a
+    possibly shrunken FPGA and a possibly slowed communication model, and
+    its name gains a [" [degraded]"] suffix when any platform-affecting
+    fault applied.  [Transient] faults are evaluation-time phenomena and
+    leave the platform untouched.
+
+    Each applied fault increments a [resilience.fault.*] counter
+    ({!Hypar_obs.Counter}). *)
+
+val apply :
+  ?strict:bool ->
+  Fault.spec ->
+  Hypar_core.Platform.t ->
+  (Hypar_core.Platform.t, string) result
+(** [apply spec platform] degrades [platform] per [spec].  With [strict]
+    (the default) a fault naming hardware the platform does not have
+    (CGC/row/col out of range) is an error; with [~strict:false] such
+    faults are silently skipped — the right mode for design-space sweeps
+    where the same spec is applied across differently-sized platforms.
+    FPGA area is clamped to at least one unit. *)

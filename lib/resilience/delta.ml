@@ -1,0 +1,79 @@
+module Engine = Hypar_core.Engine
+module Platform = Hypar_core.Platform
+
+type t = {
+  healthy : Engine.t;
+  degraded : Engine.t;
+  fallback_kernels : int list;
+  t_total_delta : int;
+  slowdown_percent : float;
+}
+
+let of_runs ~healthy ~degraded =
+  let fallback_kernels =
+    List.filter
+      (fun b -> not (List.mem b degraded.Engine.moved))
+      healthy.Engine.moved
+  in
+  let t_total_delta =
+    degraded.Engine.final.Engine.t_total - healthy.Engine.final.Engine.t_total
+  in
+  let slowdown_percent =
+    if healthy.Engine.final.Engine.t_total = 0 then 0.0
+    else
+      100.0 *. float_of_int t_total_delta
+      /. float_of_int healthy.Engine.final.Engine.t_total
+  in
+  { healthy; degraded; fallback_kernels; t_total_delta; slowdown_percent }
+
+let run ?comm_pricing ?cgc_pipelining ?granularity (spec : Fault.spec)
+    (platform : Platform.t) ~timing_constraint cdfg profile =
+  match Degrade.apply spec platform with
+  | Error _ as e -> e
+  | Ok degraded_platform ->
+    Hypar_obs.Span.with_ ~cat:"resilience" "resilience.delta" @@ fun () ->
+    let go p =
+      Engine.run ?comm_pricing ?cgc_pipelining ?granularity p
+        ~timing_constraint cdfg profile
+    in
+    Ok (of_runs ~healthy:(go platform) ~degraded:(go degraded_platform))
+
+let status_string = function
+  | Engine.Met_without_partitioning -> "met without partitioning"
+  | Engine.Met_after k -> Printf.sprintf "met after %d movement(s)" k
+  | Engine.Infeasible -> "infeasible"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>degradation delta for %s:@,"
+    t.healthy.Engine.cdfg_name;
+  Format.fprintf ppf "  healthy : t_total=%d (%s)@,"
+    t.healthy.Engine.final.Engine.t_total
+    (status_string t.healthy.Engine.status);
+  Format.fprintf ppf "  degraded: t_total=%d (%s)@,"
+    t.degraded.Engine.final.Engine.t_total
+    (status_string t.degraded.Engine.status);
+  Format.fprintf ppf "  delta   : %+d cycles (%+.1f%%)@," t.t_total_delta
+    t.slowdown_percent;
+  (match t.fallback_kernels with
+  | [] -> Format.fprintf ppf "  fallback: none@,"
+  | ks ->
+    Format.fprintf ppf "  fallback: %s@,"
+      (String.concat ", "
+         (List.map (fun b -> Printf.sprintf "BB%d" b) ks)));
+  List.iter
+    (fun (b, reason) ->
+      Format.fprintf ppf "  degraded skip BB%d: %s@," b
+        (Engine.skip_reason_string reason))
+    t.degraded.Engine.skipped;
+  Format.fprintf ppf "@]"
+
+let to_json t =
+  Printf.sprintf
+    "{\"app\": %S, \"healthy_t_total\": %d, \"degraded_t_total\": %d, \
+     \"delta\": %d, \"slowdown_percent\": %.1f, \"fallback_kernels\": [%s], \
+     \"healthy_status\": %S, \"degraded_status\": %S}"
+    t.healthy.Engine.cdfg_name t.healthy.Engine.final.Engine.t_total
+    t.degraded.Engine.final.Engine.t_total t.t_total_delta t.slowdown_percent
+    (String.concat ", " (List.map string_of_int t.fallback_kernels))
+    (status_string t.healthy.Engine.status)
+    (status_string t.degraded.Engine.status)

@@ -1,0 +1,82 @@
+type t = { oc : out_channel; lock : Mutex.t; mutable closed : bool }
+
+let header_line header = "# " ^ header
+
+(* Each entry is written as "LEN:PAYLOAD\n".  A crash mid-append leaves a
+   short final line whose payload length disagrees with its prefix; [load]
+   drops exactly those, so a journal is always usable after a kill. *)
+let encode payload =
+  if String.contains payload '\n' then
+    invalid_arg "Journal.append: payload must not contain newlines";
+  Printf.sprintf "%d:%s" (String.length payload) payload
+
+let decode line =
+  match String.index_opt line ':' with
+  | None -> None
+  | Some i -> (
+    let payload = String.sub line (i + 1) (String.length line - i - 1) in
+    match int_of_string_opt (String.sub line 0 i) with
+    | Some len when len = String.length payload -> Some payload
+    | Some _ | None -> None)
+
+let read_lines path =
+  In_channel.with_open_text path @@ fun ic ->
+  let rec go acc =
+    match In_channel.input_line ic with
+    | Some l -> go (l :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let load ~header path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    match read_lines path with
+    | exception Sys_error msg -> Error msg
+    | [] -> Ok []
+    | first :: rest ->
+      if first <> header_line header then
+        Error
+          (Printf.sprintf "%s: not a %s journal (header %S)" path header first)
+      else Ok (List.filter_map decode rest)
+
+let create ?(resume = false) ~header path =
+  let fresh () =
+    match open_out path with
+    | exception Sys_error msg -> Error msg
+    | oc ->
+      output_string oc (header_line header ^ "\n");
+      flush oc;
+      Ok { oc; lock = Mutex.create (); closed = false }
+  in
+  if not resume then fresh ()
+  else if not (Sys.file_exists path) then fresh ()
+  else
+    (* validate the header before blindly appending to a foreign file *)
+    match load ~header path with
+    | Error _ as e -> e
+    | Ok _ -> (
+      match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+      | exception Sys_error msg -> Error msg
+      | oc -> Ok { oc; lock = Mutex.create (); closed = false })
+
+let append t payload =
+  let line = encode payload in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if t.closed then invalid_arg "Journal.append: journal is closed";
+      output_string t.oc (line ^ "\n");
+      (* flush per entry: crash-safety is the whole point *)
+      flush t.oc)
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        close_out t.oc
+      end)

@@ -1,0 +1,29 @@
+(** Crash-safe, append-only line journal.
+
+    The file starts with a header line identifying the journal kind;
+    every entry is a single length-prefixed line, flushed on write.  A
+    process killed mid-append leaves at most one torn line, which
+    {!load} silently drops — so a journal written up to any kill point
+    loads cleanly and a resumed run continues from the last complete
+    entry.  [append] is safe to call from multiple domains (an internal
+    mutex serialises writers). *)
+
+type t
+
+val create : ?resume:bool -> header:string -> string -> (t, string) result
+(** [create ~header path] opens a fresh journal, truncating any existing
+    file and writing the header.  With [~resume:true] an existing file is
+    validated against [header] and opened for append instead (a missing
+    file is created fresh). *)
+
+val append : t -> string -> unit
+(** Append one entry and flush.  The payload must not contain newlines
+    ([Invalid_argument] otherwise, also after {!close}). *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val load : header:string -> string -> (string list, string) result
+(** Entries of a journal file, in write order, torn trailing line
+    dropped.  A missing file is [Ok []]; a file with a different header
+    is an [Error]. *)

@@ -1,0 +1,19 @@
+let run ?(retries = 0) ?(backoff_us = 0) ?on_retry f =
+  if retries < 0 then invalid_arg "Retry.run: retries must be non-negative";
+  let rec go attempt =
+    match f attempt with
+    | Ok _ as ok -> ok
+    | Error msg when attempt <= retries ->
+      Hypar_obs.Counter.incr "resilience.retry";
+      (match on_retry with
+      | Some cb -> cb ~attempt msg
+      | None -> ());
+      (* deterministic exponential backoff: attempt k waits
+         backoff_us * 2^(k-1); the default of zero keeps retried runs
+         bit-identical in time-insensitive contexts (tests, resume) *)
+      let wait_us = backoff_us * (1 lsl min (attempt - 1) 20) in
+      if wait_us > 0 then Unix.sleepf (float_of_int wait_us /. 1_000_000.);
+      go (attempt + 1)
+    | Error _ as e -> e
+  in
+  go 1

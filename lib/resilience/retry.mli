@@ -1,0 +1,20 @@
+(** Bounded retry with deterministic exponential backoff.
+
+    Wraps a fallible computation and re-runs it on [Error] up to a fixed
+    number of times.  Each retry increments the [resilience.retry]
+    counter and waits [backoff_us * 2^(attempt-1)] microseconds — with
+    the default [backoff_us = 0] no time passes, so retried runs stay
+    fully deterministic. *)
+
+val run :
+  ?retries:int ->
+  ?backoff_us:int ->
+  ?on_retry:(attempt:int -> string -> unit) ->
+  (int -> ('a, string) result) ->
+  ('a, string) result
+(** [run f] calls [f attempt] with 1-based attempt numbers until it
+    returns [Ok] or [retries] (default 0) re-attempts are exhausted; the
+    last [Error] is returned as-is.  [on_retry] observes each failure
+    that will be retried.  Raises [Invalid_argument] on negative
+    [retries]; exceptions from [f] propagate — convert them to [Error]
+    first if they should be retried. *)

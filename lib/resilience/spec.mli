@@ -1,0 +1,29 @@
+(** Text and JSON representations of fault specifications.
+
+    The text syntax is one directive per line ([#] starts a comment):
+    {v
+    seed N
+    dead-node CGC ROW COL [mult|alu|both]
+    dead-cgc CGC
+    area-loss N%  |  area-loss N
+    comm-slowdown PCT
+    transient PERMILLE MAX
+    v}
+    {!of_string} and {!to_text} round-trip: parsing the printed form of
+    any spec yields the same spec. *)
+
+val syntax_help : string
+(** Human-readable summary of the grammar above. *)
+
+val of_string : string -> (Fault.spec, string) result
+(** Parse a spec; errors are located as ["line N: message"]. *)
+
+val load : string -> (Fault.spec, string) result
+(** {!of_string} on a file's contents; errors are prefixed with the
+    path. *)
+
+val to_text : Fault.spec -> string
+(** Canonical text form ([seed] line first, faults in order). *)
+
+val to_json : Fault.spec -> string
+(** One-line JSON object [{"seed": N, "faults": [...]}]. *)

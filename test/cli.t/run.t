@@ -81,8 +81,8 @@ cache:
 
   $ hypar explore fir.mc -t 8000 --area 0,500,1500,1500 --cgcs 1,2 --format csv
   area,cgcs,rows,cols,clock_ratio,timing,status,met,initial,final,t_fpga,t_coarse,t_comm,cycles_in_cgc,moved,reduction,energy,cache,pareto,error
-  0,1,2,2,3,8000,failed,,,,,,,,,,,miss,false,Fpga.make: area must be positive
-  0,2,2,2,3,8000,failed,,,,,,,,,,,miss,false,Fpga.make: area must be positive
+  0,1,2,2,3,8000,failed,,,,,,,,,,,miss,false,Invalid_argument: Fpga.make: area must be positive [point a0/k1/g2x2/r3/t8000]
+  0,2,2,2,3,8000,failed,,,,,,,,,,,miss,false,Invalid_argument: Fpga.make: area must be positive [point a0/k2/g2x2/r3/t8000]
   500,1,2,2,3,8000,met-after-1,true,26737,4057,2993,448,616,1344,2,84.8,94135,miss,true,
   500,2,2,2,3,8000,met-after-1,true,26737,4057,2993,448,616,1344,2,84.8,94135,miss,true,
   1500,1,2,2,3,8000,met-after-1,true,15985,4057,2993,448,616,1344,2,74.6,94135,miss,false,
@@ -106,9 +106,9 @@ frontier (the digest line is elided — it tracks the IR, not this test):
     "failed": 3,
     "cache": {"hits": 0, "misses": 6},
     "results": [
-      {"area": 0, "cgcs": 1, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "failed", "cache": "miss", "error": "Fpga.make: area must be positive"},
-      {"area": 0, "cgcs": 2, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "failed", "cache": "miss", "error": "Fpga.make: area must be positive"},
-      {"area": 0, "cgcs": 3, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "failed", "cache": "miss", "error": "Fpga.make: area must be positive"},
+      {"area": 0, "cgcs": 1, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "failed", "cache": "miss", "error": "Invalid_argument: Fpga.make: area must be positive [point a0/k1/g2x2/r3/t8000]"},
+      {"area": 0, "cgcs": 2, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "failed", "cache": "miss", "error": "Invalid_argument: Fpga.make: area must be positive [point a0/k2/g2x2/r3/t8000]"},
+      {"area": 0, "cgcs": 3, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "failed", "cache": "miss", "error": "Invalid_argument: Fpga.make: area must be positive [point a0/k3/g2x2/r3/t8000]"},
       {"area": 1500, "cgcs": 1, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "ok", "engine": "met-after-1", "met": true, "initial": 15985, "final": 4057, "t_fpga": 2993, "t_coarse": 448, "t_comm": 616, "cycles_in_cgc": 1344, "moved": [2], "reduction": 74.6, "energy": 94135, "cache": "miss", "pareto": true},
       {"area": 1500, "cgcs": 2, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "ok", "engine": "met-after-1", "met": true, "initial": 15985, "final": 4057, "t_fpga": 2993, "t_coarse": 448, "t_comm": 616, "cycles_in_cgc": 1344, "moved": [2], "reduction": 74.6, "energy": 94135, "cache": "miss", "pareto": true},
       {"area": 1500, "cgcs": 3, "rows": 2, "cols": 2, "clock_ratio": 3, "timing": 8000, "status": "ok", "engine": "met-after-1", "met": true, "initial": 15985, "final": 4057, "t_fpga": 2993, "t_coarse": 448, "t_comm": 616, "cycles_in_cgc": 1344, "moved": [2], "reduction": 74.6, "energy": 94135, "cache": "miss", "pareto": true}
@@ -214,42 +214,42 @@ counter names and counts are deterministic; only the microsecond columns
 vary, so they are scrubbed:
 
   $ hypar partition fir.mc -t 8000 --stats > /dev/null 2> stats.txt
-  $ sed -E 's/[0-9]+\.[0-9]+/T/g' stats.txt
+  $ sed -E 's/[0-9]+\.[0-9]+/T/g' stats.txt | tr -s ' '
   == hypar stats ==
-  span                               count       total_us        self_us
-  minic.parse                            1           T           T
-  minic.typecheck                        1            T            T
-  minic.inline                           1           T           T
-  minic.lower                            1           T           T
-  ir.pass.input                          1            T            T
-  ir.pass.const_fold                     3           T           T
-  ir.pass.algebraic_simplify             3           T           T
-  ir.pass.copy_propagate                 3           T           T
-  ir.pass.common_subexpressions          3          T          T
-  ir.pass.dead_code_eliminate            3          T          T
-  ir.pass.simplify_cfg                   2           T           T
-  ir.pass.loop_invariant_motion          1           T           T
-  minic.optimize                         1          T            T
-  minic.compile                          1          T            T
-  profile.run                            1          T          T
-  fine.temporal                          5           T           T
-  fine.map_block                         5           T            T
-  cgc.schedule                           5           T           T
-  cgc.bind                               5            T            T
-  engine.characterise                    1           T           T
-  engine.move                            1            T            T
-  engine.run                             1           T            T
-  cli.partition                          1         T           T
-  counter                            total
-  profile.instrs_executed             3473
-  profile.blocks_executed              562
-  fine.temporal_partitions               4
-  engine.evaluations                     2
-  engine.moves                           1
-  gauge                               last
-  ir.blocks                              5
-  ir.instrs                             14
-  cgc.schedule_length                    0
+  span count total_us self_us
+  minic.parse 1 T T
+  minic.typecheck 1 T T
+  minic.inline 1 T T
+  minic.lower 1 T T
+  ir.pass.input 1 T T
+  ir.pass.const_fold 3 T T
+  ir.pass.algebraic_simplify 3 T T
+  ir.pass.copy_propagate 3 T T
+  ir.pass.common_subexpressions 3 T T
+  ir.pass.dead_code_eliminate 3 T T
+  ir.pass.simplify_cfg 2 T T
+  ir.pass.loop_invariant_motion 1 T T
+  minic.optimize 1 T T
+  minic.compile 1 T T
+  profile.run 1 T T
+  fine.temporal 5 T T
+  fine.map_block 5 T T
+  cgc.schedule 5 T T
+  cgc.bind 5 T T
+  engine.characterise 1 T T
+  engine.move 1 T T
+  engine.run 1 T T
+  cli.partition 1 T T
+  counter total
+  profile.instrs_executed 3473
+  profile.blocks_executed 562
+  fine.temporal_partitions 4
+  engine.evaluations 2
+  engine.moves 1
+  gauge last
+  ir.blocks 5
+  ir.instrs 14
+  cgc.schedule_length 0
 
 --trace writes a Chrome trace_event JSON; the trace subcommand validates
 the file (balanced spans, every end matching the most recent open begin)
@@ -316,3 +316,73 @@ scrubbing timestamps, --jobs 2 produces a byte-identical trace to
   $ sed -E 's/"ts":[0-9]+(\.[0-9]+)?/"ts":T/g' j2.json > j2.scrubbed
   $ cmp j1.scrubbed j2.scrubbed && echo 'identical modulo timestamps'
   identical modulo timestamps
+
+Resilience: a fault spec is parsed, echoed canonically and applied to
+the platform.  Killing node (1,1) of CGC 0 truncates its column to depth
+1 and losing CGC 1 zeroes both of its columns:
+
+  $ hypar faults faults.spec
+  seed 7
+  dead-node 0 1 1 both
+  dead-cgc 1
+  platform A_FPGA=1500, two 2x2 CGCs [degraded]: fpga{area=1500 reconfig=24}, cgc{2 x 2x2, mem_ports=2, regs=64}, T_FPGA=3*T_CGC
+  health{cols=[2;1;0;0]}
+
+  $ hypar faults faults.spec --format json
+  {"seed": 7, "faults": [{"kind": "dead-node", "cgc": 0, "row": 1, "col": 1, "unit": "both"}, {"kind": "dead-cgc", "cgc": 1}]}
+  platform A_FPGA=1500, two 2x2 CGCs [degraded]: fpga{area=1500 reconfig=24}, cgc{2 x 2x2, mem_ports=2, regs=64}, T_FPGA=3*T_CGC
+  health{cols=[2;1;0;0]}
+
+A malformed spec is rejected with the grammar:
+
+  $ echo 'dead-node 0' | hypar faults /dev/stdin 2>&1 | head -2
+  hypar: /dev/stdin: line 1: dead-node needs CGC ROW COL [mult|alu|both]
+  fault spec syntax (one directive per line, '#' starts a comment):
+
+Partitioning on the degraded platform still completes; the inner loop
+needs more CGC cycles (fewer live nodes per schedule step) and the delta
+report quantifies the cost against the healthy run:
+
+  $ hypar partition fir.mc -t 8000 --faults faults.spec
+  partitioning of fir.mc on A_FPGA=1500, two 2x2 CGCs [degraded] (constraint 8000):
+    initial (all-FPGA): t_fpga=15985 t_coarse=0 (=0 CGC cycles) t_comm=0 t_total=15985
+    step 1: move BB2 -> t_fpga=2993 t_coarse=598 (=1792 CGC cycles) t_comm=616 t_total=4207  [met]
+    met after 1 movement(s)
+    reduction: 73.7%
+  degradation delta for fir.mc:
+    healthy : t_total=4057 (met after 1 movement(s))
+    degraded: t_total=4207 (met after 1 movement(s))
+    delta   : +150 cycles (+3.7%)
+    fallback: none
+  
+
+Exploration sweeps the degraded platform when --faults is given:
+
+  $ hypar explore fir.mc -t 8000 --area 1500 --cgcs 2 --faults faults.spec --format csv
+  area,cgcs,rows,cols,clock_ratio,timing,status,met,initial,final,t_fpga,t_coarse,t_comm,cycles_in_cgc,moved,reduction,energy,cache,pareto,error
+  1500,2,2,2,3,8000,met-after-1,true,15985,4207,2993,598,616,1792,2,73.7,94135,miss,true,
+
+Frontend errors are located, printed without a backtrace, and exit 2:
+
+  $ hypar partition bad.mc -t 8000
+  bad.mc:1:19: expected expression, found ';'
+  [2]
+
+--checkpoint journals every completed point; after a simulated crash
+(the journal loses its tail and the last line is torn mid-entry),
+--resume restores the surviving points and re-evaluates only the rest,
+producing byte-identical output to the uninterrupted run:
+
+  $ hypar explore fir.mc -t 8000 --area 500,1500 --cgcs 1,2 --checkpoint ck.journal --format csv > fresh.csv
+  $ head -3 ck.journal > torn.journal
+  $ head -4 ck.journal | tail -1 | cut -c1-20 >> torn.journal
+  $ mv torn.journal ck.journal
+  $ hypar explore fir.mc -t 8000 --area 500,1500 --cgcs 1,2 --checkpoint ck.journal --resume --format csv > resumed.csv
+  $ cmp fresh.csv resumed.csv && echo 'identical'
+  identical
+
+--resume without --checkpoint is a usage error:
+
+  $ hypar explore fir.mc -t 8000 --area 500 --cgcs 1 --resume
+  hypar: --resume requires --checkpoint FILE
+  [2]

@@ -47,6 +47,7 @@ let () =
       ("flow", Test_flow.suite);
       ("energy", Test_energy.suite);
       ("explore", Test_explore.suite);
+      ("resilience", Test_resilience.suite);
       ("pipeline", Test_pipeline.suite);
       ("apps", Test_apps.suite);
       ("sobel", Test_sobel.suite);

@@ -199,8 +199,12 @@ let test_failed_point_recorded () =
     Alcotest.(check bool) "not all failed" false (Driver.all_failed s);
     (match s.Driver.results.(0).Driver.outcome with
     | Error msg ->
+      (* the message names the raising constructor and the point itself *)
       Alcotest.(check string) "validation message"
-        "Fpga.make: area must be positive" msg
+        (Printf.sprintf
+           "Invalid_argument: Fpga.make: area must be positive [point %s]"
+           (Space.point_key s.Driver.results.(0).Driver.point))
+        msg
     | Ok _ -> Alcotest.fail "area 0 should fail");
     Alcotest.(check bool) "failed point never on the frontier" false
       s.Driver.pareto.(0)

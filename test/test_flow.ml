@@ -39,9 +39,11 @@ void main() {
 
 let test_frontend_error_raises () =
   match Flow.prepare ~name:"bad" "void main() { x = ; }" with
-  | exception Failure msg ->
-    Alcotest.(check bool) "message mentions position" true
-      (Str_contains.contains msg ":")
+  | exception Hypar_minic.Driver.Frontend_error { name; err } ->
+    Alcotest.(check (option string)) "carries the compilation name"
+      (Some "bad") name;
+    Alcotest.(check bool) "error is located" true
+      (err.Hypar_minic.Driver.line >= 1)
   | _ -> Alcotest.fail "expected frontend failure"
 
 let test_runtime_error_propagates () =

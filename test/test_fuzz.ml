@@ -96,6 +96,77 @@ let test_deep_nesting () =
   in
   Alcotest.(check bool) "deep blocks" true (compiles_or_reports deep_blocks)
 
+(* Random fault specifications — including ones naming hardware the
+   platform does not have — must degrade the platform and partition
+   without ever raising: faults are data, not control flow. *)
+
+let fault_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        (fun (c, r, col, u) ->
+          Hypar_resilience.Fault.Dead_node
+            {
+              cgc = c;
+              row = r;
+              col;
+              unit_kind =
+                (match u with
+                | 0 -> Hypar_resilience.Fault.Mult
+                | 1 -> Hypar_resilience.Fault.Alu
+                | _ -> Hypar_resilience.Fault.Both);
+            })
+        <$> quad (int_range 0 3) (int_range 0 3) (int_range 0 3)
+              (int_range 0 2);
+        (fun c -> Hypar_resilience.Fault.Dead_cgc c) <$> int_range 0 3;
+        (fun p -> Hypar_resilience.Fault.Area_loss (`Percent p))
+        <$> int_range 0 100;
+        (fun u -> Hypar_resilience.Fault.Area_loss (`Units u))
+        <$> int_range 0 2000;
+        (fun p -> Hypar_resilience.Fault.Comm_slowdown p)
+        <$> int_range 100 400;
+        (fun (p, m) -> Hypar_resilience.Fault.Transient
+                         { permille = p; max_failures = m })
+        <$> pair (int_range 0 1000) (int_range 0 3);
+      ])
+
+let spec_arb =
+  QCheck.make
+    ~print:(fun s -> Hypar_resilience.Spec.to_text s)
+    QCheck.Gen.(
+      (fun (seed, faults) -> { Hypar_resilience.Fault.seed; faults })
+      <$> pair (int_range 0 1000) (list_size (int_range 0 6) fault_gen))
+
+let fuzz_prepared =
+  lazy
+    (Hypar_core.Flow.prepare ~name:"fuzzfault"
+       {|
+int in[4];
+int out[4];
+void main() {
+  int i;
+  for (i = 0; i < 4; i++) { out[i] = in[i] * 5 + i; }
+}
+|})
+
+let prop_faults_never_raise =
+  QCheck.Test.make ~name:"faults: random specs never make Engine.run raise"
+    ~count:60 spec_arb (fun spec ->
+      let prepared = Lazy.force fuzz_prepared in
+      let platform = List.hd (Hypar_core.Platform.paper_configs ()) in
+      match Hypar_resilience.Degrade.apply ~strict:false spec platform with
+      | Error e -> QCheck.Test.fail_reportf "non-strict apply failed: %s" e
+      | Ok degraded ->
+        let r =
+          Hypar_core.Engine.run degraded ~timing_constraint:4000
+            prepared.Hypar_core.Flow.cdfg prepared.Hypar_core.Flow.profile
+        in
+        (* the run completes and Eq. 2 still holds on the final state *)
+        r.Hypar_core.Engine.final.Hypar_core.Engine.t_total
+        = r.Hypar_core.Engine.final.Hypar_core.Engine.t_fpga
+          + r.Hypar_core.Engine.final.Hypar_core.Engine.t_coarse
+          + r.Hypar_core.Engine.final.Hypar_core.Engine.t_comm)
+
 let suite =
   [
     Alcotest.test_case "lexer total" `Quick test_lexer_total;
@@ -103,4 +174,5 @@ let suite =
     Alcotest.test_case "driver total" `Quick test_driver_total;
     Alcotest.test_case "mutated programs" `Quick test_mutated_valid_programs;
     Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+    QCheck_alcotest.to_alcotest prop_faults_never_raise;
   ]
