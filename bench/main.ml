@@ -620,6 +620,85 @@ let resilience_bench () =
   end;
   print_newline ()
 
+(* ---- Serve wrapper overhead gate ----------------------------------------- *)
+
+(* Every serve request pays the envelope machinery on top of the work
+   itself: parse, deadline construction, the dispatch match, the
+   isolation boundary and the response render.  Price that wrapper with
+   the cheapest verb (health — no file work, so what remains IS the
+   wrapper), relate it to one real partition request through the same
+   path, and gate it at the same 2% budget as the obs and resilience
+   layers.  The sink stays disabled throughout, matching the
+   disabled-observability contract the rest of the pipeline is held to. *)
+let serve_bench () =
+  section_header "Serve — per-request wrapper overhead (sink disabled)";
+  let module Worker = Hypar_server.Worker in
+  let module Protocol = Hypar_server.Protocol in
+  let src_file = Filename.temp_file "hypar_bench" ".mc" in
+  let oc = open_out src_file in
+  output_string oc Ofdm.source;
+  close_out oc;
+  let config =
+    {
+      Worker.faults = None;
+      default_deadline_ms = None;
+      default_fuel = None;
+      drain = Hypar_server.Drain.create ~drain_timeout_ms:1000;
+      queue_depth = (fun () -> 0);
+    }
+  in
+  let request line =
+    match Protocol.parse_request line with
+    | Ok req -> req
+    | Error e -> failwith e
+  in
+  let partition_req =
+    request
+      (Printf.sprintf {|{"id":1,"verb":"partition","file":"%s","timing":%d}|}
+         src_file Ofdm.timing_constraint)
+  in
+  let health_req = request {|{"id":2,"verb":"health"}|} in
+  let time_best ~reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let run req () =
+    match Worker.execute config req with
+    | Protocol.Done _ -> ()
+    | resp -> failwith (Protocol.render resp)
+  in
+  run partition_req ();
+  (* warmed up *)
+  let t_req = time_best ~reps:7 (run partition_req) in
+  let calls = 100_000 in
+  let t_wrap =
+    time_best ~reps:5 (fun () ->
+        for _ = 1 to calls do
+          run health_req ()
+        done)
+  in
+  Sys.remove src_file;
+  let per_wrap = t_wrap /. float_of_int calls in
+  let overhead = per_wrap /. t_req in
+  Printf.printf "partition request  : %10.3f ms/request (OFDM, best of 7)\n"
+    (t_req *. 1e3);
+  Printf.printf "request wrapper    : %10.2f ns/request (health, %d calls)\n"
+    (per_wrap *. 1e9) calls;
+  Printf.printf
+    "wrapper overhead   : %.4f%% of one partition request (budget: 2%%)\n"
+    (100. *. overhead);
+  if overhead > 0.02 then begin
+    Printf.printf "FAIL: serve wrapper exceeds the 2%% overhead budget\n";
+    exit 1
+  end;
+  print_newline ()
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let micro () =
@@ -704,6 +783,7 @@ let sections =
     ("explore", explore_bench);
     ("obs", obs_bench);
     ("resilience", resilience_bench);
+    ("serve", serve_bench);
     ("extension:pipeline", extension_pipeline);
     ("extension:energy", extension_energy);
     ("extension:modulo", extension_modulo);

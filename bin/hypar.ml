@@ -21,13 +21,23 @@
      dot        emit the CFG (or one block's DFG) as Graphviz
      demo       reproduce the paper's Tables 2 and 3
      trace      validate and summarise a --trace output file
+     serve      long-running JSON-lines batch service (stdin/stdout or
+                --socket PATH): verbs partition/analyze/explore/faults/
+                health, bounded queue with typed overloaded rejection,
+                per-request deadlines (wall-clock + fuel), worker-domain
+                pool (--jobs), graceful drain on SIGINT/SIGTERM
+                (see docs/server.md)
 
    Most commands also take --trace FILE (Chrome trace_event JSON of the
    run; HYPAR_TRACE=FILE is an equivalent default) and --stats (per-stage
    timings and counters on stderr).
 
    partition and map accept --verify-ir to run the Hypar_ir.Verify
-   structural checker on the IR before and after every pass. *)
+   structural checker on the IR before and after every pass.
+
+   SIGINT anywhere outside serve raises Sys.Break (Sys.catch_break):
+   cleanup handlers run — notably the explore --checkpoint journal is
+   flushed and closed — and the process exits 130. *)
 
 module Flow = Hypar_core.Flow
 module Platform = Hypar_core.Platform
@@ -143,9 +153,8 @@ let with_obs ~command (obs : obs) f =
       (match trace_file with
       | None -> ()
       | Some file ->
-        let oc = open_out file in
-        output_string oc (Hypar_obs.Export.chrome events);
-        close_out oc);
+        (* atomic: an interrupt mid-run never leaves a torn trace *)
+        Hypar_obs.Export.write_file file (Hypar_obs.Export.chrome events));
       if obs.stats then prerr_string (Hypar_obs.Stats.render events)
     in
     Fun.protect ~finally:finish (fun () ->
@@ -646,8 +655,18 @@ let explore_cmd =
              of re-evaluating them; the output is byte-identical to an \
              uninterrupted run")
   in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "write the rendered summary to $(docv) instead of stdout; the \
+             file is written atomically (temp file + rename), so an \
+             interrupted run never leaves a torn report")
+  in
   let run file areas cgcs rows cols ratios timings jobs max_points format
-      pareto_only faults retries point_fuel checkpoint resume obs =
+      pareto_only faults retries point_fuel checkpoint resume out obs =
     with_obs ~command:"explore" obs @@ fun () ->
     with_verification @@ fun () ->
     if resume && checkpoint = None then begin
@@ -684,7 +703,10 @@ let explore_cmd =
             | `Json -> Render.json
             | `Markdown -> Render.markdown
           in
-          print_string (render ~pareto_only summary);
+          let rendered = render ~pareto_only summary in
+          (match out with
+          | None -> print_string rendered
+          | Some file -> Hypar_obs.Export.write_file file rendered);
           exit_of_summary summary)
   in
   let term =
@@ -692,7 +714,7 @@ let explore_cmd =
       const run $ file_arg $ areas_arg $ cgcs_arg $ rows_arg $ cols_arg
       $ ratios_arg $ timings_arg $ jobs_arg $ max_points_arg $ format_arg
       $ pareto_only_arg $ faults_file_arg $ retries_arg $ point_fuel_arg
-      $ checkpoint_arg $ resume_arg $ obs_args)
+      $ checkpoint_arg $ resume_arg $ out_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -789,6 +811,99 @@ let demo_cmd =
   let term = Term.(const run $ obs_args) in
   Cmd.v (Cmd.info "demo" ~doc:"Reproduce the paper's Tables 2 and 3") term
 
+let serve_cmd =
+  let run jobs max_queue drain_timeout socket faults deadline fuel obs =
+    with_obs ~command:"serve" obs @@ fun () ->
+    match
+      match faults with
+      | None -> Ok None
+      | Some f -> Result.map Option.some (Hypar_resilience.Spec.load f)
+    with
+    | Error msg ->
+      Printf.eprintf "hypar: %s\n" msg;
+      2
+    | Ok faults ->
+      let config =
+        {
+          Hypar_server.Server.jobs;
+          max_queue;
+          drain_timeout_ms = drain_timeout;
+          faults;
+          default_deadline_ms = deadline;
+          default_fuel = fuel;
+        }
+      in
+      (match socket with
+      | None -> Hypar_server.Server.run_pipe config
+      | Some path -> Hypar_server.Server.run_socket config path)
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "execute requests on $(docv) worker domains; with $(b,1) \
+             (default) requests run inline and responses keep request order")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "bound the request queue at $(docv); further requests are \
+             refused with a typed $(b,overloaded) envelope (backpressure)")
+  in
+  let drain_timeout_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "drain-timeout" ] ~docv:"MS"
+          ~doc:
+            "on SIGINT/SIGTERM, let in-flight requests finish for up to \
+             $(docv) milliseconds before cancelling them cooperatively")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "serve a Unix-domain socket at $(docv) instead of stdin/stdout; \
+             the path must not already exist and is removed on exit")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "default per-request wall-clock budget in milliseconds \
+             (overridable per request with $(b,deadline_ms)); exceeding it \
+             yields a $(b,deadline_exceeded) envelope, not a dead worker")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "default per-request profiling budget in interpreter steps \
+             (overridable per request with $(b,fuel)); exhaustion yields a \
+             $(b,deadline_exceeded) envelope with the step count")
+  in
+  let term =
+    Term.(
+      const run $ jobs_arg $ max_queue_arg $ drain_timeout_arg $ socket_arg
+      $ faults_file_arg $ deadline_arg $ fuel_arg $ obs_args)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running batch-partitioning service: newline-delimited JSON \
+          requests on stdin (or $(b,--socket)), one response envelope per \
+          line; bounded queue, per-request deadlines, graceful drain (see \
+          $(b,docs/server.md))")
+    term
+
 let trace_cmd =
   let run file =
     match Hypar_obs.Export.parse_chrome (read_file file) with
@@ -825,6 +940,19 @@ let trace_cmd =
     term
 
 let () =
+  (* SIGINT raises Sys.Break so every Fun.protect cleanup (checkpoint
+     journals, trace files) runs before we exit with the conventional
+     128+SIGINT code.  serve replaces the handler with its graceful
+     drain.  ~catch:false keeps cmdliner from swallowing Break. *)
+  Sys.catch_break true;
   let doc = "hybrid fine/coarse-grain reconfigurable partitioning (DATE'04/05 methodology)" in
   let info = Cmd.info "hypar" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; faults_cmd; dump_cmd; demo_cmd; trace_cmd ]))
+  let group = Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; faults_cmd; dump_cmd; demo_cmd; trace_cmd; serve_cmd ] in
+  match Cmd.eval' ~catch:false group with
+  | code -> exit code
+  | exception Sys.Break ->
+    prerr_endline "hypar: interrupted";
+    exit 130
+  | exception e ->
+    Printf.eprintf "hypar: uncaught exception: %s\n" (Printexc.to_string e);
+    exit 125

@@ -12,6 +12,7 @@ val prepare :
   ?simplify:bool ->
   ?verify_ir:bool ->
   ?max_steps:int ->
+  ?poll:(unit -> unit) ->
   ?inputs:(string * int array) list ->
   string ->
   prepared
@@ -20,7 +21,9 @@ val prepare :
     frontend errors and {!Hypar_profiling.Interp.Runtime_error} on
     execution errors.  [max_steps] bounds the profiling interpreter
     (default unlimited), raising
-    {!Hypar_profiling.Interp.Fuel_exhausted} when exceeded.
+    {!Hypar_profiling.Interp.Fuel_exhausted} when exceeded; [poll] is
+    the interpreter's cooperative cancellation hook (see
+    {!Hypar_profiling.Interp.run}).
     [verify_ir] (default {!Hypar_ir.Passes.verify_passes}) checks the IR
     at every pass boundary, raising {!Hypar_ir.Verify.Failed}. *)
 

@@ -151,18 +151,23 @@ let run ?(jobs = 1) ?workload ?faults ?(retries = 0) ?point_fuel ?checkpoint
     (* Under tracing, each worker captures its point's events privately and
        the coordinator replays them in unique-point order, so the merged
        trace is identical whatever [jobs] is (modulo timestamps). *)
+    (* close the journal even when an evaluation raises (Sys.Break from an
+       interactive interrupt included): every appended entry is already
+       flushed, so an interrupted sweep leaves a resumable file behind *)
     let fresh_outcomes =
-      if not (Hypar_obs.Sink.enabled ()) then
-        Pool.map ~jobs evaluate_fresh fresh
-      else
-        Pool.map ~jobs
-          (fun p -> Hypar_obs.Sink.collect (fun () -> evaluate_fresh p))
-          fresh
-        |> Array.map (fun (outcome, events) ->
-               Hypar_obs.Sink.replay events;
-               outcome)
+      Fun.protect
+        ~finally:(fun () -> Option.iter Journal.close journal)
+        (fun () ->
+          if not (Hypar_obs.Sink.enabled ()) then
+            Pool.map ~jobs evaluate_fresh fresh
+          else
+            Pool.map ~jobs
+              (fun p -> Hypar_obs.Sink.collect (fun () -> evaluate_fresh p))
+              fresh
+            |> Array.map (fun (outcome, events) ->
+                   Hypar_obs.Sink.replay events;
+                   outcome))
     in
-    Option.iter Journal.close journal;
     let outcomes =
       let next = ref 0 in
       Array.map

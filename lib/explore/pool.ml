@@ -1,3 +1,29 @@
+type handle = {
+  domains : unit Domain.t list;
+  errors : exn option array;
+  done_count : int Atomic.t;
+}
+
+let fork ~domains:n f =
+  let n = max n 0 in
+  let errors = Array.make (max n 1) None in
+  let done_count = Atomic.make 0 in
+  let domains =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            (* errors are parked, never propagated out of the domain: the
+               joiner re-raises them after everyone has finished *)
+            (try f i with e -> errors.(i) <- Some e);
+            Atomic.incr done_count))
+  in
+  { domains; errors; done_count }
+
+let finished h = Atomic.get h.done_count
+
+let join h =
+  List.iter Domain.join h.domains;
+  Array.iter (function Some e -> raise e | None -> ()) h.errors
+
 let map ~jobs f xs =
   let n = Array.length xs in
   if jobs <= 1 || n <= 1 then Array.map f xs
@@ -6,19 +32,18 @@ let map ~jobs f xs =
     let out = Array.make n None in
     (* worker [d] owns indices d, d+workers, d+2*workers, ... — disjoint
        slots, so the unsynchronised writes below never race *)
-    let worker d () =
+    let worker d =
       let i = ref d in
       while !i < n do
         out.(!i) <- Some (f xs.(!i));
         i := !i + workers
       done
     in
-    let spawned =
-      List.init (workers - 1) (fun d -> Domain.spawn (worker (d + 1)))
-    in
-    let own = try Ok (worker 0 ()) with e -> Error e in
+    let h = fork ~domains:(workers - 1) (fun d -> worker (d + 1)) in
+    let own = try Ok (worker 0) with e -> Error e in
     (* join everyone before re-raising, or spawned domains would leak *)
-    let joined = List.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned in
-    List.iter (function Error e -> raise e | Ok () -> ()) (own :: joined);
+    let joined = try Ok (join h) with e -> Error e in
+    (match own with Error e -> raise e | Ok () -> ());
+    (match joined with Error e -> raise e | Ok () -> ());
     Array.map (function Some v -> v | None -> assert false) out
   end

@@ -1,20 +1,6 @@
 (* --- JSON emission helpers -------------------------------------------- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Jsonv.escape
 
 let json_args args =
   "{"
@@ -149,207 +135,48 @@ let text events =
     events;
   Buffer.contents buf
 
-(* --- minimal JSON parser (for validating exported chrome traces) -------- *)
+(* --- parsing exported chrome traces back (see Jsonv) -------------------- *)
 
-type jv =
-  | Jnull
-  | Jbool of bool
-  | Jnum of float
-  | Jstr of string
-  | Jarr of jv list
-  | Jobj of (string * jv) list
-
-exception Parse of string
-
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | Some _ | None -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | Some c' -> fail (Printf.sprintf "expected %C, found %C" c c')
-    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-        advance ();
-        match peek () with
-        | None -> fail "unterminated escape"
-        | Some c ->
-          advance ();
-          (match c with
-          | '"' -> Buffer.add_char buf '"'
-          | '\\' -> Buffer.add_char buf '\\'
-          | '/' -> Buffer.add_char buf '/'
-          | 'n' -> Buffer.add_char buf '\n'
-          | 't' -> Buffer.add_char buf '\t'
-          | 'r' -> Buffer.add_char buf '\r'
-          | 'b' -> Buffer.add_char buf '\b'
-          | 'f' -> Buffer.add_char buf '\012'
-          | 'u' ->
-            if !pos + 4 > n then fail "truncated \\u escape";
-            let hex = String.sub s !pos 4 in
-            pos := !pos + 4;
-            let code =
-              try int_of_string ("0x" ^ hex)
-              with _ -> fail "bad \\u escape"
-            in
-            (* our emitter only writes \u for control chars *)
-            if code < 0x80 then Buffer.add_char buf (Char.chr code)
-            else Buffer.add_string buf (Printf.sprintf "\\u%s" hex)
-          | c -> fail (Printf.sprintf "bad escape %C" c));
-          go ())
-      | Some c ->
-        advance ();
-        Buffer.add_char buf c;
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> is_num_char c | None -> false) do
-      advance ()
-    done;
-    if !pos = start then fail "expected a number";
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "malformed number"
-  in
-  let literal word v =
-    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Jstr (parse_string ())
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Jobj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((k, v) :: acc)
-          | Some '}' ->
-            advance ();
-            List.rev ((k, v) :: acc)
-          | _ -> fail "expected ',' or '}'"
-        in
-        Jobj (members [])
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        Jarr []
-      end
-      else begin
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements (v :: acc)
-          | Some ']' ->
-            advance ();
-            List.rev (v :: acc)
-          | _ -> fail "expected ',' or ']'"
-        in
-        Jarr (elements [])
-      end
-    | Some 't' -> literal "true" (Jbool true)
-    | Some 'f' -> literal "false" (Jbool false)
-    | Some 'n' -> literal "null" Jnull
-    | Some _ -> Jnum (parse_number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing content";
-  v
+exception Bad_event of string
 
 let parse_chrome data =
-  match parse_json data with
-  | exception Parse msg -> Error ("not valid JSON: " ^ msg)
-  | Jobj fields -> (
+  match Jsonv.parse data with
+  | Error msg -> Error ("not valid JSON: " ^ msg)
+  | Ok (Jsonv.Obj fields) -> (
     match List.assoc_opt "traceEvents" fields with
-    | Some (Jarr raw_events) -> (
-      let field name = function
-        | Jobj fs -> List.assoc_opt name fs
-        | _ -> None
-      in
+    | Some (Jsonv.Arr raw_events) -> (
       let to_event i ev =
         let str name =
-          match field name ev with Some (Jstr s) -> Some s | _ -> None
+          match Jsonv.member name ev with Some (Jsonv.Str s) -> Some s | _ -> None
         in
         let num name =
-          match field name ev with Some (Jnum f) -> Some f | _ -> None
+          match Jsonv.member name ev with Some (Jsonv.Num f) -> Some f | _ -> None
         in
         let require what = function
           | Some v -> v
           | None ->
             raise
-              (Parse (Printf.sprintf "event %d: missing or bad %S" i what))
+              (Bad_event (Printf.sprintf "event %d: missing or bad %S" i what))
         in
         let name = require "name" (str "name") in
         let ts = require "ts" (num "ts") in
         let tid = int_of_float (require "tid" (num "tid")) in
         let cat = Option.value (str "cat") ~default:"" in
         let args () =
-          match field "args" ev with
-          | Some (Jobj fs) ->
+          match Jsonv.member "args" ev with
+          | Some (Jsonv.Obj fs) ->
             List.map
               (fun (k, v) ->
                 match v with
-                | Jnum f -> (k, Event.Int (int_of_float f))
-                | Jstr s -> (k, Event.Str s)
+                | Jsonv.Num f -> (k, Event.Int (int_of_float f))
+                | Jsonv.Str s -> (k, Event.Str s)
                 | _ ->
                   raise
-                    (Parse
+                    (Bad_event
                        (Printf.sprintf "event %d: unsupported arg %S" i k)))
               fs
           | Some _ ->
-            raise (Parse (Printf.sprintf "event %d: args is not an object" i))
+            raise (Bad_event (Printf.sprintf "event %d: args is not an object" i))
           | None -> []
         in
         match require "ph" (str "ph") with
@@ -362,13 +189,35 @@ let parse_chrome data =
             { Event.name; ts; tid; kind = Event.Gauge { value = v } }
           | _ ->
             raise
-              (Parse (Printf.sprintf "event %d: counter without args.value" i)))
+              (Bad_event (Printf.sprintf "event %d: counter without args.value" i)))
         | "i" | "I" -> { Event.name; ts; tid; kind = Event.Instant { cat } }
-        | ph -> raise (Parse (Printf.sprintf "event %d: unknown phase %S" i ph))
+        | ph ->
+          raise (Bad_event (Printf.sprintf "event %d: unknown phase %S" i ph))
       in
       match List.mapi to_event raw_events with
       | events -> Ok events
-      | exception Parse msg -> Error msg)
+      | exception Bad_event msg -> Error msg)
     | Some _ -> Error "traceEvents is not an array"
     | None -> Error "no traceEvents field")
-  | _ -> Error "top level is not an object"
+  | Ok _ -> Error "top level is not an object"
+
+(* --- atomic file output -------------------------------------------------- *)
+
+(* Write-to-temp + rename(2): a crash (or signal) mid-export leaves either
+   the previous file or a stray .tmp sibling, never a torn target. *)
+let write_file path data =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path ^ ".") ".tmp"
+  in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc data);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

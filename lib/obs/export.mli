@@ -21,3 +21,10 @@ val parse_chrome : string -> (Event.t list, string) result
 (** Parse a {!chrome} export back into events ("C" phases come back as
     gauges carrying the running total).  Used by [hypar trace] to
     validate a written file. *)
+
+val write_file : string -> string -> unit
+(** [write_file path data] writes atomically: the bytes go to a
+    temporary sibling first and land at [path] via [Sys.rename], so a
+    crash mid-export never leaves a torn file.  Used for every rendered
+    artefact the CLI writes to disk ([--trace], [explore --out]).
+    Raises [Sys_error] on I/O failure (the temp file is removed). *)

@@ -1,0 +1,40 @@
+(** Minimal JSON values: a recursive-descent parser, a compact one-line
+    renderer and an escaping helper.
+
+    Originally private to {!Export} (validating exported Chrome traces);
+    extracted so other JSON-speaking layers — notably the [hypar serve]
+    request protocol — parse with the same total, exception-free code
+    path.  No floats are ever produced for integral numbers by
+    {!to_string}, so a parse/render round-trip of integer-valued
+    documents is stable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document.  Errors are located as
+    ["... at offset N"] and never raised: arbitrary byte soup yields
+    [Error], not an exception. *)
+
+val escape : string -> string
+(** Escape a string for embedding between double quotes in JSON
+    (quotes, backslashes, control characters). *)
+
+val to_string : t -> string
+(** Compact single-line rendering.  Numbers that are exact integers
+    print without a fractional part; other numbers use [%.12g]. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing fields and non-objects. *)
+
+val to_int : t -> int option
+(** [Some n] for an integral [Num]. *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option

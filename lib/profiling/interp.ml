@@ -102,7 +102,7 @@ let exec_instr mach instr =
     check_bounds arr a i;
     a.(i) <- operand mach value
 
-let run ?(fuel = 400_000_000) ?max_steps ?(inputs = []) cdfg =
+let run ?(fuel = 400_000_000) ?max_steps ?poll ?(inputs = []) cdfg =
   Hypar_obs.Span.with_ ~cat:"profile" "profile.run" @@ fun () ->
   let cfg = Ir.Cdfg.cfg cdfg in
   let n = Ir.Cdfg.block_count cdfg in
@@ -153,6 +153,11 @@ let run ?(fuel = 400_000_000) ?max_steps ?(inputs = []) cdfg =
   let tick () =
     (match max_steps with
     | Some limit when !steps >= limit -> raise (Fuel_exhausted { steps = !steps })
+    | Some _ | None -> ());
+    (* cooperative cancellation: a long-running profile stays responsive
+       to wall-clock deadlines without paying a syscall per step *)
+    (match poll with
+    | Some check when !steps land 1023 = 0 -> check ()
     | Some _ | None -> ());
     if !budget <= 0 then error "fuel exhausted (infinite loop?)";
     decr budget;

@@ -30,6 +30,7 @@ type result = {
 val run :
   ?fuel:int ->
   ?max_steps:int ->
+  ?poll:(unit -> unit) ->
   ?inputs:(string * int array) list ->
   Hypar_ir.Cdfg.t ->
   result
@@ -40,6 +41,11 @@ val run :
     instructions + blocks (default [400_000_000]) and overflows as an
     untyped {!Runtime_error}; [max_steps] (default unlimited) bounds the
     same units but raises the typed {!Fuel_exhausted} instead.
+
+    [poll] is a cooperative cancellation hook: it is invoked at least
+    once every 1024 executed units and may raise to abort the run —
+    this is how [hypar serve] enforces per-request wall-clock deadlines
+    without a watchdog thread.  The exception propagates unchanged.
 
     @raise Runtime_error on the conditions above.
     @raise Fuel_exhausted when [max_steps] runs out. *)

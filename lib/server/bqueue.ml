@@ -1,0 +1,51 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity = max 1 capacity;
+    closed = false;
+  }
+
+type push_result = Pushed of int | Full of int | Closed
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t x =
+  with_lock t @@ fun () ->
+  if t.closed then Closed
+  else if Queue.length t.items >= t.capacity then Full (Queue.length t.items)
+  else begin
+    Queue.add x t.items;
+    Condition.signal t.nonempty;
+    Pushed (Queue.length t.items)
+  end
+
+let pop t =
+  with_lock t @@ fun () ->
+  let rec wait () =
+    if not (Queue.is_empty t.items) then Some (Queue.take t.items)
+    else if t.closed then None
+    else begin
+      Condition.wait t.nonempty t.lock;
+      wait ()
+    end
+  in
+  wait ()
+
+let close t =
+  with_lock t @@ fun () ->
+  t.closed <- true;
+  Condition.broadcast t.nonempty
+
+let depth t = with_lock t @@ fun () -> Queue.length t.items

@@ -1,0 +1,29 @@
+(** The admission-controlled request queue: bounded, multi-producer,
+    multi-consumer, with an explicit close for drain.
+
+    {!push} never blocks — when the queue is at capacity the request is
+    refused and the caller answers with a typed [overloaded] envelope
+    (backpressure instead of unbounded memory growth).  {!pop} blocks
+    until an item arrives or the queue is closed and empty, which is how
+    drain lets workers finish queued work and then exit. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+type push_result =
+  | Pushed of int  (** accepted; queue depth after the push *)
+  | Full of int  (** refused; current depth (= capacity) *)
+  | Closed  (** refused; the queue is draining *)
+
+val push : 'a t -> 'a -> push_result
+val pop : 'a t -> 'a option
+(** Blocks.  [None] means closed and fully drained — the worker should
+    exit. *)
+
+val close : 'a t -> unit
+(** Stop accepting; queued items remain poppable.  Idempotent; wakes
+    every blocked {!pop}. *)
+
+val depth : 'a t -> int

@@ -1,0 +1,24 @@
+type t = Never | At of float  (* absolute epoch seconds *)
+
+exception Expired
+
+let () =
+  Printexc.register_printer (function
+    | Expired -> Some "Deadline.Expired"
+    | _ -> None)
+
+let never = Never
+let now () = Unix.gettimeofday ()
+let after_ms ms = At (now () +. (float_of_int ms /. 1000.))
+
+let earliest a b =
+  match (a, b) with
+  | Never, d | d, Never -> d
+  | At x, At y -> At (Float.min x y)
+
+let expired = function Never -> false | At t -> now () >= t
+let check d = if expired d then raise Expired
+
+let remaining_ms = function
+  | Never -> None
+  | At t -> Some (max 0 (int_of_float (Float.ceil ((t -. now ()) *. 1000.))))

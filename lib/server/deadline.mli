@@ -1,0 +1,29 @@
+(** Wall-clock deadlines for request execution.
+
+    A deadline is an absolute point in time (or {!never}); checks are a
+    [gettimeofday] comparison, cheap enough for the interpreter's
+    cooperative [poll] hook.  The worker combines a request's own budget
+    with the server-wide drain deadline via {!earliest}, so one check
+    covers both cancellation sources. *)
+
+type t
+
+exception Expired
+(** Raised by {!check}; caught at the worker boundary and reported as a
+    [deadline_exceeded] envelope. *)
+
+val never : t
+
+val after_ms : int -> t
+(** A deadline [ms] milliseconds from now. *)
+
+val earliest : t -> t -> t
+
+val expired : t -> bool
+(** [false] for {!never}. *)
+
+val check : t -> unit
+(** @raise Expired when the deadline has passed. *)
+
+val remaining_ms : t -> int option
+(** Milliseconds left ([Some 0] once expired); [None] for {!never}. *)

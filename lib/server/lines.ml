@@ -1,0 +1,52 @@
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes read but not yet returned *)
+  chunk : Bytes.t;
+  mutable eof : bool;
+}
+
+let create fd =
+  { fd; buf = Buffer.create 256; chunk = Bytes.create 4096; eof = false }
+
+type item = Line of string | Eof | Stopped
+
+(* Extract the first complete line from [t.buf], if any. *)
+let take_line t =
+  let s = Buffer.contents t.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear t.buf;
+    Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+    let line = if i > 0 && s.[i - 1] = '\r' then String.sub s 0 (i - 1)
+               else String.sub s 0 i in
+    Some line
+
+let rec select_readable fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_readable fd 0.
+
+let rec read_once t =
+  match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+  | 0 -> t.eof <- true
+  | n -> Buffer.add_subbytes t.buf t.chunk 0 n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_once t
+
+let rec next ?(poll_interval = 0.1) ~stop t =
+  match take_line t with
+  | Some line -> Line line
+  | None ->
+    if t.eof then
+      if Buffer.length t.buf > 0 then begin
+        let line = Buffer.contents t.buf in
+        Buffer.clear t.buf;
+        Line line
+      end
+      else Eof
+    else if stop () then Stopped
+    else begin
+      if select_readable t.fd poll_interval then read_once t;
+      next ~poll_interval ~stop t
+    end

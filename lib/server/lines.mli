@@ -1,0 +1,22 @@
+(** A line reader that stays responsive to shutdown.
+
+    A plain [input_line] blocks indefinitely, so a SIGTERM arriving while
+    the server waits for input would not be noticed until the next line.
+    [next] instead polls the descriptor with select(2) at a short
+    interval and re-checks [stop] between polls — the drain flag set by a
+    signal handler is observed within one interval.  EINTR is retried,
+    ['\r'] before the newline is stripped, and a trailing partial line is
+    delivered before [Eof]. *)
+
+type t
+
+val create : Unix.file_descr -> t
+
+type item =
+  | Line of string
+  | Eof
+  | Stopped  (** [stop ()] became true before a full line arrived *)
+
+val next : ?poll_interval:float -> stop:(unit -> bool) -> t -> item
+(** Blocks until a line, end-of-file, or [stop].  [poll_interval]
+    defaults to 0.1s. *)

@@ -1,0 +1,107 @@
+module Jsonv = Hypar_obs.Jsonv
+
+type request = { id : int option; verb : string; body : Jsonv.t }
+
+exception Bad_request of string
+
+let () =
+  Printexc.register_printer (function
+    | Bad_request msg -> Some (Printf.sprintf "Bad_request(%S)" msg)
+    | _ -> None)
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_request s)) fmt
+
+let parse_request line =
+  match Jsonv.parse line with
+  | Error msg -> Error (Printf.sprintf "invalid JSON: %s" msg)
+  | Ok (Jsonv.Obj _ as body) -> (
+    let id_ok =
+      match Jsonv.member "id" body with
+      | None | Some Jsonv.Null -> Ok None
+      | Some v -> (
+        match Jsonv.to_int v with
+        | Some i -> Ok (Some i)
+        | None -> Error "\"id\" must be an integer")
+    in
+    match id_ok with
+    | Error _ as e -> e |> Result.map_error Fun.id
+    | Ok id -> (
+      match Jsonv.member "verb" body with
+      | Some (Jsonv.Str verb) -> Ok { id; verb; body }
+      | Some _ -> Error "\"verb\" must be a string"
+      | None -> Error "missing \"verb\""))
+  | Ok _ -> Error "request is not a JSON object"
+
+(* --- typed field accessors (raise Bad_request) -------------------------- *)
+
+let int_field ?default body name =
+  match Jsonv.member name body with
+  | None -> (
+    match default with
+    | Some d -> d
+    | None -> bad "missing integer field %S" name)
+  | Some v -> (
+    match Jsonv.to_int v with
+    | Some i -> i
+    | None -> bad "field %S must be an integer" name)
+
+let opt_int_field body name =
+  match Jsonv.member name body with
+  | None | Some Jsonv.Null -> None
+  | Some v -> (
+    match Jsonv.to_int v with
+    | Some i -> Some i
+    | None -> bad "field %S must be an integer" name)
+
+let bool_field ?(default = false) body name =
+  match Jsonv.member name body with
+  | None -> default
+  | Some v -> (
+    match Jsonv.to_bool v with
+    | Some b -> b
+    | None -> bad "field %S must be a boolean" name)
+
+let opt_str_field body name =
+  match Jsonv.member name body with
+  | None | Some Jsonv.Null -> None
+  | Some v -> (
+    match Jsonv.to_str v with
+    | Some s -> Some s
+    | None -> bad "field %S must be a string" name)
+
+let str_field body name =
+  match opt_str_field body name with
+  | Some s -> s
+  | None -> bad "missing string field %S" name
+
+(* --- response envelopes ------------------------------------------------- *)
+
+type deadline_reason = Wall_clock | Fuel of int
+
+type response =
+  | Done of { id : int option; verb : string; payload : string }
+  | Failed of { id : int option; kind : string; message : string }
+  | Overloaded of { id : int option; depth : int; retry_after_ms : int }
+  | Deadline_exceeded of { id : int option; reason : deadline_reason }
+
+let id_json = function None -> "null" | Some i -> string_of_int i
+
+let render = function
+  | Done { id; verb; payload } ->
+    Printf.sprintf {|{"id":%s,"status":"ok","verb":"%s","payload":%s}|}
+      (id_json id) (Jsonv.escape verb) payload
+  | Failed { id; kind; message } ->
+    Printf.sprintf {|{"id":%s,"status":"error","kind":"%s","message":"%s"}|}
+      (id_json id) (Jsonv.escape kind) (Jsonv.escape message)
+  | Overloaded { id; depth; retry_after_ms } ->
+    Printf.sprintf
+      {|{"id":%s,"status":"overloaded","queue_depth":%d,"retry_after_ms":%d}|}
+      (id_json id) depth retry_after_ms
+  | Deadline_exceeded { id; reason = Wall_clock } ->
+    Printf.sprintf
+      {|{"id":%s,"status":"deadline_exceeded","reason":"wall-clock"}|}
+      (id_json id)
+  | Deadline_exceeded { id; reason = Fuel steps } ->
+    Printf.sprintf
+      {|{"id":%s,"status":"deadline_exceeded","reason":"fuel-exhausted","steps":%d}|}
+      (id_json id) steps

@@ -1,0 +1,53 @@
+(** The JSON-lines wire protocol of [hypar serve].
+
+    One request per input line, one response envelope per output line.
+    A request is a JSON object with a mandatory string ["verb"], an
+    optional integer ["id"] (echoed verbatim in the response) and
+    verb-specific fields read by {!Worker}.
+
+    {!parse_request} is total: byte soup, truncated JSON and non-object
+    documents all come back as [Error] — the server answers with a
+    [parse-error] envelope and keeps serving, never dies.
+
+    Response envelopes, all single-line JSON objects with an ["id"]
+    (integer or [null]) and a ["status"] discriminator:
+    - [ok]: ["verb"] plus the verb's ["payload"] object;
+    - [error]: ["kind"] (the exception constructor or a protocol error
+      class) and a human-readable ["message"];
+    - [overloaded]: the bounded queue refused admission —
+      ["queue_depth"] and a ["retry_after_ms"] hint;
+    - [deadline_exceeded]: the request ran out of wall-clock budget
+      (["reason":"wall-clock"]) or of its typed interpreter fuel cap
+      (["reason":"fuel-exhausted"] with ["steps"]). *)
+
+type request = {
+  id : int option;
+  verb : string;
+  body : Hypar_obs.Jsonv.t;  (** the whole request object *)
+}
+
+val parse_request : string -> (request, string) result
+
+exception Bad_request of string
+(** Raised by the field accessors below on missing/ill-typed fields;
+    reported as an [error] envelope with kind ["bad-request"]. *)
+
+val int_field : ?default:int -> Hypar_obs.Jsonv.t -> string -> int
+val opt_int_field : Hypar_obs.Jsonv.t -> string -> int option
+val bool_field : ?default:bool -> Hypar_obs.Jsonv.t -> string -> bool
+val str_field : Hypar_obs.Jsonv.t -> string -> string
+val opt_str_field : Hypar_obs.Jsonv.t -> string -> string option
+
+type deadline_reason =
+  | Wall_clock
+  | Fuel of int  (** steps executed when the typed fuel cap fired *)
+
+type response =
+  | Done of { id : int option; verb : string; payload : string }
+      (** [payload] is raw, pre-rendered JSON *)
+  | Failed of { id : int option; kind : string; message : string }
+  | Overloaded of { id : int option; depth : int; retry_after_ms : int }
+  | Deadline_exceeded of { id : int option; reason : deadline_reason }
+
+val render : response -> string
+(** One line, no trailing newline. *)

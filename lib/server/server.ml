@@ -1,0 +1,210 @@
+module Sink = Hypar_obs.Sink
+module Pool = Hypar_explore.Pool
+
+type config = {
+  jobs : int;
+  max_queue : int;
+  drain_timeout_ms : int;
+  faults : Hypar_resilience.Fault.spec option;
+  default_deadline_ms : int option;
+  default_fuel : int option;
+}
+
+let retry_after_ms = 100
+
+(* Full, EINTR-safe write of one response line.  EPIPE is swallowed (the
+   peer went away; the session winds down at the next read) — it must
+   not escape a worker domain and take the server with it. *)
+let write_line lock fd s =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      let s = s ^ "\n" in
+      let rec go off len =
+        if len > 0 then
+          match Unix.write_substring fd s off len with
+          | n -> go (off + n) (len - n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      in
+      try go 0 (String.length s)
+      with Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) -> ())
+
+let run_session ?(drain_on_eof = true) ?(execute = Worker.execute) config drain
+    in_fd out_fd =
+  let jobs = max 1 config.jobs in
+  let lines = Lines.create in_fd in
+  let out_lock = Mutex.create () in
+  let queue = Bqueue.create ~capacity:config.max_queue in
+  let wconfig =
+    {
+      Worker.faults = config.faults;
+      default_deadline_ms = config.default_deadline_ms;
+      default_fuel = config.default_fuel;
+      drain;
+      queue_depth = (fun () -> if jobs > 1 then Bqueue.depth queue else 0);
+    }
+  in
+  (* Worker domains capture their trace events per request and park them
+     under the request's sequence number; replaying the captures in
+     sequence order at session end makes the merged stream independent
+     of scheduling (the explore pool's merge discipline). *)
+  let captures = ref [] in
+  let captures_lock = Mutex.create () in
+  let worker_loop _i =
+    let rec loop () =
+      match Bqueue.pop queue with
+      | None -> ()
+      | Some (seq, req) ->
+        (* record inside the capture so the response-class counters
+           replay in request order, exactly as the inline mode emits
+           them — counter totals stay byte-identical across [jobs] *)
+        let resp, events =
+          Sink.collect (fun () ->
+              let resp = execute wconfig req in
+              Drain.record drain resp;
+              resp)
+        in
+        if events <> [] then begin
+          Mutex.lock captures_lock;
+          captures := (seq, events) :: !captures;
+          Mutex.unlock captures_lock
+        end;
+        write_line out_lock out_fd (Protocol.render resp);
+        loop ()
+    in
+    loop ()
+  in
+  let pool = if jobs > 1 then Some (Pool.fork ~domains:jobs worker_loop) else None in
+  let seq = ref 0 in
+  (* Reader-side responses (parse errors, overloaded rejections) record
+     under the line's sequence number like worker responses, so the
+     replayed counter stream keeps input order regardless of [jobs]. *)
+  let respond_reader seq resp =
+    (match pool with
+    | None -> Drain.record drain resp
+    | Some _ ->
+      let (), events = Sink.collect (fun () -> Drain.record drain resp) in
+      if events <> [] then begin
+        Mutex.lock captures_lock;
+        captures := (seq, events) :: !captures;
+        Mutex.unlock captures_lock
+      end);
+    write_line out_lock out_fd (Protocol.render resp)
+  in
+  let rec read_loop () =
+    match Lines.next ~stop:(fun () -> Drain.draining drain) lines with
+    | Lines.Stopped -> ()
+    | Lines.Eof -> if drain_on_eof then Drain.request drain Eof
+    | Lines.Line line ->
+      if String.trim line <> "" then begin
+        Drain.accepted drain;
+        incr seq;
+        match Protocol.parse_request line with
+        | Error msg ->
+          respond_reader !seq
+            (Protocol.Failed { id = None; kind = "parse-error"; message = msg })
+        | Ok req -> (
+          match pool with
+          | None ->
+            let resp = execute wconfig req in
+            Drain.record drain resp;
+            write_line out_lock out_fd (Protocol.render resp)
+          | Some _ -> (
+            match Bqueue.push queue (!seq, req) with
+            | Bqueue.Pushed depth ->
+              if Sink.enabled () then
+                Hypar_obs.Counter.set "server.queue.depth" depth
+            | Bqueue.Full depth ->
+              respond_reader !seq
+                (Protocol.Overloaded
+                   { id = req.Protocol.id; depth; retry_after_ms })
+            | Bqueue.Closed ->
+              respond_reader !seq
+                (Protocol.Failed
+                   {
+                     id = req.Protocol.id;
+                     kind = "draining";
+                     message = "server is draining";
+                   })))
+      end;
+      read_loop ()
+  in
+  read_loop ();
+  (match pool with
+  | None -> ()
+  | Some pool ->
+    Bqueue.close queue;
+    (* Workers exit once the queue drains; a signal drain's cancellation
+       deadline cuts in-flight work short cooperatively, so the join is
+       bounded by the drain timeout plus one poll interval. *)
+    Pool.join pool);
+  if Sink.enabled () then
+    List.iter
+      (fun (_, events) -> Sink.replay events)
+      (List.sort (fun (a, _) (b, _) -> compare a b) !captures)
+
+let install_signal_handlers drain =
+  let request _ = Drain.request drain Signal in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request);
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let run_pipe config =
+  let drain = Drain.create ~drain_timeout_ms:config.drain_timeout_ms in
+  install_signal_handlers drain;
+  run_session config drain Unix.stdin Unix.stdout;
+  prerr_endline (Drain.stats_line drain);
+  0
+
+let rec accept_ready sock =
+  match Unix.select [ sock ] [] [] 0.1 with
+  | [], _, _ -> None
+  | _ -> (
+    match Unix.accept sock with
+    | fd, _ -> Some fd
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> None)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_ready sock
+
+let run_socket config path =
+  if Sys.file_exists path then begin
+    Printf.eprintf "hypar: serve: socket path %s already exists\n" path;
+    2
+  end
+  else
+    match
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind sock (Unix.ADDR_UNIX path);
+         Unix.listen sock 8
+       with e ->
+         Unix.close sock;
+         raise e);
+      sock
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "hypar: serve: cannot bind %s: %s\n" path
+        (Unix.error_message err);
+      2
+    | sock ->
+      let drain = Drain.create ~drain_timeout_ms:config.drain_timeout_ms in
+      install_signal_handlers drain;
+      let finish () =
+        Unix.close sock;
+        (try Sys.remove path with Sys_error _ -> ());
+        prerr_endline (Drain.stats_line drain)
+      in
+      Fun.protect ~finally:finish (fun () ->
+          (* Connections are served one at a time, each as its own
+             session (workers inside a session still honour [jobs]);
+             a client hanging up never drains the server. *)
+          while not (Drain.draining drain) do
+            match accept_ready sock with
+            | None -> ()
+            | Some fd ->
+              Fun.protect
+                ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () -> run_session ~drain_on_eof:false config drain fd fd)
+          done);
+      0

@@ -1,0 +1,51 @@
+(** The serving loop: JSON-lines requests in, envelopes out, with
+    admission control, a worker-domain pool and graceful drain.
+
+    Pipe mode ({!run_pipe}) reads stdin and writes stdout; socket mode
+    ({!run_socket}) binds a Unix-domain socket and serves connections
+    one at a time, each as its own session.  Both install SIGINT/SIGTERM
+    handlers that request a signal drain: the reader stops accepting,
+    queued work finishes or is cancelled against the drain timeout
+    (cooperatively, through every request's deadline), a final stats
+    line goes to stderr and the process exits 0.
+
+    With [jobs = 1] requests execute inline in the read loop, so
+    response order equals request order — the mode cram tests rely on.
+    With [jobs > 1] well-formed requests go through the bounded queue to
+    a {!Pool.fork}ed domain pool; when the queue is full the request is
+    refused with a typed [overloaded] envelope instead of queueing
+    without bound.  Worker trace events are captured per request
+    ({!Hypar_obs.Sink.collect}) and replayed in request order at session
+    end, so merged traces and counter totals are independent of [jobs]. *)
+
+type config = {
+  jobs : int;
+  max_queue : int;
+  drain_timeout_ms : int;
+  faults : Hypar_resilience.Fault.spec option;
+  default_deadline_ms : int option;
+  default_fuel : int option;
+}
+
+val run_session :
+  ?drain_on_eof:bool ->
+  ?execute:(Worker.config -> Protocol.request -> Protocol.response) ->
+  config ->
+  Drain.t ->
+  Unix.file_descr ->
+  Unix.file_descr ->
+  unit
+(** One session over a descriptor pair.  [drain_on_eof] (default [true])
+    requests an [Eof] drain when input ends — socket connections pass
+    [false] so a disconnecting client does not stop the server.
+    [execute] (default {!Worker.execute}) is a test seam for injecting
+    deterministic or blocking workloads. *)
+
+val run_pipe : config -> int
+(** Serve stdin/stdout until EOF or a signal; returns the exit code
+    (always 0 — per-request failures are envelopes, not exits). *)
+
+val run_socket : config -> string -> int
+(** Serve a Unix-domain socket at the given path until a signal.
+    Returns 2 when the path already exists or cannot be bound, else 0;
+    the socket file is removed on the way out. *)

@@ -1,0 +1,32 @@
+(** Request execution: one verb in, one response envelope out, never an
+    escaping exception.
+
+    {!execute} is the isolation boundary: whatever a verb raises —
+    frontend diagnostics, IR verification failures, interpreter runtime
+    errors, [Sys_error] on a missing file, or anything else — is caught
+    here and reported as a typed [error] envelope carrying the exception
+    constructor, so one poisonous request can never take a worker (or
+    the server) down.
+
+    Deadlines are enforced two ways, matching the CLI's budget model:
+    the wall-clock budget ([deadline_ms], default from the config) via a
+    cooperative poll hook threaded into the profiling interpreter
+    ({!Hypar_profiling.Interp.run}'s [?poll]), and the typed fuel cap
+    ([fuel]) via {!Hypar_profiling.Interp.Fuel_exhausted}.  A
+    signal-initiated drain folds its cancellation deadline into every
+    in-flight request's budget ({!Drain.cancel_deadline}).
+
+    Verbs: [partition], [analyze], [explore], [faults], [health] — see
+    [docs/server.md] for their request fields and payloads. *)
+
+type config = {
+  faults : Hypar_resilience.Fault.spec option;
+      (** degrade the platform for [partition]/[explore], as [--faults] *)
+  default_deadline_ms : int option;
+  default_fuel : int option;
+  drain : Drain.t;
+  queue_depth : unit -> int;  (** sampled by the [health] verb *)
+}
+
+val execute : config -> Protocol.request -> Protocol.response
+(** Total: never raises. *)

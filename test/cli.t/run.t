@@ -386,3 +386,52 @@ producing byte-identical output to the uninterrupted run:
   $ hypar explore fir.mc -t 8000 --area 500 --cgcs 1 --resume
   hypar: --resume requires --checkpoint FILE
   [2]
+
+serve is the long-running counterpart: newline-delimited JSON requests
+on stdin, one envelope per line on stdout.  A malformed line, a missing
+file or an exhausted fuel budget is a typed envelope for that request
+only — the stream keeps serving, and EOF drains cleanly with a stats
+line on stderr (health's uptime is the only nondeterministic byte, so it
+is scrubbed):
+
+  $ cat > req.jsonl <<'EOF'
+  > {"id":1,"verb":"analyze","file":"fir.mc","top":1}
+  > this line is not JSON
+  > {"id":2,"verb":"partition","file":"fir.mc","timing":8000}
+  > {"id":3,"verb":"partition","file":"fir.mc","timing":8000,"fuel":50}
+  > {"id":4,"verb":"partition","file":"nope.mc","timing":8000}
+  > {"id":5,"verb":"health"}
+  > EOF
+  $ hypar serve < req.jsonl > out.jsonl 2> serve-stats.txt
+  $ sed -E 's/"uptime_ms":[0-9]+/"uptime_ms":T/' out.jsonl
+  {"id":1,"status":"ok","verb":"analyze","payload":{"file":"fir.mc","kernels":[{"block_id":2,"label":"L2_for_body","exec_freq":448,"bb_weight":8,"total_weight":3584,"loop_depth":2}]}}
+  {"id":null,"status":"error","kind":"parse-error","message":"invalid JSON: expected true at offset 0"}
+  {"id":2,"status":"ok","verb":"partition","payload":{"file":"fir.mc","status":"met-after-1","met":true,"timing_constraint":8000,"initial":{"t_fpga":15985,"t_coarse_cgc":0,"t_coarse":0,"t_comm":0,"t_total":15985},"final":{"t_fpga":2993,"t_coarse_cgc":1344,"t_coarse":448,"t_comm":616,"t_total":4057},"reduction_percent":74.6199562089,"moved":[2],"steps":1}}
+  {"id":3,"status":"deadline_exceeded","reason":"fuel-exhausted","steps":50}
+  {"id":4,"status":"error","kind":"Sys_error","message":"nope.mc: No such file or directory"}
+  {"id":5,"status":"ok","verb":"health","payload":{"uptime_ms":T,"queue_depth":0,"draining":false,"accepted":6,"completed":2,"errors":2,"deadline_exceeded":1,"rejected":0}}
+  $ cat serve-stats.txt
+  hypar serve: drained (eof): accepted=6 completed=3 errors=2 deadline-exceeded=1 rejected=0
+
+SIGTERM drains gracefully: the server stops accepting, finishes what it
+has, prints the stats line and exits 0:
+
+  $ mkfifo req.fifo
+  $ hypar serve < req.fifo > sig.jsonl 2> sig-stats.txt &
+  $ exec 9> req.fifo
+  $ printf '{"id":1,"verb":"faults","file":"faults.spec"}\n' >&9
+  $ while ! grep -q '"id":1' sig.jsonl 2> /dev/null; do sleep 0.05; done
+  $ kill -TERM $!
+  $ wait $!
+  $ exec 9>&-
+  $ cat sig.jsonl
+  {"id":1,"status":"ok","verb":"faults","payload":{"spec":{"seed": 7, "faults": [{"kind": "dead-node", "cgc": 0, "row": 1, "col": 1, "unit": "both"}, {"kind": "dead-cgc", "cgc": 1}]}}}
+  $ cat sig-stats.txt
+  hypar serve: drained (signal): accepted=1 completed=1 errors=0 deadline-exceeded=0 rejected=0
+
+--socket refuses to clobber an existing path:
+
+  $ touch sock.here
+  $ hypar serve --socket sock.here
+  hypar: serve: socket path sock.here already exists
+  [2]

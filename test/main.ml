@@ -57,5 +57,6 @@ let () =
       ("baselines", Test_baselines.suite);
       ("report", Test_report.suite);
       ("obs", Test_obs.suite);
+      ("server", Test_server.suite);
       ("properties", Test_props.suite);
     ]

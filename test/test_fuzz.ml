@@ -167,6 +167,66 @@ let prop_faults_never_raise =
           + r.Hypar_core.Engine.final.Hypar_core.Engine.t_coarse
           + r.Hypar_core.Engine.final.Hypar_core.Engine.t_comm)
 
+(* The serve protocol is the same contract one layer up: any byte soup
+   on the wire must come back as a typed envelope, never an escaping
+   exception and never a dead worker. *)
+
+let serve_config () =
+  {
+    Hypar_server.Worker.faults = None;
+    default_deadline_ms = None;
+    default_fuel = Some 10_000;
+    drain = Hypar_server.Drain.create ~drain_timeout_ms:1000;
+    queue_depth = (fun () -> 0);
+  }
+
+let envelope_of config line =
+  match Hypar_server.Protocol.parse_request line with
+  | Error _ -> None
+  | Ok req -> (
+    match Hypar_server.Worker.execute config req with
+    | resp -> Some resp
+    | exception e ->
+      Alcotest.failf "worker leaked %s on %S" (Printexc.to_string e) line)
+
+let test_protocol_byte_soup () =
+  let config = serve_config () in
+  let alphabet = {|{}[]":,0123456789.truefalsenull-+eE \verbpartitionfile|} in
+  for seed = 1 to 300 do
+    let next = lcg seed in
+    let line =
+      String.init (1 + (seed mod 80)) (fun _ ->
+          alphabet.[next (String.length alphabet)])
+    in
+    match envelope_of config line with
+    | None -> ()
+    | Some resp ->
+      let rendered = Hypar_server.Protocol.render resp in
+      (match Hypar_obs.Jsonv.parse rendered with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "seed %d: envelope not JSON (%s): %s" seed e rendered)
+  done
+
+let test_protocol_truncations () =
+  (* every prefix of a valid request parses to a typed error or a typed
+     envelope — truncated writes cannot wedge or kill the server *)
+  let config = serve_config () in
+  let full = {|{"id":12,"verb":"partition","file":"/nonexistent.mc","timing":800}|} in
+  for len = 0 to String.length full do
+    let line = String.sub full 0 len in
+    match envelope_of config line with
+    | None -> ()
+    | Some (Hypar_server.Protocol.Failed _) -> ()
+    | Some resp ->
+      Alcotest.failf "prefix %d: unexpected %s" len
+        (Hypar_server.Protocol.render resp)
+  done;
+  (* the worker is still alive and answering after all of the above *)
+  match envelope_of config {|{"verb":"health"}|} with
+  | Some (Hypar_server.Protocol.Done _) -> ()
+  | _ -> Alcotest.fail "worker dead after truncation storm"
+
 let suite =
   [
     Alcotest.test_case "lexer total" `Quick test_lexer_total;
@@ -175,4 +235,8 @@ let suite =
     Alcotest.test_case "mutated programs" `Quick test_mutated_valid_programs;
     Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
     QCheck_alcotest.to_alcotest prop_faults_never_raise;
+    Alcotest.test_case "serve protocol: byte soup" `Quick
+      test_protocol_byte_soup;
+    Alcotest.test_case "serve protocol: truncations" `Quick
+      test_protocol_truncations;
   ]
