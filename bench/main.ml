@@ -764,6 +764,122 @@ let micro () =
          | Some [ est ] -> Printf.printf "%-36s %16.0f\n" name est
          | Some _ | None -> Printf.printf "%-36s %16s\n" name "n/a")
 
+(* ---- Dataflow: solver throughput and global-pass shrinkage -------------- *)
+
+let dataflow_bench () =
+  section_header "Dataflow — solver throughput and global-pass shrinkage";
+  let module D = Hypar_ir.Dataflow in
+  let module Passes = Hypar_ir.Passes in
+  let module Cdfg = Hypar_ir.Cdfg in
+  let srcs =
+    [
+      ("OFDM", Ofdm.source);
+      ("JPEG", Jpeg.source);
+      ("Sobel", Hypar_apps.Sobel.source);
+      ("ADPCM", Hypar_apps.Adpcm.source);
+    ]
+  in
+  let time_best ~reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let counts cdfg = (Cdfg.block_count cdfg, Cdfg.total_instrs cdfg) in
+  let rows =
+    List.map
+      (fun (name, src) ->
+        let raw = Hypar_minic.Driver.compile_exn ~name ~simplify:false src in
+        let cfg = Cdfg.cfg raw in
+        let iterations = (D.solve (module D.Liveness) cfg).D.iterations in
+        let batch = 50 in
+        let t =
+          time_best ~reps:7 (fun () ->
+              for _ = 1 to batch do
+                ignore (D.solve (module D.Liveness) cfg);
+                ignore (D.solve (module D.Reaching) cfg);
+                ignore (D.solve (module D.Avail) cfg);
+                ignore (D.solve (module D.Consts) cfg)
+              done)
+        in
+        let solves_per_sec = float_of_int (4 * batch) /. t in
+        let simplified = Passes.simplify ~verify:false raw in
+        let optimized = Passes.optimize ~verify:false raw in
+        let after_global pass =
+          snd (counts (Passes.dead_code_eliminate (pass raw)))
+        in
+        ( name,
+          counts raw,
+          counts simplified,
+          counts optimized,
+          [
+            ("const", after_global Passes.global_const_propagate);
+            ("copy", after_global Passes.global_copy_propagate);
+            ("cse", after_global Passes.global_cse);
+          ],
+          iterations,
+          solves_per_sec ))
+      srcs
+  in
+  Printf.printf
+    "%-6s | %12s | %13s | %13s | %19s | %6s | %11s\n"
+    "app" "raw blk/ins" "simplify ins" "optimize ins" "global pass ins"
+    "iters" "solves/s";
+  List.iter
+    (fun (name, (rb, ri), (_, si), (ob, oi), globals, iters, sps) ->
+      Printf.printf
+        "%-6s | %5d /%5d | %13d | %6d /%5d | %s | %6d | %11.0f\n"
+        name rb ri si ob oi
+        (String.concat " "
+           (List.map (fun (p, n) -> Printf.sprintf "%s:%d" p n) globals))
+        iters sps)
+    rows;
+  (* acceptance gate: each global pass (after DCE) strictly shrinks the
+     raw CDFG on at least two of the four apps *)
+  let shrinkers pass_name =
+    List.length
+      (List.filter
+         (fun (_, (_, ri), _, _, globals, _, _) ->
+           List.assoc pass_name globals < ri)
+         rows)
+  in
+  List.iter
+    (fun p ->
+      let n = shrinkers p in
+      Printf.printf "global %-5s shrinks %d/4 apps%s\n" p n
+        (if n >= 2 then "" else "  <-- FAIL (budget: >= 2)"))
+    [ "const"; "copy"; "cse" ];
+  if List.exists (fun p -> shrinkers p < 2) [ "const"; "copy"; "cse" ] then begin
+    Printf.printf "FAIL: a global pass shrinks fewer than 2/4 apps\n";
+    exit 1
+  end;
+  (* first perf snapshot: committed as BENCH_dataflow.json so later PRs
+     can diff solver throughput and pipeline shrinkage *)
+  let oc = open_out "BENCH_dataflow.json" in
+  Printf.fprintf oc "{\n  \"section\": \"dataflow\",\n  \"apps\": [\n";
+  List.iteri
+    (fun i (name, (rb, ri), (sb, si), (ob, oi), globals, iters, sps) ->
+      Printf.fprintf oc
+        "    {\"app\": %S, \"raw\": {\"blocks\": %d, \"instrs\": %d},\n\
+        \     \"simplify\": {\"blocks\": %d, \"instrs\": %d},\n\
+        \     \"optimize\": {\"blocks\": %d, \"instrs\": %d},\n\
+        \     \"global_pass_instrs\": {%s},\n\
+        \     \"liveness_iterations\": %d, \"solves_per_sec\": %.0f}%s\n"
+        name rb ri sb si ob oi
+        (String.concat ", "
+           (List.map (fun (p, n) -> Printf.sprintf "%S: %d" p n) globals))
+        iters sps
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_dataflow.json\n";
+  print_newline ()
+
 (* ---- driver -------------------------------------------------------------- *)
 
 let sections =
@@ -787,6 +903,7 @@ let sections =
     ("extension:pipeline", extension_pipeline);
     ("extension:energy", extension_energy);
     ("extension:modulo", extension_modulo);
+    ("dataflow", dataflow_bench);
     ("micro", micro);
   ]
 

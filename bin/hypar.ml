@@ -3,7 +3,16 @@
    Subcommands:
      partition  run the full Figure-2 flow on a Mini-C (or .ir) file
                 (--report for Markdown, --loops / --pipelined variants)
-     analyze    print the Table-1 style kernel analysis
+     kernels    print the Table-1 style kernel analysis
+     analyze    IR diagnostics over the lowered CDFG (A001-A008:
+                use-before-def, dead stores, unreachable blocks, constant
+                branches, interval-derived out-of-bounds / div-by-zero,
+                unhoisted invariant loads, write-only registers; text or
+                JSON, --deny/--max-findings CI gates, -O to inspect the
+                optimised IR)
+     opt        run the optimisation pipeline and report the shrink
+                (blocks/instrs before and after; -o FILE serialises the
+                optimised CDFG)
      profile    print the dynamic profile of a program
      map        show both mappings per block (temporal partitions, Gantt)
      lint       source diagnostics (W001-W009; --deny for CI gates)
@@ -257,9 +266,9 @@ let partition_cmd =
              (optionally on a $(b,--faults)-degraded platform)")
     term
 
-let analyze_cmd =
+let kernels_cmd =
   let run file top obs =
-    with_obs ~command:"analyze" obs @@ fun () ->
+    with_obs ~command:"kernels" obs @@ fun () ->
     with_verification @@ fun () ->
     let prepared = prepare_file file in
     let analysis =
@@ -273,7 +282,177 @@ let analyze_cmd =
     Arg.(value & opt int 8 & info [ "top" ] ~docv:"N" ~doc:"number of kernels to list")
   in
   let term = Term.(const run $ file_arg $ top_arg $ obs_args) in
-  Cmd.v (Cmd.info "analyze" ~doc:"Kernel analysis (Table-1 style)") term
+  Cmd.v (Cmd.info "kernels" ~doc:"Kernel analysis (Table-1 style)") term
+
+let analyze_cmd =
+  let module Analyze = Hypar_analysis.Analyze in
+  (* Diagnostics want the program as written: the optimiser deliberately
+     removes most of what A002/A004/A007 report, and a broken .ir (the
+     A001 case) would not survive verification — so .ir files load
+     unverified and Mini-C compiles with the pipeline off unless -O
+     explicitly asks for the optimised view. *)
+  let load ~optimize file =
+    let cdfg =
+      if Filename.check_suffix file ".ir" then
+        Hypar_ir.Serialize.of_string (read_file file)
+      else
+        Hypar_minic.Driver.compile_exn ~name:(Filename.basename file)
+          ~simplify:false ~verify_ir:false (read_file file)
+    in
+    if optimize then Hypar_ir.Passes.optimize ~verify:false cdfg else cdfg
+  in
+  let run files format max_findings deny optimize obs =
+    with_obs ~command:"analyze" obs @@ fun () ->
+    with_verification @@ fun () ->
+    (* resolve the denied codes first so a typo fails fast *)
+    let deny_codes =
+      if List.exists (fun s -> String.lowercase_ascii s = "all") deny then
+        Ok Analyze.all_codes
+      else
+        List.fold_left
+          (fun acc s ->
+            match (acc, Analyze.code_of_string s) with
+            | Error _, _ -> acc
+            | Ok _, None -> Error s
+            | Ok codes, Some c -> Ok (c :: codes))
+          (Ok []) deny
+    in
+    match deny_codes with
+    | Error s ->
+      Printf.eprintf
+        "hypar: unknown analyze code %S (use A001..A008 or a mnemonic)\n" s;
+      2
+    | Ok deny_codes ->
+      let total = ref 0 and denied = ref [] in
+      List.iter
+        (fun file ->
+          let findings = Analyze.check (load ~optimize file) in
+          total := !total + List.length findings;
+          List.iter
+            (fun (f : Analyze.finding) ->
+              if List.mem f.code deny_codes then
+                denied := Analyze.code_id f.code :: !denied)
+            findings;
+          match format with
+          | `Json -> print_string (Analyze.render_json ~file findings)
+          | `Text -> print_string (Analyze.render ~file findings))
+        files;
+      (match format with
+      | `Text when !total > 0 ->
+        Printf.printf "%d finding%s\n" !total (if !total = 1 then "" else "s")
+      | _ -> ());
+      let denied = List.sort_uniq compare !denied in
+      let over_limit =
+        match max_findings with Some m -> !total > m | None -> false
+      in
+      if denied <> [] then
+        Printf.eprintf "hypar: denied analyze codes present: %s\n"
+          (String.concat ", " denied);
+      (match (over_limit, max_findings) with
+      | true, Some m ->
+        Printf.eprintf "hypar: %d findings exceed --max-findings %d\n" !total m
+      | _ -> ());
+      if denied <> [] || over_limit then 1 else 0
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Mini-C source or serialised .ir file(s)")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"output format: $(b,text) or $(b,json)")
+  in
+  let max_findings_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-findings" ] ~docv:"N"
+          ~doc:"fail (exit 1) when more than $(docv) findings are emitted")
+  in
+  let deny_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "deny" ] ~docv:"CODE"
+          ~doc:
+            "fail (exit 1) if this code is present; accepts an id (A001), a \
+             mnemonic (use-before-def) or $(b,all); repeatable")
+  in
+  let optimize_arg =
+    Arg.(
+      value & flag
+      & info [ "O"; "optimized" ]
+          ~doc:"analyze the optimised IR (after $(b,Passes.optimize)) instead \
+                of the program as written")
+  in
+  let term =
+    Term.(
+      const run $ files_arg $ format_arg $ max_findings_arg $ deny_arg
+      $ optimize_arg $ obs_args)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"IR diagnostics over the lowered CDFG (dataflow-backed A001-A008: \
+             use-before-def, dead stores, unreachable blocks, constant \
+             branches, possible out-of-bounds/div-by-zero, unhoisted \
+             invariant loads, write-only registers)")
+    term
+
+let opt_cmd =
+  let run file out verify_ir obs =
+    with_obs ~command:"opt" obs @@ fun () ->
+    with_verification @@ fun () ->
+    let cdfg =
+      if Filename.check_suffix file ".ir" then begin
+        let cdfg = Hypar_ir.Serialize.of_string (read_file file) in
+        if verify_ir || !Hypar_ir.Passes.verify_passes then
+          Hypar_ir.Verify.check_exn ~context:(Filename.basename file) cdfg;
+        cdfg
+      end
+      else
+        Hypar_minic.Driver.compile_exn ~name:(Filename.basename file)
+          ~simplify:false
+          ?verify_ir:(if verify_ir then Some true else None)
+          (read_file file)
+    in
+    let blocks_before = Hypar_ir.Cdfg.block_count cdfg in
+    let instrs_before = Hypar_ir.Cdfg.total_instrs cdfg in
+    let optimized =
+      Hypar_ir.Passes.optimize
+        ?verify:(if verify_ir then Some true else None)
+        cdfg
+    in
+    let blocks_after = Hypar_ir.Cdfg.block_count optimized in
+    let instrs_after = Hypar_ir.Cdfg.total_instrs optimized in
+    Printf.printf "%s: %d blocks / %d instrs -> %d blocks / %d instrs (%+d)\n"
+      (Filename.basename file) blocks_before instrs_before blocks_after
+      instrs_after
+      (instrs_after - instrs_before);
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc (Hypar_ir.Serialize.to_string optimized);
+      close_out oc);
+    0
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"serialise the optimised CDFG to $(docv) (.ir format)")
+  in
+  let term =
+    Term.(const run $ file_arg $ out_arg $ verify_ir_arg $ obs_args)
+  in
+  Cmd.v
+    (Cmd.info "opt"
+       ~doc:"Run the optimisation pipeline and report the shrink \
+             (use $(b,--stats) for per-pass detail)")
+    term
 
 let profile_cmd =
   let run file obs =
@@ -772,12 +951,25 @@ let faults_cmd =
     term
 
 let dump_cmd =
-  let run file =
+  let run file raw =
     with_verification @@ fun () ->
-    print_string (Hypar_ir.Serialize.to_string (load_cdfg file));
+    let cdfg =
+      if raw && not (Filename.check_suffix file ".ir") then
+        Hypar_minic.Driver.compile_exn ~name:(Filename.basename file)
+          ~simplify:false (read_file file)
+      else load_cdfg file
+    in
+    print_string (Hypar_ir.Serialize.to_string cdfg);
     0
   in
-  let term = Term.(const run $ file_arg) in
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:"dump the CDFG as lowered, before the optimisation pipeline \
+                (what $(b,hypar analyze) inspects)")
+  in
+  let term = Term.(const run $ file_arg $ raw_arg) in
   Cmd.v
     (Cmd.info "dump"
        ~doc:"Serialise the compiled CDFG (reload it by passing the .ir file to any command)")
@@ -947,7 +1139,7 @@ let () =
   Sys.catch_break true;
   let doc = "hybrid fine/coarse-grain reconfigurable partitioning (DATE'04/05 methodology)" in
   let info = Cmd.info "hypar" ~version:"1.0.0" ~doc in
-  let group = Cmd.group info [ partition_cmd; analyze_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; faults_cmd; dump_cmd; demo_cmd; trace_cmd; serve_cmd ] in
+  let group = Cmd.group info [ partition_cmd; kernels_cmd; analyze_cmd; opt_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; faults_cmd; dump_cmd; demo_cmd; trace_cmd; serve_cmd ] in
   match Cmd.eval' ~catch:false group with
   | code -> exit code
   | exception Sys.Break ->

@@ -1,0 +1,74 @@
+(** IR-level diagnostics over the CDFG ([hypar analyze]).
+
+    Where {!Lint} inspects the Mini-C source, this engine inspects the
+    lowered CDFG, so it also covers hand-written or machine-generated
+    [.ir] files (the decompilation frontends of the
+    partitioning-for-binaries line of work) that never had a source
+    program.  Every rule is a client of the {!Hypar_ir.Dataflow} solver:
+
+    - [A001] [use-before-def] — a register read on some path before any
+      definition (complement of the {!Hypar_ir.Dataflow.Assigned}
+      must-analysis);
+    - [A002] [dead-store] — a computed value never read afterwards
+      ({!Hypar_ir.Dataflow.Liveness});
+    - [A003] [unreachable-block] — a block no path from the entry
+      reaches;
+    - [A004] [constant-branch] — a branch both of whose arms coincide, or
+      whose condition the {!Hypar_ir.Dataflow.Consts} lattice proves
+      constant;
+    - [A005] [possible-out-of-bounds] — an array access whose index
+      interval escapes [[0, size-1]] (interval analysis on
+      {!Range} arithmetic, with branch-condition narrowing);
+    - [A006] [possible-div-by-zero] — a division or remainder whose
+      divisor interval contains zero;
+    - [A007] [unhoisted-invariant-load] — a loop-invariant load of an
+      array no instruction in the loop stores to (the optimiser's LICM
+      would hoist it);
+    - [A008] [write-only-variable] — a register defined somewhere but
+      never read anywhere.
+
+    Findings are positioned by basic block id and instruction index
+    (there may be no source file to point into). *)
+
+type code =
+  | Use_before_def
+  | Dead_store
+  | Unreachable_block
+  | Constant_branch
+  | Possible_out_of_bounds
+  | Possible_div_by_zero
+  | Unhoisted_invariant_load
+  | Write_only_variable
+
+val all_codes : code list
+
+val code_id : code -> string
+(** Stable identifier, ["A001"] … ["A008"]. *)
+
+val code_mnemonic : code -> string
+(** Stable kebab-case name, e.g. ["use-before-def"]. *)
+
+val code_of_string : string -> code option
+(** Accepts an id ([A004]), a mnemonic ([constant-branch]), either
+    case. *)
+
+type finding = {
+  code : code;
+  block : int;  (** basic-block id; for A003 the block itself *)
+  index : int;  (** instruction index in the block; -1 = the terminator *)
+  message : string;
+}
+
+val check : Hypar_ir.Cdfg.t -> finding list
+(** Run every rule, sorted by (block, index, code).  The input is
+    typically the {e unoptimised} CDFG: the optimiser deliberately
+    removes most of what A002/A004/A007 report. *)
+
+val render : ?file:string -> finding list -> string
+(** Human-readable, one finding per line:
+    [file:BBn.i: note A00N [mnemonic]: message]. *)
+
+val render_json : ?file:string -> finding list -> string
+(** A JSON object [{"file": …, "count": N, "findings": […]}]. *)
+
+val pp_finding : Format.formatter -> finding -> unit

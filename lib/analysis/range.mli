@@ -38,6 +38,16 @@ val neg : interval -> interval
 val contains : interval -> int -> bool
 (** [contains i n] — is [n] inside [[i.lo, i.hi]]? *)
 
+val eval_bin : Hypar_ir.Types.alu_op -> interval -> interval -> interval
+(** Conservative interval result of a binary ALU operation (comparisons
+    evaluate to [[0, 1]]). *)
+
+val eval_un : Hypar_ir.Types.un_op -> interval -> interval
+
+val div_iv : interval -> interval -> interval
+(** Division/remainder: the magnitude of the result never exceeds the
+    dividend's. *)
+
 type report = {
   var : Hypar_ir.Instr.var;
   range : interval;

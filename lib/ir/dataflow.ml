@@ -1,0 +1,624 @@
+type direction = Forward | Backward
+
+type pos = { block : int; index : int }
+
+module type ANALYSIS = sig
+  type t
+
+  val name : string
+  val direction : direction
+  val init : t
+  val boundary : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val transfer : pos -> Instr.t -> t -> t
+  val transfer_term : int -> Block.terminator -> t -> t
+  val edge : (Block.t -> Block.label -> t -> t) option
+  val widen : (t -> t -> t) option
+end
+
+let widen_threshold = 4
+
+type 'a solution = {
+  at_entry : 'a array;
+  at_exit : 'a array;
+  iterations : int;
+}
+
+(* --- the worklist solver ------------------------------------------------ *)
+
+module Worklist = Set.Make (struct
+  type t = int * int (* priority, block id *)
+
+  let compare = compare
+end)
+
+let solve_raw (type a) (module A : ANALYSIS with type t = a) cfg : a solution =
+  let n = Cfg.block_count cfg in
+  let at_entry = Array.make n A.init in
+  let at_exit = Array.make n A.init in
+  (* processing order: reverse postorder for forward analyses, its
+     reverse (postorder) for backward ones; blocks unreachable from the
+     entry are absent and never visited *)
+  let order =
+    match A.direction with
+    | Forward -> Cfg.reverse_postorder cfg
+    | Backward -> List.rev (Cfg.reverse_postorder cfg)
+  in
+  let priority = Array.make n (-1) in
+  List.iteri (fun k i -> priority.(i) <- k) order;
+  let visits = Array.make n 0 in
+  let iterations = ref 0 in
+  let work = ref Worklist.empty in
+  let push i = if priority.(i) >= 0 then work := Worklist.add (priority.(i), i) !work in
+  List.iter push order;
+  (* stored input/output arrays in *analysis* order *)
+  let stored_in =
+    match A.direction with Forward -> at_entry | Backward -> at_exit
+  in
+  let stored_out =
+    match A.direction with Forward -> at_exit | Backward -> at_entry
+  in
+  let refine_edge pred_id target_id v =
+    match A.edge with
+    | None -> v
+    | Some f ->
+      f (Cfg.block cfg pred_id) (Cfg.block cfg target_id).Block.label v
+  in
+  (* join of the facts flowing into block [i] along analysis-order edges *)
+  let input_of i =
+    match A.direction with
+    | Forward ->
+      let base = if i = Cfg.entry cfg then A.boundary else A.init in
+      List.fold_left
+        (fun acc p -> A.join acc (refine_edge p i at_exit.(p)))
+        base (Cfg.predecessors cfg i)
+    | Backward -> (
+      match Cfg.successors cfg i with
+      | [] -> A.boundary (* Return terminator *)
+      | succs ->
+        List.fold_left
+          (fun acc s -> A.join acc (refine_edge i s at_entry.(s)))
+          A.init succs)
+  in
+  let apply_block i input =
+    let b = Cfg.block cfg i in
+    match A.direction with
+    | Forward ->
+      let acc = ref input in
+      List.iteri
+        (fun k instr -> acc := A.transfer { block = i; index = k } instr !acc)
+        b.Block.instrs;
+      A.transfer_term i b.Block.term !acc
+    | Backward ->
+      let acc = ref (A.transfer_term i b.Block.term input) in
+      let instrs = Array.of_list b.Block.instrs in
+      for k = Array.length instrs - 1 downto 0 do
+        acc := A.transfer { block = i; index = k } instrs.(k) !acc
+      done;
+      !acc
+  in
+  let dependents i =
+    match A.direction with
+    | Forward -> Cfg.successors cfg i
+    | Backward -> Cfg.predecessors cfg i
+  in
+  while not (Worklist.is_empty !work) do
+    let ((_, i) as item) = Worklist.min_elt !work in
+    work := Worklist.remove item !work;
+    let input = input_of i in
+    let input =
+      match A.widen with
+      | Some w when visits.(i) >= widen_threshold -> w stored_in.(i) input
+      | Some _ | None -> input
+    in
+    let first = visits.(i) = 0 in
+    visits.(i) <- visits.(i) + 1;
+    (* block-level cache: an unchanged input needs no re-transfer *)
+    if first || not (A.equal input stored_in.(i)) then begin
+      incr iterations;
+      stored_in.(i) <- input;
+      let out = apply_block i input in
+      let out_changed = not (A.equal out stored_out.(i)) in
+      stored_out.(i) <- out;
+      if first || out_changed then List.iter push (dependents i)
+    end
+  done;
+  { at_entry; at_exit; iterations = !iterations }
+
+let solve (type a) (module A : ANALYSIS with type t = a) cfg : a solution =
+  if not (Hypar_obs.Sink.enabled ()) then solve_raw (module A) cfg
+  else
+    Hypar_obs.Span.with_ ~cat:"dataflow" ("dataflow." ^ A.name) (fun () ->
+        let sol = solve_raw (module A) cfg in
+        Hypar_obs.Counter.incr
+          ("dataflow." ^ A.name ^ ".iterations")
+          ~by:sol.iterations;
+        sol)
+
+(* One decreasing (narrowing) sweep.  A widened fixpoint sits above the
+   least fixpoint; re-applying the (monotone) transfer functions from it
+   descends back towards the least fixpoint while staying above it, so
+   stopping after any number of sweeps is sound.  Edge refinement runs
+   again too — this is what recovers branch-derived bounds that widening
+   blew away. *)
+let refine (type a) (module A : ANALYSIS with type t = a) cfg
+    (sol : a solution) : a solution =
+  let at_entry = Array.copy sol.at_entry in
+  let at_exit = Array.copy sol.at_exit in
+  let order =
+    match A.direction with
+    | Forward -> Cfg.reverse_postorder cfg
+    | Backward -> List.rev (Cfg.reverse_postorder cfg)
+  in
+  let stored_in =
+    match A.direction with Forward -> at_entry | Backward -> at_exit
+  in
+  let stored_out =
+    match A.direction with Forward -> at_exit | Backward -> at_entry
+  in
+  let refine_edge pred_id target_id v =
+    match A.edge with
+    | None -> v
+    | Some f ->
+      f (Cfg.block cfg pred_id) (Cfg.block cfg target_id).Block.label v
+  in
+  let input_of i =
+    match A.direction with
+    | Forward ->
+      let base = if i = Cfg.entry cfg then A.boundary else A.init in
+      List.fold_left
+        (fun acc p -> A.join acc (refine_edge p i at_exit.(p)))
+        base (Cfg.predecessors cfg i)
+    | Backward -> (
+      match Cfg.successors cfg i with
+      | [] -> A.boundary
+      | succs ->
+        List.fold_left
+          (fun acc s -> A.join acc (refine_edge i s at_entry.(s)))
+          A.init succs)
+  in
+  let apply_block i input =
+    let b = Cfg.block cfg i in
+    match A.direction with
+    | Forward ->
+      let acc = ref input in
+      List.iteri
+        (fun k instr -> acc := A.transfer { block = i; index = k } instr !acc)
+        b.Block.instrs;
+      A.transfer_term i b.Block.term !acc
+    | Backward ->
+      let acc = ref (A.transfer_term i b.Block.term input) in
+      let instrs = Array.of_list b.Block.instrs in
+      for k = Array.length instrs - 1 downto 0 do
+        acc := A.transfer { block = i; index = k } instrs.(k) !acc
+      done;
+      !acc
+  in
+  List.iter
+    (fun i ->
+      let input = input_of i in
+      stored_in.(i) <- input;
+      stored_out.(i) <- apply_block i input)
+    order;
+  { at_entry; at_exit; iterations = sol.iterations }
+
+let instr_facts (type a) (module A : ANALYSIS with type t = a) cfg
+    (sol : a solution) i =
+  let b = Cfg.block cfg i in
+  match A.direction with
+  | Forward ->
+    (* fact immediately before each instruction *)
+    let acc = ref sol.at_entry.(i) in
+    List.mapi
+      (fun k instr ->
+        let before = !acc in
+        acc := A.transfer { block = i; index = k } instr before;
+        (instr, before))
+      b.Block.instrs
+  | Backward ->
+    (* fact immediately after each instruction, in program order *)
+    let instrs = Array.of_list b.Block.instrs in
+    let m = Array.length instrs in
+    let facts = Array.make m sol.at_exit.(i) in
+    let acc = ref (A.transfer_term i b.Block.term sol.at_exit.(i)) in
+    for k = m - 1 downto 0 do
+      facts.(k) <- !acc;
+      acc := A.transfer { block = i; index = k } instrs.(k) !acc
+    done;
+    Array.to_list (Array.mapi (fun k instr -> (instr, facts.(k))) instrs)
+
+let term_fact (type a) (module A : ANALYSIS with type t = a) cfg
+    (sol : a solution) i =
+  let b = Cfg.block cfg i in
+  match A.direction with
+  | Forward ->
+    let acc = ref sol.at_entry.(i) in
+    List.iteri
+      (fun k instr -> acc := A.transfer { block = i; index = k } instr !acc)
+      b.Block.instrs;
+    !acc
+  | Backward -> A.transfer_term i b.Block.term sol.at_exit.(i)
+
+(* --- shared containers -------------------------------------------------- *)
+
+module Int_map = Map.Make (Int)
+module String_map = Map.Make (String)
+module Int_set = Set.Make (Int)
+
+module Pos_set = Set.Make (struct
+  type t = pos
+
+  let compare = compare
+end)
+
+(* --- reaching definitions ----------------------------------------------- *)
+
+module Reaching = struct
+  type reaching = Pos_set.t Int_map.t
+  type t = reaching
+
+  let name = "reaching"
+  let direction = Forward
+  let init = Int_map.empty
+  let boundary = Int_map.empty
+  let join = Int_map.union (fun _ a b -> Some (Pos_set.union a b))
+  let equal = Int_map.equal Pos_set.equal
+
+  let transfer p instr env =
+    match Instr.def instr with
+    | Some d -> Int_map.add d.Instr.vid (Pos_set.singleton p) env
+    | None -> env
+
+  let transfer_term _ _ env = env
+  let edge = None
+  let widen = None
+
+  let sites vid env =
+    match Int_map.find_opt vid env with
+    | Some s -> Pos_set.elements s
+    | None -> []
+end
+
+(* --- available expressions ---------------------------------------------- *)
+
+module Avail = struct
+  type avail = All | Known of Instr.var String_map.t
+  type t = avail
+
+  let name = "avail"
+  let direction = Forward
+  let init = All
+  let boundary = Known String_map.empty
+
+  let join a b =
+    match (a, b) with
+    | All, x | x, All -> x
+    | Known m1, Known m2 ->
+      Known
+        (String_map.merge
+           (fun _ a b ->
+             match (a, b) with
+             | Some v1, Some v2 when Instr.var_equal v1 v2 -> Some v1
+             | _ -> None)
+           m1 m2)
+
+  let equal a b =
+    match (a, b) with
+    | All, All -> true
+    | Known m1, Known m2 -> String_map.equal Instr.var_equal m1 m2
+    | All, Known _ | Known _, All -> false
+
+  (* does an expression key read this register?  operand keys are
+     colon-separated ["v<id>"] / ["#<imm>"] atoms (see Instr.expr_key) *)
+  let key_mentions key vid =
+    let atom = "v" ^ string_of_int vid in
+    List.mem atom (String.split_on_char ':' key)
+
+  let kill_var m (v : Instr.var) =
+    String_map.filter
+      (fun key cached ->
+        (not (Instr.var_equal cached v)) && not (key_mentions key v.Instr.vid))
+      m
+
+  let kill_array m arr =
+    String_map.filter
+      (fun key _ ->
+        match String.split_on_char ':' key with
+        | "load" :: a :: _ -> a <> arr
+        | _ -> true)
+      m
+
+  let transfer _ instr t =
+    match t with
+    | All -> All
+    | Known m ->
+      if Instr.is_store instr then
+        Known
+          (match Instr.accessed_array instr with
+          | Some arr -> kill_array m arr
+          | None -> m)
+      else
+        let m =
+          match Instr.def instr with Some d -> kill_var m d | None -> m
+        in
+        Known
+          (match (Instr.expr_key instr, Instr.def instr) with
+          | Some key, Some dst ->
+            (* x = x + 1 is stale the moment it is computed *)
+            let self_referential =
+              List.exists
+                (fun v -> Instr.var_equal v dst)
+                (Instr.used_vars instr)
+            in
+            if self_referential then m else String_map.add key dst m
+          | _ -> m)
+
+  let transfer_term _ _ t = t
+  let edge = None
+  let widen = None
+
+  let find key = function
+    | All -> None
+    | Known m -> String_map.find_opt key m
+end
+
+(* --- constant lattice ---------------------------------------------------- *)
+
+module Consts = struct
+  type consts = Unreached | Env of int Int_map.t
+  type t = consts
+
+  let name = "consts"
+  let direction = Forward
+  let init = Unreached
+  let boundary = Env Int_map.empty
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Env m1, Env m2 ->
+      Env
+        (Int_map.merge
+           (fun _ a b ->
+             match (a, b) with
+             | Some x, Some y when x = y -> Some x
+             | _ -> None)
+           m1 m2)
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Env m1, Env m2 -> Int_map.equal ( = ) m1 m2
+    | Unreached, Env _ | Env _, Unreached -> false
+
+  let value m = function
+    | Instr.Imm n -> Some n
+    | Instr.Var v -> Int_map.find_opt v.Instr.vid m
+
+  let set (d : Instr.var) v m =
+    match v with
+    | Some n -> Int_map.add d.Instr.vid n m
+    | None -> Int_map.remove d.Instr.vid m
+
+  (* mirrors the folding decisions of Passes.const_fold: divisions only
+     fold on a non-zero constant divisor, selects only on a constant
+     condition *)
+  let transfer _ instr t =
+    match t with
+    | Unreached -> Unreached
+    | Env m ->
+      Env
+        (match instr with
+        | Instr.Bin { dst; op; a; b } ->
+          set dst
+            (match (value m a, value m b) with
+            | Some x, Some y -> Some (Types.eval_alu_op op x y)
+            | _ -> None)
+            m
+        | Instr.Mul { dst; a; b } ->
+          set dst
+            (match (value m a, value m b) with
+            | Some x, Some y -> Some (x * y)
+            | _ -> None)
+            m
+        | Instr.Div { dst; a; b } ->
+          set dst
+            (match (value m a, value m b) with
+            | Some x, Some y when y <> 0 -> Some (x / y)
+            | _ -> None)
+            m
+        | Instr.Rem { dst; a; b } ->
+          set dst
+            (match (value m a, value m b) with
+            | Some x, Some y when y <> 0 -> Some (x mod y)
+            | _ -> None)
+            m
+        | Instr.Un { dst; op; a } ->
+          set dst
+            (match value m a with
+            | Some x -> Some (Types.eval_un_op op x)
+            | None -> None)
+            m
+        | Instr.Mov { dst; src } -> set dst (value m src) m
+        | Instr.Select { dst; cond; if_true; if_false } ->
+          set dst
+            (match value m cond with
+            | Some c -> value m (if c <> 0 then if_true else if_false)
+            | None -> None)
+            m
+        | Instr.Load { dst; _ } -> set dst None m
+        | Instr.Store _ -> m)
+
+  let transfer_term _ _ t = t
+
+  (* conditional constant propagation: the not-taken side of a branch
+     whose condition is a known constant contributes nothing *)
+  let edge =
+    Some
+      (fun (pred : Block.t) target v ->
+        match v with
+        | Unreached -> Unreached
+        | Env m -> (
+          match pred.Block.term with
+          | Block.Branch { cond; if_true; if_false } when if_true <> if_false
+            -> (
+            match value m cond with
+            | Some c ->
+              let taken = if c <> 0 then if_true else if_false in
+              if target = taken then v else Unreached
+            | None -> v)
+          | Block.Branch _ | Block.Jump _ | Block.Return _ -> v))
+
+  let widen = None
+
+  let find vid = function
+    | Unreached -> None
+    | Env m -> Int_map.find_opt vid m
+end
+
+(* --- copy lattice -------------------------------------------------------- *)
+
+module Copies = struct
+  type copies = All | Env of Instr.operand Int_map.t
+  type t = copies
+
+  let name = "copies"
+  let direction = Forward
+  let init = All
+  let boundary = Env Int_map.empty
+
+  let operand_equal a b =
+    match (a, b) with
+    | Instr.Var v1, Instr.Var v2 -> Instr.var_equal v1 v2
+    | Instr.Imm n1, Instr.Imm n2 -> n1 = n2
+    | (Instr.Var _ | Instr.Imm _), (Instr.Var _ | Instr.Imm _) -> false
+
+  let join a b =
+    match (a, b) with
+    | All, x | x, All -> x
+    | Env m1, Env m2 ->
+      Env
+        (Int_map.merge
+           (fun _ a b ->
+             match (a, b) with
+             | Some s1, Some s2 when operand_equal s1 s2 -> Some s1
+             | _ -> None)
+           m1 m2)
+
+  let equal a b =
+    match (a, b) with
+    | All, All -> true
+    | Env m1, Env m2 -> Int_map.equal operand_equal m1 m2
+    | All, Env _ | Env _, All -> false
+
+  (* a redefinition of [d] kills both the copy *of* d and every copy
+     *from* d *)
+  let kill m (d : Instr.var) =
+    Int_map.filter
+      (fun vid src ->
+        vid <> d.Instr.vid
+        &&
+        match src with
+        | Instr.Var v -> v.Instr.vid <> d.Instr.vid
+        | Instr.Imm _ -> true)
+      m
+
+  let transfer _ instr t =
+    match t with
+    | All -> All
+    | Env m ->
+      Env
+        (match instr with
+        | Instr.Mov { dst; src } -> (
+          let m = kill m dst in
+          match src with
+          | Instr.Var v when v.Instr.vid = dst.Instr.vid -> m
+          | src -> Int_map.add dst.Instr.vid src m)
+        | instr -> (
+          match Instr.def instr with Some d -> kill m d | None -> m))
+
+  let transfer_term _ _ t = t
+  let edge = None
+  let widen = None
+
+  let find vid = function
+    | All -> None
+    | Env m -> Int_map.find_opt vid m
+end
+
+(* --- definite assignment ------------------------------------------------- *)
+
+module Assigned = struct
+  type assigned = All | Known of Int_set.t
+  type t = assigned
+
+  let name = "assigned"
+  let direction = Forward
+  let init = All
+  let boundary = Known Int_set.empty
+
+  let join a b =
+    match (a, b) with
+    | All, x | x, All -> x
+    | Known s1, Known s2 -> Known (Int_set.inter s1 s2)
+
+  let equal a b =
+    match (a, b) with
+    | All, All -> true
+    | Known s1, Known s2 -> Int_set.equal s1 s2
+    | All, Known _ | Known _, All -> false
+
+  let transfer _ instr t =
+    match t with
+    | All -> All
+    | Known s -> (
+      match Instr.def instr with
+      | Some d -> Known (Int_set.add d.Instr.vid s)
+      | None -> t)
+
+  let transfer_term _ _ t = t
+  let edge = None
+  let widen = None
+
+  let mem vid = function All -> true | Known s -> Int_set.mem vid s
+end
+
+(* --- liveness ------------------------------------------------------------ *)
+
+module Liveness = struct
+  type live = Instr.var Int_map.t
+  type t = live
+
+  let name = "liveness"
+  let direction = Backward
+  let init = Int_map.empty
+  let boundary = Int_map.empty
+  let join = Int_map.union (fun _ v _ -> Some v)
+  let equal = Int_map.equal (fun _ _ -> true)
+
+  let add_operand op live =
+    match op with
+    | Instr.Var v -> Int_map.add v.Instr.vid v live
+    | Instr.Imm _ -> live
+
+  (* live-before = uses U (live-after \ def) *)
+  let transfer _ instr live =
+    let live =
+      match Instr.def instr with
+      | Some d -> Int_map.remove d.Instr.vid live
+      | None -> live
+    in
+    List.fold_left
+      (fun acc (v : Instr.var) -> Int_map.add v.Instr.vid v acc)
+      live (Instr.used_vars instr)
+
+  let transfer_term _ term live =
+    match term with
+    | Block.Jump _ | Block.Return None -> live
+    | Block.Branch { cond; _ } -> add_operand cond live
+    | Block.Return (Some op) -> add_operand op live
+
+  let edge = None
+  let widen = None
+end

@@ -1,0 +1,195 @@
+(** Lattice-parameterised forward/backward data-flow solver over {!Cfg.t}.
+
+    The paper's flow leans on clean CDFGs; SUIF gave the authors global
+    data-flow analyses for free.  This module is our equivalent: one
+    worklist solver, parameterised by a first-class {!module-type:ANALYSIS}
+    module (lattice value, join, transfer), shared by liveness
+    ({!Live}), the global optimiser passes in {!Passes}
+    (constant/copy propagation, CSE, DCE) and the [hypar analyze]
+    diagnostics engine.
+
+    The solver iterates blocks in reverse postorder (postorder for
+    backward analyses), keeps a priority worklist, and caches block
+    inputs: a block whose join-of-predecessors did not change since its
+    last visit is not re-transferred.  Blocks unreachable from the entry
+    are never visited and keep {!ANALYSIS.init} on both sides.  When the
+    {!Hypar_obs} sink is enabled each solve runs under a
+    [dataflow.<name>] span and publishes a
+    [dataflow.<name>.iterations] counter. *)
+
+type direction = Forward | Backward
+
+type pos = { block : int; index : int }
+(** Position of an instruction: dense block id and index in the block. *)
+
+(** One data-flow analysis: a join-semilattice of facts and transfer
+    functions over instructions and terminators. *)
+module type ANALYSIS = sig
+  type t
+  (** A lattice fact. *)
+
+  val name : string
+  (** Used for spans/counters and error messages. *)
+
+  val direction : direction
+
+  val init : t
+  (** Optimistic value assumed for a block not yet visited (the lattice
+      bottom for may-analyses, top for must-analyses: [All]-style values
+      make intersection joins start optimistically). *)
+
+  val boundary : t
+  (** The value holding at the program boundary: at the entry block's
+      entry for a forward analysis, after every [Return] terminator for a
+      backward one. *)
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+
+  val transfer : pos -> Instr.t -> t -> t
+  (** Fact after (forward) / before (backward) one instruction. *)
+
+  val transfer_term : int -> Block.terminator -> t -> t
+  (** Same for the block's terminator; the [int] is the block id. *)
+
+  val edge : (Block.t -> Block.label -> t -> t) option
+  (** Optional edge refinement: [f pred target v] filters the fact
+      flowing along the CFG edge from block [pred] to the block labelled
+      [target] (e.g. pruning the not-taken side of a branch whose
+      condition is a known constant, or narrowing an interval under the
+      branch condition).  Must only lower the value (return something
+      [<= v] in the lattice order) to keep the fixpoint sound. *)
+
+  val widen : (t -> t -> t) option
+  (** Optional widening [widen old_input new_input], applied to a block's
+      input after it has been visited {!widen_threshold} times.  Required
+      for infinite-height lattices (intervals); [None] for finite ones. *)
+end
+
+val widen_threshold : int
+(** Number of visits to a block before {!ANALYSIS.widen} kicks in. *)
+
+type 'a solution = {
+  at_entry : 'a array;  (** fact at each block's entry, in program order *)
+  at_exit : 'a array;  (** fact at each block's exit, in program order *)
+  iterations : int;  (** block transfers the worklist performed *)
+}
+
+val solve : (module ANALYSIS with type t = 'a) -> Cfg.t -> 'a solution
+(** Maximal-fixpoint solution.  For a backward analysis [at_exit] is the
+    join over successors and [at_entry] the result of transferring the
+    block — the program-order naming is kept in both directions. *)
+
+val refine :
+  (module ANALYSIS with type t = 'a) -> Cfg.t -> 'a solution -> 'a solution
+(** One decreasing (narrowing) sweep: every block's input is recomputed
+    from the current neighbour facts (edge refinement included) and its
+    transfer replayed, unconditionally.  A {!solve} result sits at or
+    above the least fixpoint, and monotone transfers keep each sweep
+    there, so calling this a bounded number of times after a widened
+    solve is sound — and recovers the precision (branch-derived bounds in
+    particular) that {!ANALYSIS.widen} discarded.  Analyses without
+    [widen] gain nothing: {!solve} already reached their fixpoint. *)
+
+val instr_facts :
+  (module ANALYSIS with type t = 'a) -> Cfg.t -> 'a solution -> int ->
+  (Instr.t * 'a) list
+(** Replay the block's transfer to recover per-instruction facts: for a
+    forward analysis each instruction is paired with the fact holding
+    immediately {e before} it; for a backward analysis with the fact
+    holding immediately {e after} it (in program order) — exactly the
+    side a rewriting or diagnostic client needs. *)
+
+val term_fact :
+  (module ANALYSIS with type t = 'a) -> Cfg.t -> 'a solution -> int -> 'a
+(** The fact holding between the last instruction and the terminator. *)
+
+module Int_map : Map.S with type key = int
+module String_map : Map.S with type key = string
+module Int_set : Set.S with type elt = int
+
+module Pos_set : Set.S with type elt = pos
+
+(** {2 The classic global analyses}
+
+    Each is a plain module satisfying {!module-type:ANALYSIS}, so it can be
+    passed to {!solve} as [(module Reaching)] and its [transfer] reused
+    directly by rewriting passes threading facts through a block. *)
+
+(** Reaching definitions (forward, may): which definition sites can
+    produce the current value of each register. *)
+module Reaching : sig
+  type reaching = Pos_set.t Int_map.t
+  (** register id -> the definition sites that may reach this point. *)
+
+  include ANALYSIS with type t = reaching
+
+  val sites : int -> reaching -> pos list
+  (** Definition sites of a register id, sorted; [[]] when none reach. *)
+end
+
+(** Available expressions (forward, must): pure expressions already
+    computed on every path, keyed by {!Instr.expr_key}, with the register
+    still holding each result.  Loads are available until a store to the
+    same array; any expression dies when an operand or its cached
+    register is redefined. *)
+module Avail : sig
+  type avail =
+    | All  (** top: unvisited — every expression optimistically available *)
+    | Known of Instr.var String_map.t
+
+  include ANALYSIS with type t = avail
+
+  val find : string -> avail -> Instr.var option
+  (** The register holding an available expression key, if any. *)
+end
+
+(** Constant lattice (forward, conditional): registers with one known
+    compile-time value.  The {!ANALYSIS.edge} hook prunes branch edges
+    whose condition is a known constant, so code behind a statically
+    decided branch keeps (rather than pollutes) the constant facts. *)
+module Consts : sig
+  type consts =
+    | Unreached  (** bottom: no execution reaches this point *)
+    | Env of int Int_map.t  (** register id -> known value; absent = varying *)
+
+  include ANALYSIS with type t = consts
+
+  val find : int -> consts -> int option
+end
+
+(** Copy lattice (forward, must): registers currently holding an exact
+    copy of another operand ([x = y] or [x = 7]).  A fact dies when
+    either side is redefined. *)
+module Copies : sig
+  type copies =
+    | All  (** top: unvisited *)
+    | Env of Instr.operand Int_map.t
+
+  include ANALYSIS with type t = copies
+
+  val find : int -> copies -> Instr.operand option
+end
+
+(** Definite assignment (forward, must): registers assigned on {e every}
+    path from the entry — the complement is "possibly read before
+    assignment" ([hypar analyze] code A001). *)
+module Assigned : sig
+  type assigned =
+    | All  (** top: unvisited *)
+    | Known of Int_set.t
+
+  include ANALYSIS with type t = assigned
+
+  val mem : int -> assigned -> bool
+end
+
+(** Liveness (backward, may): registers whose current value may still be
+    read.  {!Live} wraps this into the block-level API the partitioning
+    engine consumes. *)
+module Liveness : sig
+  type live = Instr.var Int_map.t
+  (** register id -> the variable (kept for name/width reporting). *)
+
+  include ANALYSIS with type t = live
+end

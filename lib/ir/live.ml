@@ -1,4 +1,4 @@
-module Var_map = Map.Make (Int)
+module Var_map = Dataflow.Int_map
 
 type var_set = Instr.var Var_map.t
 
@@ -25,47 +25,13 @@ let use_def_sets (b : Block.t) =
 
 let use_set cfg i = to_sorted_list (fst (use_def_sets (Cfg.block cfg i)))
 
+(* The fixpoint itself lives in {!Dataflow}: liveness is the backward
+   may-analysis [Dataflow.Liveness], and this module only repackages the
+   solution into the block-level sets the partitioning engine consumes.
+   [Dataflow.Liveness.live] and [var_set] are the same map type. *)
 let analyse cfg =
-  let n = Cfg.block_count cfg in
-  let use = Array.make n Var_map.empty in
-  let def = Array.make n Var_map.empty in
-  for i = 0 to n - 1 do
-    let u, d = use_def_sets (Cfg.block cfg i) in
-    use.(i) <- u;
-    def.(i) <- d
-  done;
-  let live_in = Array.make n Var_map.empty in
-  let live_out = Array.make n Var_map.empty in
-  let changed = ref true in
-  (* Standard backward data-flow fixpoint; iterating blocks in reverse
-     postorder reversed converges quickly on reducible CFGs. *)
-  let order = List.rev (Cfg.reverse_postorder cfg) in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun i ->
-        let out =
-          List.fold_left
-            (fun acc s -> Var_map.union (fun _ v _ -> Some v) acc live_in.(s))
-            Var_map.empty (Cfg.successors cfg i)
-        in
-        let inn =
-          Var_map.union
-            (fun _ v _ -> Some v)
-            use.(i)
-            (Var_map.filter (fun vid _ -> not (Var_map.mem vid def.(i))) out)
-        in
-        if not (Var_map.equal (fun _ _ -> true) out live_out.(i)) then begin
-          live_out.(i) <- out;
-          changed := true
-        end;
-        if not (Var_map.equal (fun _ _ -> true) inn live_in.(i)) then begin
-          live_in.(i) <- inn;
-          changed := true
-        end)
-      order
-  done;
-  { cfg; live_in; live_out }
+  let sol = Dataflow.solve (module Dataflow.Liveness) cfg in
+  { cfg; live_in = sol.Dataflow.at_entry; live_out = sol.Dataflow.at_exit }
 
 let live_in t i = to_sorted_list t.live_in.(i)
 let live_out t i = to_sorted_list t.live_out.(i)

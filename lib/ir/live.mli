@@ -3,7 +3,8 @@
     The partitioning engine prices the shared-memory traffic of a kernel
     moved to the coarse-grain data-path (Eq. 2's [t_comm]) from the
     kernel's live-in and live-out scalar sets, which this module
-    computes. *)
+    computes.  The fixpoint is {!Dataflow.Liveness} solved by
+    {!Dataflow.solve}; this module exposes the block-level view. *)
 
 type t
 

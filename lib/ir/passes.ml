@@ -13,7 +13,14 @@ let checked ?verify name pass cdfg =
       Verify.check_exn ~context:name out;
     if Hypar_obs.Sink.enabled () then begin
       Hypar_obs.Counter.set "ir.blocks" (Cdfg.block_count out);
-      Hypar_obs.Counter.set "ir.instrs" (Cdfg.total_instrs out)
+      Hypar_obs.Counter.set "ir.instrs" (Cdfg.total_instrs out);
+      (* per-pass shrink accounting, surfaced by [hypar ... --stats] *)
+      let di = Cdfg.total_instrs cdfg - Cdfg.total_instrs out in
+      if di > 0 then
+        Hypar_obs.Counter.incr ("ir.shrink." ^ name ^ ".instrs") ~by:di;
+      let db = Cdfg.block_count cdfg - Cdfg.block_count out in
+      if db > 0 then
+        Hypar_obs.Counter.incr ("ir.shrink." ^ name ^ ".blocks") ~by:db
     end;
     out
   in
@@ -35,8 +42,9 @@ let map_blocks f cdfg =
 
 (* --- constant folding ------------------------------------------------ *)
 
-let const_fold_block (b : Block.t) =
+let const_fold_block ?(seed = []) (b : Block.t) =
   let known : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (vid, n) -> Hashtbl.replace known vid n) seed;
   let subst = function
     | Instr.Imm n -> Instr.Imm n
     | Instr.Var v -> (
@@ -139,7 +147,7 @@ let const_fold_block (b : Block.t) =
   in
   { b with instrs; term = subst_term b.Block.term }
 
-let const_fold cdfg = map_blocks const_fold_block cdfg
+let const_fold cdfg = map_blocks (const_fold_block ?seed:None) cdfg
 
 (* --- algebraic simplification / strength reduction -------------------- *)
 
@@ -197,38 +205,9 @@ let algebraic_simplify cdfg =
 
 (* --- local common-subexpression elimination ---------------------------- *)
 
-let operand_key = function
-  | Instr.Var v -> Printf.sprintf "v%d" v.Instr.vid
-  | Instr.Imm n -> Printf.sprintf "#%d" n
-
-let expr_key (instr : Instr.t) : string option =
-  match instr with
-  | Instr.Bin { op; a; b; _ } ->
-    (* exploit commutativity for a canonical key *)
-    let ka = operand_key a and kb = operand_key b in
-    let ka, kb =
-      match op with
-      | Types.Add | Types.And | Types.Or | Types.Xor | Types.Eq | Types.Ne
-      | Types.Min | Types.Max ->
-        if ka <= kb then (ka, kb) else (kb, ka)
-      | Types.Sub | Types.Shl | Types.Shr | Types.Ashr | Types.Lt | Types.Le
-      | Types.Gt | Types.Ge ->
-        (ka, kb)
-    in
-    Some (Printf.sprintf "bin:%s:%s:%s" (Types.string_of_alu_op op) ka kb)
-  | Instr.Mul { a; b; _ } ->
-    let ka = operand_key a and kb = operand_key b in
-    let ka, kb = if ka <= kb then (ka, kb) else (kb, ka) in
-    Some (Printf.sprintf "mul:%s:%s" ka kb)
-  | Instr.Un { op; a; _ } ->
-    Some (Printf.sprintf "un:%s:%s" (Types.string_of_un_op op) (operand_key a))
-  | Instr.Select { cond; if_true; if_false; _ } ->
-    Some
-      (Printf.sprintf "sel:%s:%s:%s" (operand_key cond) (operand_key if_true)
-         (operand_key if_false))
-  | Instr.Load { arr; index; _ } ->
-    Some (Printf.sprintf "load:%s:%s" arr (operand_key index))
-  | Instr.Div _ | Instr.Rem _ | Instr.Mov _ | Instr.Store _ -> None
+(* the canonical keys now live in {!Instr} so {!Dataflow.Avail} can share
+   them *)
+let expr_key = Instr.expr_key
 
 let cse_block (b : Block.t) =
   let available : (string, Instr.var) Hashtbl.t = Hashtbl.create 32 in
@@ -310,9 +289,10 @@ let common_subexpressions cdfg = map_blocks cse_block cdfg
 
 (* --- copy propagation ------------------------------------------------ *)
 
-let copy_propagate_block (b : Block.t) =
+let copy_propagate_block ?(seed = []) (b : Block.t) =
   (* copies: dst id -> source operand still valid at this point *)
   let copies : (int, Instr.operand) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (vid, src) -> Hashtbl.replace copies vid src) seed;
   let subst = function
     | Instr.Imm n -> Instr.Imm n
     | Instr.Var v -> (
@@ -386,7 +366,82 @@ let copy_propagate_block (b : Block.t) =
   in
   { b with instrs; term }
 
-let copy_propagate cdfg = map_blocks copy_propagate_block cdfg
+let copy_propagate cdfg = map_blocks (copy_propagate_block ?seed:None) cdfg
+
+(* --- global (dataflow-backed) passes ----------------------------------- *)
+
+(* Each global pass solves one {!Dataflow} analysis and re-runs the
+   corresponding local rewrite seeded with the facts holding at block
+   entry, so code straddling block boundaries optimises exactly like
+   straight-line code.  Blocks the analysis proves unreachable
+   ([Unreached]/[All] at entry) are rewritten without a seed: their facts
+   are vacuous and seeding from them would be meaningless. *)
+
+let global_const_propagate cdfg =
+  let sol = Dataflow.solve (module Dataflow.Consts) (Cdfg.cfg cdfg) in
+  let blocks =
+    List.map
+      (fun i ->
+        let b = (Cdfg.info cdfg i).Cdfg.block in
+        match sol.Dataflow.at_entry.(i) with
+        | Dataflow.Consts.Env m ->
+          const_fold_block ~seed:(Dataflow.Int_map.bindings m) b
+        | Dataflow.Consts.Unreached -> const_fold_block b)
+      (Cdfg.block_ids cdfg)
+  in
+  rebuild cdfg blocks
+
+let global_copy_propagate cdfg =
+  let sol = Dataflow.solve (module Dataflow.Copies) (Cdfg.cfg cdfg) in
+  let blocks =
+    List.map
+      (fun i ->
+        let b = (Cdfg.info cdfg i).Cdfg.block in
+        match sol.Dataflow.at_entry.(i) with
+        | Dataflow.Copies.Env m ->
+          copy_propagate_block ~seed:(Dataflow.Int_map.bindings m) b
+        | Dataflow.Copies.All -> copy_propagate_block b)
+      (Cdfg.block_ids cdfg)
+  in
+  rebuild cdfg blocks
+
+let global_cse cdfg =
+  let cfg = Cdfg.cfg cdfg in
+  let sol = Dataflow.solve (module Dataflow.Avail) cfg in
+  let rewrite i (b : Block.t) =
+    match sol.Dataflow.at_entry.(i) with
+    | Dataflow.Avail.All -> b (* unreachable: no facts to seed from *)
+    | Dataflow.Avail.Known _ ->
+      (* thread Avail's own transfer over the original instructions; a
+         pure instruction recomputing an expression available here
+         becomes a move from the register still holding it *)
+      let fact = ref sol.Dataflow.at_entry.(i) in
+      let instrs =
+        List.mapi
+          (fun k instr ->
+            let replacement =
+              match (Instr.expr_key instr, Instr.def instr) with
+              | Some key, Some dst -> (
+                match Dataflow.Avail.find key !fact with
+                | Some cached when not (Instr.var_equal cached dst) ->
+                  Some (Instr.Mov { dst; src = Var cached })
+                | Some _ | None -> None)
+              | _ -> None
+            in
+            fact :=
+              Dataflow.Avail.transfer
+                { Dataflow.block = i; index = k }
+                instr !fact;
+            Option.value replacement ~default:instr)
+          b.Block.instrs
+      in
+      { b with Block.instrs }
+  in
+  let blocks =
+    List.map (fun i -> rewrite i (Cdfg.info cdfg i).Cdfg.block)
+      (Cdfg.block_ids cdfg)
+  in
+  rebuild cdfg blocks
 
 (* --- dead-code elimination ------------------------------------------- *)
 
@@ -678,11 +733,22 @@ let simplify ?(max_rounds = 8) ?verify cdfg =
   in
   go 0 cdfg
 
+(* one global round: propagate facts across block boundaries, then let
+   the local fixpoint and the CFG clean-up collect the now-dead code and
+   the arms of statically decided branches *)
+let global_round ?verify c =
+  let step = checked ?verify in
+  step "global_const_propagate" global_const_propagate c
+  |> step "global_copy_propagate" global_copy_propagate
+  |> step "global_cse" global_cse
+  |> simplify ?verify
+  |> step "simplify_cfg" simplify_cfg
+
 let optimize ?verify cdfg =
   let step = checked ?verify in
   step "input" Fun.id cdfg
   |> simplify ?verify
   |> step "simplify_cfg" simplify_cfg
+  |> global_round ?verify
   |> step "loop_invariant_motion" loop_invariant_motion
-  |> simplify ?verify
-  |> step "simplify_cfg" simplify_cfg
+  |> global_round ?verify

@@ -3,9 +3,11 @@
     The frontend's lowering is deliberately naive (one temporary per
     expression node); these passes clean the result up before analysis and
     mapping, playing the role of the SUIF/MachineSUIF optimisation passes
-    the authors relied on.  All passes are semantics-preserving, per-block
-    (with a global liveness fixpoint backing dead-code elimination), and
-    idempotent at the {!simplify} fixpoint. *)
+    the authors relied on.  All passes are semantics-preserving.  The
+    local passes rewrite one block at a time; the [global_*] passes seed
+    the same rewrites with facts from a {!Dataflow} solve, so values
+    propagate across block boundaries (dead-code elimination was already
+    global via {!Live}). *)
 
 val verify_passes : bool ref
 (** Global default for pass-boundary IR verification ({!Verify.check}
@@ -67,6 +69,24 @@ val loop_invariant_motion : Cdfg.t -> Cdfg.t
     unique out-of-loop predecessor of the header — which the frontend's
     rotated-loop shape guarantees. *)
 
+val global_const_propagate : Cdfg.t -> Cdfg.t
+(** Global (conditional) constant propagation: runs {!const_fold}'s
+    block rewrite seeded with the {!Dataflow.Consts} facts at each block
+    entry.  Constants flow across block boundaries, branches on a
+    constant condition fold to jumps, and edges pruned by the constant
+    analysis do not pollute the facts of the surviving paths. *)
+
+val global_copy_propagate : Cdfg.t -> Cdfg.t
+(** Global copy propagation: {!copy_propagate}'s block rewrite seeded
+    with the {!Dataflow.Copies} facts at each block entry, forwarding
+    [Mov] sources across block boundaries. *)
+
+val global_cse : Cdfg.t -> Cdfg.t
+(** Global common-subexpression elimination: a pure instruction
+    recomputing an expression the {!Dataflow.Avail} must-analysis proves
+    available on every path becomes a move from the register still
+    holding it. *)
+
 val simplify : ?max_rounds:int -> ?verify:bool -> Cdfg.t -> Cdfg.t
 (** [const_fold → algebraic_simplify → copy_propagate →
     common_subexpressions → dead_code_eliminate] to a fixpoint (at most
@@ -74,7 +94,9 @@ val simplify : ?max_rounds:int -> ?verify:bool -> Cdfg.t -> Cdfg.t
     {!verify_passes}) every constituent pass is {!checked}. *)
 
 val optimize : ?verify:bool -> Cdfg.t -> Cdfg.t
-(** The default frontend pipeline: {!simplify} → {!simplify_cfg} →
-    {!loop_invariant_motion} (innermost loops first) → {!simplify} →
-    {!simplify_cfg}.  With verification on the input and every pass
-    output are {!checked}. *)
+(** The default frontend pipeline: {!simplify} → {!simplify_cfg} → one
+    global round ({!global_const_propagate} → {!global_copy_propagate} →
+    {!global_cse} → {!simplify} → {!simplify_cfg}) →
+    {!loop_invariant_motion} (innermost loops first) → a second global
+    round.  With verification on the input and every pass output are
+    {!checked}. *)

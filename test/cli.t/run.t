@@ -2,7 +2,7 @@ The hypar CLI end to end on a small FIR kernel.
 
 Kernel analysis (Table-1 style):
 
-  $ hypar analyze fir.mc --top 3
+  $ hypar kernels fir.mc --top 3
   fir.mc
   Basic Block no. | exec. freq. | Operations weight | Total weight
   ----------------+-------------+-------------------+-------------
@@ -41,7 +41,7 @@ The CFG export is valid DOT:
 The IR dump round-trips through any subcommand:
 
   $ hypar dump fir.mc > fir.ir
-  $ hypar analyze fir.ir --top 1
+  $ hypar kernels fir.ir --top 1
   fir.ir
   Basic Block no. | exec. freq. | Operations weight | Total weight
   ----------------+-------------+-------------------+-------------
@@ -209,6 +209,70 @@ rejected before partitioning starts:
   defs-before-uses(entry): registers read before any definition: ghost#7
   [3]
 
+The IR diagnostics engine (dataflow-backed A001-A008) inspects the CDFG
+as lowered, before optimisation.  On the FIR kernel it notes the
+rotated-loop pre-tests the optimiser will fold and the lowering's
+duplicated counter inits — and proves every array index in bounds:
+
+  $ hypar analyze fir.mc
+  fir.mc:BB0.term: note A004 [constant-branch]: branch condition is always true; only L0_for_body is ever taken
+  fir.mc:BB0.0: note A002 [dead-store]: value of i__1#0 is never read
+  fir.mc:BB1.term: note A004 [constant-branch]: branch condition is always true; only L2_for_body is ever taken
+  fir.mc:BB1.1: note A002 [dead-store]: value of t__3#3 is never read
+  4 findings
+
+After the optimisation pipeline the same program is clean:
+
+  $ hypar analyze fir.mc -O
+
+The corrupted IR the verifier rejects is still analysable — the ghost
+read surfaces as A001, and --deny makes it a CI gate:
+
+  $ hypar analyze broken.ir --deny use-before-def
+  broken.ir:BB0.0: note A001 [use-before-def]: ghost#7 may be read before any definition reaches it
+  1 finding
+  hypar: denied analyze codes present: A001
+  [1]
+
+An unknown code fails fast:
+
+  $ hypar analyze fir.mc --deny A999
+  hypar: unknown analyze code "A999" (use A001..A008 or a mnemonic)
+  [2]
+
+The messy kernel trips the other families (the interval analysis proves
+the division by the constant-zero denominator):
+
+  $ hypar analyze dirty.mc --max-findings 3
+  dirty.mc:BB0.term: note A004 [constant-branch]: branch condition is always true; only L0_for_body is ever taken
+  dirty.mc:BB0.1: note A002 [dead-store]: value of i__2#1 is never read
+  dirty.mc:BB1.term: note A004 [constant-branch]: branch condition is always false; only L3_join is ever taken
+  dirty.mc:BB1.1: note A002 [dead-store]: value of scale_w__4#4 is never read
+  dirty.mc:BB1.1: note A008 [write-only-variable]: scale_w__4#4 is written but never read
+  dirty.mc:BB1.3: note A002 [dead-store]: value of unused__6#6 is never read
+  dirty.mc:BB1.3: note A008 [write-only-variable]: unused__6#6 is written but never read
+  dirty.mc:BB1.4: note A002 [dead-store]: value of x__7#7 is never read
+  dirty.mc:BB1.5: note A002 [dead-store]: value of x__7#7 is never read
+  dirty.mc:BB3.1: note A006 [possible-div-by-zero]: divisor may be zero: inferred [0, 0]
+  10 findings
+  hypar: 10 findings exceed --max-findings 3
+  [1]
+
+Machine-readable findings for editor/CI integration:
+
+  $ hypar analyze dirty.mc --format json | head -6
+  {
+    "file": "dirty.mc",
+    "count": 10,
+    "findings": [
+      {"code": "A004", "name": "constant-branch", "block": 0, "index": -1, "message": "branch condition is always true; only L0_for_body is ever taken"},
+      {"code": "A002", "name": "dead-store", "block": 0, "index": 1, "message": "value of i__2#1 is never read"},
+
+The opt subcommand reports what the pipeline removed:
+
+  $ hypar opt fir.mc
+  fir.mc: 5 blocks / 18 instrs -> 5 blocks / 14 instrs (-4)
+
 Observability: --stats prints a per-stage breakdown on stderr.  Span and
 counter names and counts are deterministic; only the microsecond columns
 vary, so they are scrubbed:
@@ -222,12 +286,19 @@ vary, so they are scrubbed:
   minic.inline 1 T T
   minic.lower 1 T T
   ir.pass.input 1 T T
-  ir.pass.const_fold 3 T T
-  ir.pass.algebraic_simplify 3 T T
-  ir.pass.copy_propagate 3 T T
-  ir.pass.common_subexpressions 3 T T
-  ir.pass.dead_code_eliminate 3 T T
-  ir.pass.simplify_cfg 2 T T
+  ir.pass.const_fold 4 T T
+  ir.pass.algebraic_simplify 4 T T
+  ir.pass.copy_propagate 4 T T
+  ir.pass.common_subexpressions 4 T T
+  dataflow.liveness 7 T T
+  ir.pass.dead_code_eliminate 4 T T
+  ir.pass.simplify_cfg 3 T T
+  dataflow.consts 2 T T
+  ir.pass.global_const_propagate 2 T T
+  dataflow.copies 2 T T
+  ir.pass.global_copy_propagate 2 T T
+  dataflow.avail 2 T T
+  ir.pass.global_cse 2 T T
   ir.pass.loop_invariant_motion 1 T T
   minic.optimize 1 T T
   minic.compile 1 T T
@@ -241,6 +312,11 @@ vary, so they are scrubbed:
   engine.run 1 T T
   cli.partition 1 T T
   counter total
+  dataflow.liveness.iterations 49
+  ir.shrink.dead_code_eliminate.instrs 4
+  dataflow.consts.iterations 18
+  dataflow.copies.iterations 18
+  dataflow.avail.iterations 10
   profile.instrs_executed 3473
   profile.blocks_executed 562
   fine.temporal_partitions 4
@@ -257,23 +333,30 @@ and summarises per-name span counts:
 
   $ hypar partition fir.mc -t 8000 --trace run.json > /dev/null
   $ hypar trace run.json
-  run.json: 153 events, 50 spans, balanced, max depth 5
+  run.json: 241 events, 75 spans, balanced, max depth 5
     cgc.bind                         5
     cgc.schedule                     5
     cli.partition                    1
+    dataflow.avail                   2
+    dataflow.consts                  2
+    dataflow.copies                  2
+    dataflow.liveness                7
     engine.characterise              1
     engine.move                      1
     engine.run                       1
     fine.map_block                   5
     fine.temporal                    5
-    ir.pass.algebraic_simplify       3
-    ir.pass.common_subexpressions    3
-    ir.pass.const_fold               3
-    ir.pass.copy_propagate           3
-    ir.pass.dead_code_eliminate      3
+    ir.pass.algebraic_simplify       4
+    ir.pass.common_subexpressions    4
+    ir.pass.const_fold               4
+    ir.pass.copy_propagate           4
+    ir.pass.dead_code_eliminate      4
+    ir.pass.global_const_propagate   2
+    ir.pass.global_copy_propagate    2
+    ir.pass.global_cse               2
     ir.pass.input                    1
     ir.pass.loop_invariant_motion    1
-    ir.pass.simplify_cfg             2
+    ir.pass.simplify_cfg             3
     minic.compile                    1
     minic.inline                     1
     minic.lower                      1
@@ -302,9 +385,9 @@ Without --trace/--stats the commands print exactly what they always did
 
 HYPAR_TRACE in the environment is an equivalent default for --trace:
 
-  $ HYPAR_TRACE=env.json hypar analyze fir.mc --top 1 > /dev/null
+  $ HYPAR_TRACE=env.json hypar kernels fir.mc --top 1 > /dev/null
   $ hypar trace env.json | head -1
-  env.json: 94 events, 27 spans, balanced, max depth 4
+  env.json: 179 events, 51 spans, balanced, max depth 5
 
 Parallel exploration merges worker traces deterministically: after
 scrubbing timestamps, --jobs 2 produces a byte-identical trace to

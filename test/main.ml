@@ -13,6 +13,7 @@ let () =
       ("cfg", Test_cfg.suite);
       ("loop", Test_loop.suite);
       ("live", Test_live.suite);
+      ("dataflow", Test_dataflow.suite);
       ("serialize", Test_serialize.suite);
       ("passes", Test_passes.suite);
       ("verify", Test_verify.suite);
@@ -31,6 +32,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("range", Test_range.suite);
       ("lint", Test_lint.suite);
+      ("analyze", Test_analyze.suite);
       ("temporal", Test_temporal.suite);
       ("fine_map", Test_fine_map.suite);
       ("bitstream", Test_bitstream.suite);

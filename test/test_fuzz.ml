@@ -167,6 +167,45 @@ let prop_faults_never_raise =
           + r.Hypar_core.Engine.final.Hypar_core.Engine.t_coarse
           + r.Hypar_core.Engine.final.Hypar_core.Engine.t_comm)
 
+(* Differential testing of the optimiser: a random structured program,
+   compiled raw and through the full Passes.optimize pipeline, must
+   produce the identical return value and final array contents under the
+   profiling interpreter.  This is the semantic check behind the global
+   dataflow passes (const/copy propagation, CSE, DCE, LICM). *)
+
+let optimize_arb =
+  QCheck.make
+    ~print:(fun (seed, depth) ->
+      Printf.sprintf "seed %d:\n%s" seed
+        (Hypar_apps.Synth.random_structured_main ~seed ~depth ()))
+    QCheck.Gen.(pair (int_range 1 10_000) (int_range 1 4))
+
+let prop_optimize_differential =
+  QCheck.Test.make
+    ~name:"passes: optimize preserves interpreter semantics"
+    ~count:40 optimize_arb (fun (seed, depth) ->
+      let src = Hypar_apps.Synth.random_structured_main ~seed ~depth () in
+      let raw = Driver.compile_exn ~name:"diff" ~simplify:false src in
+      let opt = Hypar_ir.Passes.optimize ~verify:true raw in
+      let r_raw = Hypar_profiling.Interp.run raw in
+      let r_opt = Hypar_profiling.Interp.run opt in
+      if
+        r_raw.Hypar_profiling.Interp.return_value
+        <> r_opt.Hypar_profiling.Interp.return_value
+      then
+        QCheck.Test.fail_reportf "return value diverged: %s vs %s"
+          (match r_raw.Hypar_profiling.Interp.return_value with
+          | Some v -> string_of_int v
+          | None -> "none")
+          (match r_opt.Hypar_profiling.Interp.return_value with
+          | Some v -> string_of_int v
+          | None -> "none");
+      List.for_all
+        (fun (name, contents) ->
+          contents = Hypar_profiling.Interp.array_exn r_opt name)
+        r_raw.Hypar_profiling.Interp.arrays
+      || QCheck.Test.fail_reportf "array contents diverged")
+
 (* The serve protocol is the same contract one layer up: any byte soup
    on the wire must come back as a typed envelope, never an escaping
    exception and never a dead worker. *)
@@ -235,6 +274,7 @@ let suite =
     Alcotest.test_case "mutated programs" `Quick test_mutated_valid_programs;
     Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
     QCheck_alcotest.to_alcotest prop_faults_never_raise;
+    QCheck_alcotest.to_alcotest prop_optimize_differential;
     Alcotest.test_case "serve protocol: byte soup" `Quick
       test_protocol_byte_soup;
     Alcotest.test_case "serve protocol: truncations" `Quick
