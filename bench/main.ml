@@ -880,6 +880,101 @@ let dataflow_bench () =
   Printf.printf "wrote BENCH_dataflow.json\n";
   print_newline ()
 
+(* ---- bytecode: decompiled frontend vs direct frontend ------------------- *)
+
+let bytecode_bench () =
+  section_header "Bytecode — decompiled frontend vs direct Mini-C frontend";
+  let module Passes = Hypar_ir.Passes in
+  let module Cdfg = Hypar_ir.Cdfg in
+  let module B = Hypar_bytecode in
+  let module Interp = Hypar_profiling.Interp in
+  let apps =
+    [
+      ("OFDM", Ofdm.source, Ofdm.inputs ());
+      ("JPEG", Jpeg.source, Jpeg.inputs ());
+      ("Sobel", Hypar_apps.Sobel.source, Hypar_apps.Sobel.inputs ());
+      ("ADPCM", Hypar_apps.Adpcm.source, Hypar_apps.Adpcm.inputs ());
+    ]
+  in
+  let observed cdfg inputs =
+    let r = Interp.run ~inputs cdfg in
+    (r.Interp.return_value, List.sort compare r.Interp.arrays)
+  in
+  let rows =
+    List.map
+      (fun (name, src, inputs) ->
+        let direct_raw =
+          Hypar_minic.Driver.compile_exn ~name ~simplify:false src
+        in
+        let direct_opt = Passes.optimize ~verify:false direct_raw in
+        let prog = B.Emit.program direct_raw in
+        let bc_insns =
+          List.length
+            (List.filter
+               (fun (_, item) ->
+                 match item with B.Prog.Insn _ -> true | B.Prog.Label _ -> false)
+               prog.B.Prog.code)
+        in
+        let bc_raw =
+          B.Driver.compile_exn ~name ~optimize:false ~verify_ir:false
+            (B.Prog.to_string prog)
+        in
+        let bc_opt = Passes.optimize ~verify:false bc_raw in
+        let matches = observed direct_opt inputs = observed bc_opt inputs in
+        ( name,
+          bc_insns,
+          Cdfg.total_instrs direct_raw,
+          Cdfg.total_instrs direct_opt,
+          Cdfg.total_instrs bc_raw,
+          Cdfg.total_instrs bc_opt,
+          matches ))
+      apps
+  in
+  Printf.printf "%-6s | %8s | %10s | %10s | %8s | %8s | %6s\n" "app"
+    "bc insns" "direct raw" "decomp raw" "direct-O" "decomp-O" "interp";
+  List.iter
+    (fun (name, bc, dr, dopt, br, bopt, matches) ->
+      Printf.printf "%-6s | %8d | %10d | %10d | %8d | %8d | %6s\n" name bc dr
+        br dopt bopt
+        (if matches then "match" else "DIFFER"))
+    rows;
+  (* acceptance gates: the decompiled program must behave identically under
+     the interpreter, and after -O the recovered CDFG must be within 10% of
+     the direct frontend's instruction count *)
+  let failed = ref false in
+  List.iter
+    (fun (name, _, _, dopt, _, bopt, matches) ->
+      if not matches then begin
+        Printf.printf "FAIL: %s interpreter outputs differ across frontends\n"
+          name;
+        failed := true
+      end;
+      if 10 * abs (bopt - dopt) > dopt then begin
+        Printf.printf
+          "FAIL: %s decompiled -O instrs %d deviate >10%% from direct %d\n"
+          name bopt dopt;
+        failed := true
+      end)
+    rows;
+  if !failed then exit 1;
+  Printf.printf "all apps: interpreter match, -O instr counts within 10%%\n";
+  let oc = open_out "BENCH_bytecode.json" in
+  Printf.fprintf oc "{\n  \"section\": \"bytecode\",\n  \"apps\": [\n";
+  List.iteri
+    (fun i (name, bc, dr, dopt, br, bopt, matches) ->
+      Printf.fprintf oc
+        "    {\"app\": %S, \"bytecode_insns\": %d,\n\
+        \     \"direct\": {\"raw\": %d, \"optimized\": %d},\n\
+        \     \"decompiled\": {\"raw\": %d, \"optimized\": %d},\n\
+        \     \"interp_match\": %b}%s\n"
+        name bc dr dopt br bopt matches
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_bytecode.json\n";
+  print_newline ()
+
 (* ---- driver -------------------------------------------------------------- *)
 
 let sections =
@@ -904,6 +999,7 @@ let sections =
     ("extension:energy", extension_energy);
     ("extension:modulo", extension_modulo);
     ("dataflow", dataflow_bench);
+    ("bytecode", bytecode_bench);
     ("micro", micro);
   ]
 

@@ -60,22 +60,33 @@ let read_file path =
   close_in ic;
   s
 
-(* .ir files (serialised CDFGs, see Hypar_ir.Serialize) are loaded
-   directly; anything else is compiled as Mini-C. *)
-let load_cdfg ?(verify_ir = false) path =
+exception Unsupported_input of string
+
+(* The one frontend dispatch every subcommand shares, keyed on the file
+   extension: .ir files (serialised CDFGs, see Hypar_ir.Serialize) load
+   directly, .hbc goes through the bytecode frontend, .mc through the
+   Mini-C compiler; anything else is a clean exit-2 error rather than a
+   Mini-C parse failure.  [raw] skips the optimisation pipeline (Mini-C
+   [~simplify:false], bytecode [~optimize:false]; meaningless for .ir);
+   [verify] overrides the Passes.verify_passes default. *)
+let load_cdfg ?(raw = false) ?verify path =
+  let name = Filename.basename path in
   if Filename.check_suffix path ".ir" then begin
     let cdfg = Hypar_ir.Serialize.of_string (read_file path) in
-    if verify_ir || !Hypar_ir.Passes.verify_passes then
-      Hypar_ir.Verify.check_exn ~context:(Filename.basename path) cdfg;
+    if Option.value verify ~default:!Hypar_ir.Passes.verify_passes then
+      Hypar_ir.Verify.check_exn ~context:name cdfg;
     cdfg
   end
-  else
-    Hypar_minic.Driver.compile_exn ~name:(Filename.basename path)
-      ?verify_ir:(if verify_ir then Some true else None)
+  else if Filename.check_suffix path ".hbc" then
+    Hypar_bytecode.Driver.compile_exn ~name ~optimize:(not raw)
+      ?verify_ir:verify (read_file path)
+  else if Filename.check_suffix path ".mc" then
+    Hypar_minic.Driver.compile_exn ~name ~simplify:(not raw) ?verify_ir:verify
       (read_file path)
+  else raise (Unsupported_input path)
 
-let prepare_file ?verify_ir ?max_steps path =
-  let cdfg = load_cdfg ?verify_ir path in
+let prepare_file ?(verify_ir = false) ?max_steps path =
+  let cdfg = load_cdfg ?verify:(if verify_ir then Some true else None) path in
   let interp = Hypar_profiling.Interp.run ?max_steps cdfg in
   let profile = Hypar_profiling.Profile.of_result cdfg interp in
   { Flow.cdfg; profile; interp }
@@ -96,6 +107,18 @@ let with_verification f =
       (match name with Some n -> n ^ ":" | None -> "")
       err.Hypar_minic.Driver.line err.Hypar_minic.Driver.col
       err.Hypar_minic.Driver.msg;
+    2
+  | exception Hypar_bytecode.Driver.Frontend_error { name; err } ->
+    Printf.eprintf "%s%d:%d: %s\n"
+      (match name with Some n -> n ^ ":" | None -> "")
+      err.Hypar_bytecode.Driver.line err.Hypar_bytecode.Driver.col
+      err.Hypar_bytecode.Driver.msg;
+    2
+  | exception Unsupported_input path ->
+    Printf.eprintf
+      "hypar: %s: unsupported input (expected .mc Mini-C, .hbc bytecode or \
+       .ir serialised CDFG)\n"
+      path;
     2
   | exception Hypar_profiling.Interp.Fuel_exhausted { steps } ->
     Printf.eprintf
@@ -171,7 +194,13 @@ let with_obs ~command (obs : obs) f =
   end
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mini-C source file")
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE"
+        ~doc:
+          "input program: Mini-C source ($(b,.mc)), HYPAR bytecode \
+           ($(b,.hbc)) or a serialised CDFG ($(b,.ir))")
 
 let area_arg =
   Arg.(value & opt int 1500 & info [ "area"; "a" ] ~docv:"UNITS" ~doc:"FPGA area $(docv) (A_FPGA)")
@@ -292,13 +321,7 @@ let analyze_cmd =
      unverified and Mini-C compiles with the pipeline off unless -O
      explicitly asks for the optimised view. *)
   let load ~optimize file =
-    let cdfg =
-      if Filename.check_suffix file ".ir" then
-        Hypar_ir.Serialize.of_string (read_file file)
-      else
-        Hypar_minic.Driver.compile_exn ~name:(Filename.basename file)
-          ~simplify:false ~verify_ir:false (read_file file)
-    in
+    let cdfg = load_cdfg ~raw:true ~verify:false file in
     if optimize then Hypar_ir.Passes.optimize ~verify:false cdfg else cdfg
   in
   let run files format max_findings deny optimize obs =
@@ -405,17 +428,7 @@ let opt_cmd =
     with_obs ~command:"opt" obs @@ fun () ->
     with_verification @@ fun () ->
     let cdfg =
-      if Filename.check_suffix file ".ir" then begin
-        let cdfg = Hypar_ir.Serialize.of_string (read_file file) in
-        if verify_ir || !Hypar_ir.Passes.verify_passes then
-          Hypar_ir.Verify.check_exn ~context:(Filename.basename file) cdfg;
-        cdfg
-      end
-      else
-        Hypar_minic.Driver.compile_exn ~name:(Filename.basename file)
-          ~simplify:false
-          ?verify_ir:(if verify_ir then Some true else None)
-          (read_file file)
+      load_cdfg ~raw:true ?verify:(if verify_ir then Some true else None) file
     in
     let blocks_before = Hypar_ir.Cdfg.block_count cdfg in
     let instrs_before = Hypar_ir.Cdfg.total_instrs cdfg in
@@ -953,12 +966,7 @@ let faults_cmd =
 let dump_cmd =
   let run file raw =
     with_verification @@ fun () ->
-    let cdfg =
-      if raw && not (Filename.check_suffix file ".ir") then
-        Hypar_minic.Driver.compile_exn ~name:(Filename.basename file)
-          ~simplify:false (read_file file)
-      else load_cdfg file
-    in
+    let cdfg = load_cdfg ~raw file in
     print_string (Hypar_ir.Serialize.to_string cdfg);
     0
   in
@@ -973,6 +981,51 @@ let dump_cmd =
   Cmd.v
     (Cmd.info "dump"
        ~doc:"Serialise the compiled CDFG (reload it by passing the .ir file to any command)")
+    term
+
+let compile_bc_cmd =
+  let run file out optimized verify_ir obs =
+    with_obs ~command:"compile-bc" obs @@ fun () ->
+    with_verification @@ fun () ->
+    let cdfg =
+      load_cdfg ~raw:(not optimized)
+        ?verify:(if verify_ir then Some true else None)
+        file
+    in
+    let text = Hypar_bytecode.Emit.to_string cdfg in
+    (match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc);
+    0
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"write the bytecode to $(docv) instead of stdout")
+  in
+  let optimized_arg =
+    Arg.(
+      value & flag
+      & info [ "O"; "optimized" ]
+          ~doc:
+            "compile the optimised CDFG instead of the raw lowering (the \
+             default stays raw so re-ingesting the .hbc exercises the full \
+             recovery-plus-optimisation pipeline)")
+  in
+  let term =
+    Term.(const run $ file_arg $ out_arg $ optimized_arg $ verify_ir_arg $ obs_args)
+  in
+  Cmd.v
+    (Cmd.info "compile-bc"
+       ~doc:
+         "Compile a program to HYPAR bytecode (.hbc); feeding the result \
+          back to any subcommand exercises the bytecode frontend's CFG \
+          recovery and stack-to-register lowering")
     term
 
 let demo_cmd =
@@ -1139,7 +1192,7 @@ let () =
   Sys.catch_break true;
   let doc = "hybrid fine/coarse-grain reconfigurable partitioning (DATE'04/05 methodology)" in
   let info = Cmd.info "hypar" ~version:"1.0.0" ~doc in
-  let group = Cmd.group info [ partition_cmd; kernels_cmd; analyze_cmd; opt_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; faults_cmd; dump_cmd; demo_cmd; trace_cmd; serve_cmd ] in
+  let group = Cmd.group info [ partition_cmd; kernels_cmd; analyze_cmd; opt_cmd; compile_bc_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; faults_cmd; dump_cmd; demo_cmd; trace_cmd; serve_cmd ] in
   match Cmd.eval' ~catch:false group with
   | code -> exit code
   | exception Sys.Break ->

@@ -1,0 +1,35 @@
+(** One-call bytecode frontend: `.hbc` text to CDFG.
+
+    The mirror of [Hypar_minic.Driver] for the second frontend: same
+    error shape, same exception discipline, so the CLI renders bytecode
+    diagnostics exactly like Mini-C ones. *)
+
+type error = Parse.error = { line : int; col : int; msg : string }
+
+exception Frontend_error of { name : string option; err : error }
+(** Raised by {!compile_exn} for every frontend failure — parse error or
+    CFG-recovery diagnostic — so callers can render a located
+    [file:line:col: message]. *)
+
+val compile :
+  ?name:string ->
+  ?optimize:bool ->
+  ?verify_ir:bool ->
+  string ->
+  (Hypar_ir.Cdfg.t, error) result
+(** [compile src] parses and recovers the CDFG.  With [optimize]
+    (default [true]) the full {!Hypar_ir.Passes.optimize} pipeline runs
+    on the result — decompiled IR is exactly the copy/const-heavy input
+    the global passes exist to clean up, so this default matters more
+    than for Mini-C.  With [verify_ir] (default
+    {!Hypar_ir.Passes.verify_passes}) the recovered CDFG and every pass
+    output are checked by {!Hypar_ir.Verify}. *)
+
+val compile_exn :
+  ?name:string -> ?optimize:bool -> ?verify_ir:bool -> string -> Hypar_ir.Cdfg.t
+(** Like {!compile} but raises {!Frontend_error} on failure. *)
+
+val parse : ?name:string -> string -> (Prog.t, error) result
+(** Parse only (no recovery); for tools that inspect the stream. *)
+
+val string_of_error : error -> string

@@ -1,0 +1,122 @@
+module Ir = Hypar_ir
+
+let nopos = { Prog.line = 0; col = 0 }
+
+let sanitize s =
+  let b = Bytes.of_string s in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  if s = "" then "v"
+  else match s.[0] with '0' .. '9' -> "v" ^ s | _ -> s
+
+let clamp_width w = if w > 64 then 64 else if w < 1 then 1 else w
+
+let program cdfg =
+  let cfg = Ir.Cdfg.cfg cdfg in
+  let blocks = Ir.Cfg.blocks cfg in
+  (* every register becomes a slot; the vid suffix keeps same-named
+     registers distinct *)
+  let slots = Hashtbl.create 64 in
+  let locals = ref [] in
+  let array_names = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Ir.Cdfg.array_decl) -> Hashtbl.replace array_names a.aname ())
+    (Ir.Cdfg.arrays cdfg);
+  let slot (v : Ir.Instr.var) =
+    match Hashtbl.find_opt slots v.vid with
+    | Some s -> s
+    | None ->
+      let s = Printf.sprintf "%s_%d" (sanitize v.vname) v.vid in
+      (* the vid suffix makes slots unique among themselves; only a
+         clash with an array name needs breaking *)
+      let rec free s = if Hashtbl.mem array_names s then free (s ^ "_s") else s in
+      let s = free s in
+      Hashtbl.replace slots v.vid s;
+      locals := { Prog.lname = s; lwidth = clamp_width v.vwidth } :: !locals;
+      s
+  in
+  (* stable label names: sanitised, uniquified in block order *)
+  let label_names = Hashtbl.create 16 in
+  let taken = Hashtbl.create 16 in
+  Array.iter
+    (fun (b : Ir.Block.t) ->
+      let base = sanitize b.label in
+      let rec pick cand i =
+        if Hashtbl.mem taken cand then pick (Printf.sprintf "%s_%d" base i) (i + 1)
+        else cand
+      in
+      let name = pick base 0 in
+      Hashtbl.replace taken name ();
+      Hashtbl.replace label_names b.label name)
+    blocks;
+  let label l = Hashtbl.find label_names l in
+  let code = ref [] in
+  let emit i = code := (nopos, Prog.Insn i) :: !code in
+  let push = function
+    | Ir.Instr.Imm n -> emit (Insn.Push n)
+    | Ir.Instr.Var v -> emit (Insn.Load (slot v))
+  in
+  let instr = function
+    | Ir.Instr.Bin { dst; op; a; b } ->
+      push a; push b; emit (Insn.Alu op); emit (Insn.Store (slot dst))
+    | Ir.Instr.Mul { dst; a; b } ->
+      push a; push b; emit Insn.Mul; emit (Insn.Store (slot dst))
+    | Ir.Instr.Div { dst; a; b } ->
+      push a; push b; emit Insn.Div; emit (Insn.Store (slot dst))
+    | Ir.Instr.Rem { dst; a; b } ->
+      push a; push b; emit Insn.Rem; emit (Insn.Store (slot dst))
+    | Ir.Instr.Un { dst; op; a } ->
+      push a; emit (Insn.Un op); emit (Insn.Store (slot dst))
+    | Ir.Instr.Mov { dst; src } -> push src; emit (Insn.Store (slot dst))
+    | Ir.Instr.Select { dst; cond; if_true; if_false } ->
+      push cond; push if_true; push if_false; emit Insn.Select;
+      emit (Insn.Store (slot dst))
+    | Ir.Instr.Load { dst; arr; index } ->
+      push index; emit (Insn.Aload arr); emit (Insn.Store (slot dst))
+    | Ir.Instr.Store { arr; index; value } ->
+      push index; push value; emit (Insn.Astore arr)
+  in
+  let nblocks = Array.length blocks in
+  Array.iteri
+    (fun k (b : Ir.Block.t) ->
+      let next = if k + 1 < nblocks then Some blocks.(k + 1).Ir.Block.label else None in
+      code := (nopos, Prog.Label (label b.label)) :: !code;
+      List.iter instr b.instrs;
+      match b.term with
+      | Ir.Block.Jump l -> if next <> Some l then emit (Insn.Jmp (label l))
+      | Ir.Block.Branch { cond; if_true; if_false } ->
+        push cond;
+        if next = Some if_false then emit (Insn.Brt (label if_true))
+        else if next = Some if_true then emit (Insn.Brf (label if_false))
+        else begin
+          emit (Insn.Brt (label if_true));
+          emit (Insn.Jmp (label if_false))
+        end
+      | Ir.Block.Return None -> emit Insn.Ret
+      | Ir.Block.Return (Some op) -> push op; emit Insn.Retv)
+    blocks;
+  let arrays =
+    List.map
+      (fun (a : Ir.Cdfg.array_decl) ->
+        {
+          Prog.aname = a.aname;
+          size = a.size;
+          elem_width = clamp_width a.elem_width;
+          init = a.init;
+          is_const = a.is_const;
+        })
+      (Ir.Cdfg.arrays cdfg)
+  in
+  {
+    Prog.name = Ir.Cdfg.name cdfg;
+    arrays;
+    locals = List.rev !locals;
+    code = List.rev !code;
+  }
+
+let to_string cdfg = Prog.to_string (program cdfg)

@@ -18,19 +18,32 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Mirrors the CLI loader: .ir files are deserialised, anything else is
-   compiled as Mini-C; both profile under the same poll hook and fuel
-   cap so deadlines reach the interpreter either way. *)
+(* Mirrors the CLI loader: .ir files are deserialised, .hbc goes through
+   the bytecode frontend, .mc through Mini-C — anything else is a typed
+   failure envelope, not a parse error.  Every path profiles under the
+   same poll hook and fuel cap so deadlines reach the interpreter. *)
 let prepare ~poll ?max_steps path =
-  if Filename.check_suffix path ".ir" then begin
-    let cdfg = Hypar_ir.Serialize.of_string (read_file path) in
+  let profile_of cdfg =
     let interp = Hypar_profiling.Interp.run ?max_steps ~poll cdfg in
     let profile = Hypar_profiling.Profile.of_result cdfg interp in
     { Flow.cdfg; profile; interp }
-  end
-  else
+  in
+  if Filename.check_suffix path ".ir" then
+    profile_of (Hypar_ir.Serialize.of_string (read_file path))
+  else if Filename.check_suffix path ".hbc" then
+    profile_of
+      (Hypar_bytecode.Driver.compile_exn ~name:(Filename.basename path)
+         (read_file path))
+  else if Filename.check_suffix path ".mc" then
     Flow.prepare ~name:(Filename.basename path) ?max_steps ~poll
       (read_file path)
+  else
+    raise
+      (P.Bad_request
+         (Printf.sprintf
+            "%s: unsupported input (expected .mc Mini-C, .hbc bytecode or \
+             .ir serialised CDFG)"
+            path))
 
 (* --- request budget ----------------------------------------------------- *)
 
@@ -228,7 +241,9 @@ let dispatch config (req : P.request) =
 
 let exn_kind = function
   | Hypar_ir.Verify.Failed _ -> "Verify.Failed"
-  | Hypar_minic.Driver.Frontend_error _ -> "Frontend_error"
+  | Hypar_minic.Driver.Frontend_error _
+  | Hypar_bytecode.Driver.Frontend_error _ ->
+    "Frontend_error"
   | Hypar_profiling.Interp.Runtime_error _ -> "Runtime_error"
   | Sys_error _ -> "Sys_error"
   | e -> Printexc.exn_slot_name e
@@ -242,6 +257,11 @@ let exn_message = function
       (match name with Some n -> n ^ ":" | None -> "")
       err.Hypar_minic.Driver.line err.Hypar_minic.Driver.col
       err.Hypar_minic.Driver.msg
+  | Hypar_bytecode.Driver.Frontend_error { name; err } ->
+    Printf.sprintf "%s%d:%d: %s"
+      (match name with Some n -> n ^ ":" | None -> "")
+      err.Hypar_bytecode.Driver.line err.Hypar_bytecode.Driver.col
+      err.Hypar_bytecode.Driver.msg
   | Hypar_profiling.Interp.Runtime_error msg -> msg
   | Sys_error msg -> msg
   | e -> Printexc.to_string e

@@ -518,3 +518,44 @@ has, prints the stats line and exits 0:
   $ hypar serve --socket sock.here
   hypar: serve: socket path sock.here already exists
   [2]
+
+Bytecode frontend: the same pipeline accepts hand-written .hbc programs
+with no C source at all:
+
+  $ hypar kernels sumsq.hbc
+  sumsq.hbc
+  Basic Block no. | exec. freq. | Operations weight | Total weight
+  ----------------+-------------+-------------------+-------------
+                1 |           5 |                 6 |           30
+
+  $ hypar opt sumsq.hbc
+  sumsq.hbc: 3 blocks / 13 instrs -> 3 blocks / 7 instrs (-6)
+
+Mini-C compiles down to bytecode, and the decompiled program partitions
+exactly like the original source:
+
+  $ hypar compile-bc fir.mc -o fir.hbc
+  $ head -4 fir.hbc
+  .array x 64 16
+  .array h 8 16
+  .array y 64 16
+  .local i__1_0 16
+
+  $ hypar partition fir.hbc -t 8000
+  partitioning of fir.hbc on A_FPGA=1500, two 2x2 CGCs (constraint 8000):
+    initial (all-FPGA): t_fpga=15985 t_coarse=0 (=0 CGC cycles) t_comm=0 t_total=15985
+    step 1: move BB2 -> t_fpga=2993 t_coarse=448 (=1344 CGC cycles) t_comm=616 t_total=4057  [met]
+    met after 1 movement(s)
+    reduction: 74.6%
+
+A malformed bytecode file is rejected with a position, not a crash:
+
+  $ hypar kernels bad.hbc
+  bad.hbc:3:3: unknown mnemonic "stor"
+  [2]
+
+An unknown extension is refused before any work happens:
+
+  $ hypar kernels faults.spec
+  hypar: faults.spec: unsupported input (expected .mc Mini-C, .hbc bytecode or .ir serialised CDFG)
+  [2]

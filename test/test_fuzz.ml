@@ -206,6 +206,49 @@ let prop_optimize_differential =
         r_raw.Hypar_profiling.Interp.arrays
       || QCheck.Test.fail_reportf "array contents diverged")
 
+(* Differential testing of the two frontends: a random structured
+   program compiled directly, versus compiled to bytecode (compile-bc's
+   Emit on the raw lowering) and re-ingested through the bytecode
+   frontend's CFG recovery + stack-to-register lowering + optimiser.
+   Both CDFGs must pass Verify and produce identical interpreter
+   results — the decompilation pipeline loses nothing observable. *)
+
+let prop_bytecode_differential =
+  QCheck.Test.make
+    ~name:"bytecode: decompiled frontend matches Mini-C frontend"
+    ~count:40 optimize_arb (fun (seed, depth) ->
+      let src = Hypar_apps.Synth.random_structured_main ~seed ~depth () in
+      let direct = Driver.compile_exn ~name:"diff" ~simplify:false src in
+      let hbc = Hypar_bytecode.Emit.to_string direct in
+      let recovered =
+        match Hypar_bytecode.Driver.compile ~name:"diff" ~verify_ir:true hbc with
+        | Ok cdfg -> cdfg
+        | Error e ->
+          QCheck.Test.fail_reportf "bytecode frontend rejected emitted code: %s\n%s"
+            (Hypar_bytecode.Driver.string_of_error e)
+            hbc
+      in
+      Hypar_ir.Verify.check_exn ~context:"bytecode-differential" recovered;
+      let r_direct = Hypar_profiling.Interp.run direct in
+      let r_bc = Hypar_profiling.Interp.run recovered in
+      if
+        r_direct.Hypar_profiling.Interp.return_value
+        <> r_bc.Hypar_profiling.Interp.return_value
+      then
+        QCheck.Test.fail_reportf "return value diverged: %s vs %s\n%s"
+          (match r_direct.Hypar_profiling.Interp.return_value with
+          | Some v -> string_of_int v
+          | None -> "none")
+          (match r_bc.Hypar_profiling.Interp.return_value with
+          | Some v -> string_of_int v
+          | None -> "none")
+          hbc;
+      List.for_all
+        (fun (name, contents) ->
+          contents = Hypar_profiling.Interp.array_exn r_bc name)
+        r_direct.Hypar_profiling.Interp.arrays
+      || QCheck.Test.fail_reportf "array contents diverged via bytecode")
+
 (* The serve protocol is the same contract one layer up: any byte soup
    on the wire must come back as a typed envelope, never an escaping
    exception and never a dead worker. *)
@@ -275,6 +318,7 @@ let suite =
     Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
     QCheck_alcotest.to_alcotest prop_faults_never_raise;
     QCheck_alcotest.to_alcotest prop_optimize_differential;
+    QCheck_alcotest.to_alcotest prop_bytecode_differential;
     Alcotest.test_case "serve protocol: byte soup" `Quick
       test_protocol_byte_soup;
     Alcotest.test_case "serve protocol: truncations" `Quick
