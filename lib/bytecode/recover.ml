@@ -72,6 +72,10 @@ type stream = {
   (* leader index -> canonical block label *)
   canon : (int, string) Hashtbl.t;
   leaders : int array;  (* sorted ascending, first is 0 *)
+  (* [Some l] when some branch targets instruction 0: the CFG then gets a
+     synthetic entry block labelled [l] holding the local zero-init, so a
+     back edge to the top of the program cannot re-execute it *)
+  entry : string option;
 }
 
 let scan (prog : Prog.t) =
@@ -105,13 +109,16 @@ let scan (prog : Prog.t) =
   (* resolve targets; mark leaders *)
   let is_leader = Array.make n false in
   is_leader.(0) <- true;
+  let entry_is_target = ref false in
   Array.iteri
     (fun i (pos, insn) ->
       (match Insn.branch_target insn with
       | Some l -> (
         match Hashtbl.find_opt label_index l with
         | None -> reject pos (Unknown_label l)
-        | Some idx -> is_leader.(idx) <- true)
+        | Some idx ->
+          is_leader.(idx) <- true;
+          if idx = 0 then entry_is_target := true)
       | None -> ());
       if Insn.ends_block insn && i + 1 < n then is_leader.(i + 1) <- true)
     insns;
@@ -130,19 +137,27 @@ let scan (prog : Prog.t) =
     if is_leader.(i) then leaders := i :: !leaders
   done;
   let leaders = Array.of_list !leaders in
+  let rec fresh_name base suffix =
+    let cand = if suffix < 0 then base else Printf.sprintf "%s_%d" base suffix in
+    if Hashtbl.mem user_names cand then fresh_name base (suffix + 1) else cand
+  in
   Array.iter
     (fun li ->
       if not (Hashtbl.mem canon li) then begin
-        let rec fresh base suffix =
-          let cand = if suffix < 0 then base else Printf.sprintf "%s_%d" base suffix in
-          if Hashtbl.mem user_names cand then fresh base (suffix + 1) else cand
-        in
-        let name = fresh (Printf.sprintf "bb%d" li) (-1) in
+        let name = fresh_name (Printf.sprintf "bb%d" li) (-1) in
         Hashtbl.replace user_names name ();
         Hashtbl.replace canon li name
       end)
     leaders;
-  { insns; label_index; canon; leaders }
+  let entry =
+    if not !entry_is_target then None
+    else begin
+      let name = fresh_name "entry" (-1) in
+      Hashtbl.replace user_names name ();
+      Some name
+    end
+  in
+  { insns; label_index; canon; leaders; entry }
 
 (* --- lowering ------------------------------------------------------------ *)
 
@@ -154,6 +169,8 @@ type env = {
   mutable next_var : int;
   stk_vars : (int, Ir.Instr.var) Hashtbl.t;  (* stack position -> register *)
   stk_ids : (int, int) Hashtbl.t;  (* vid -> stack position *)
+  stk_widths : (int, int) Hashtbl.t;  (* stack position -> register width *)
+  stk_observed : (int, int) Hashtbl.t;  (* widest operand spilled per position *)
 }
 
 let fresh env ?(width = 16) name =
@@ -165,7 +182,8 @@ let stk_var env j =
   match Hashtbl.find_opt env.stk_vars j with
   | Some v -> v
   | None ->
-    let v = fresh env ~width:32 (Printf.sprintf "stk_%d" j) in
+    let width = Option.value (Hashtbl.find_opt env.stk_widths j) ~default:32 in
+    let v = fresh env ~width (Printf.sprintf "stk_%d" j) in
     Hashtbl.replace env.stk_vars j v;
     Hashtbl.replace env.stk_ids v.Ir.Instr.vid j;
     v
@@ -195,8 +213,9 @@ let with_dst dst = function
   | Ir.Instr.Store _ as s -> s
 
 (* One lowered block: its [Block.t] plus the (successor label, stack depth,
-   source position) of every out edge, for depth propagation. *)
-let lower_block env ~block_id ~entry_depth =
+   source position) of every out edge, for depth propagation.  [strict] is
+   false only for unreachable blocks, whose entry depth is a guess. *)
+let lower_block env ~block_id ~entry_depth ~strict =
   let stream = env.stream in
   let lo = stream.leaders.(block_id) in
   let hi =
@@ -207,8 +226,10 @@ let lower_block env ~block_id ~entry_depth =
   let next_label () = Hashtbl.find stream.canon hi in
   let instrs = ref [] in
   let emit i = instrs := i :: !instrs in
-  (* the entry block zero-initialises every declared local *)
-  if lo = 0 then
+  (* the entry block zero-initialises every declared local — unless some
+     branch targets instruction 0, in which case the init lives in the
+     synthetic entry block [stream.entry] built by [cdfg_exn] instead *)
+  if lo = 0 && stream.entry = None then
     List.iter
       (fun v -> emit (Ir.Instr.Mov { dst = v; src = Ir.Instr.Imm 0 }))
       env.local_order;
@@ -225,7 +246,12 @@ let lower_block env ~block_id ~entry_depth =
   in
   let pop pos insn =
     match !stack with
-    | [] -> reject pos (Stack_underflow (Insn.mnemonic insn))
+    | [] ->
+      (* an unreachable block is lowered under an assumed empty entry
+         stack; pad its underflow with fresh (undefined) registers rather
+         than rejecting code that can never execute *)
+      if strict then reject pos (Stack_underflow (Insn.mnemonic insn))
+      else Ir.Instr.Var (fresh env ~width:32 "u")
     | op :: rest ->
       stack := rest;
       decr depth;
@@ -240,6 +266,9 @@ let lower_block env ~block_id ~entry_depth =
     let moves = ref [] in
     Array.iteri
       (fun j op ->
+        let w = width_of_operand op in
+        let seen = Option.value (Hashtbl.find_opt env.stk_observed j) ~default:0 in
+        if w > seen then Hashtbl.replace env.stk_observed j w;
         let target = stk_var env j in
         let same =
           match op with
@@ -418,67 +447,107 @@ let cdfg_exn (prog : Prog.t) =
           elem_width = a.elem_width;
         })
     prog.arrays;
-  let env =
-    {
-      stream;
-      arrays;
-      locals = Hashtbl.create 16;
-      local_order = [];
-      next_var = 0;
-      stk_vars = Hashtbl.create 8;
-      stk_ids = Hashtbl.create 8;
-    }
-  in
-  let local_order =
-    List.map
-      (fun (l : Prog.local_decl) ->
-        let v = fresh env ~width:l.lwidth l.lname in
-        Hashtbl.replace env.locals l.lname v;
-        v)
-      prog.locals
-  in
-  let env = { env with local_order } in
-  let nblocks = Array.length stream.leaders in
-  let blocks = Array.make nblocks None in
-  let depth_in = Array.make nblocks None in
-  let block_of_canon = Hashtbl.create 16 in
-  Array.iteri
-    (fun k li -> Hashtbl.replace block_of_canon (Hashtbl.find stream.canon li) k)
-    stream.leaders;
-  let queue = Queue.create () in
-  let schedule ~strict (label, depth, pos) =
-    let k = Hashtbl.find block_of_canon label in
-    match depth_in.(k) with
-    | None ->
-      depth_in.(k) <- Some depth;
-      Queue.add (k, strict) queue
-    | Some expected ->
-      if strict && expected <> depth then
-        reject pos (Stack_mismatch { label; expected; got = depth })
-  in
-  let drain () =
-    while not (Queue.is_empty queue) do
-      let k, strict = Queue.pop queue in
+  (* [stk_widths] sizes the stk_<j> registers; it starts empty (32-bit
+     default) and grows to the widest operand any edge actually spills
+     into each position, found by fixpoint over the (deterministic)
+     lowering below *)
+  let stk_widths = Hashtbl.create 8 in
+  let build () =
+    let env =
+      {
+        stream;
+        arrays;
+        locals = Hashtbl.create 16;
+        local_order = [];
+        next_var = 0;
+        stk_vars = Hashtbl.create 8;
+        stk_ids = Hashtbl.create 8;
+        stk_widths;
+        stk_observed = Hashtbl.create 8;
+      }
+    in
+    let local_order =
+      List.map
+        (fun (l : Prog.local_decl) ->
+          let v = fresh env ~width:l.lwidth l.lname in
+          Hashtbl.replace env.locals l.lname v;
+          v)
+        prog.locals
+    in
+    let env = { env with local_order } in
+    let nblocks = Array.length stream.leaders in
+    let blocks = Array.make nblocks None in
+    let depth_in = Array.make nblocks None in
+    let block_of_canon = Hashtbl.create 16 in
+    Array.iteri
+      (fun k li -> Hashtbl.replace block_of_canon (Hashtbl.find stream.canon li) k)
+      stream.leaders;
+    let queue = Queue.create () in
+    let schedule ~strict (label, depth, pos) =
+      let k = Hashtbl.find block_of_canon label in
+      match depth_in.(k) with
+      | None ->
+        depth_in.(k) <- Some depth;
+        Queue.add (k, strict) queue
+      | Some expected ->
+        if strict && expected <> depth then
+          reject pos (Stack_mismatch { label; expected; got = depth })
+    in
+    let drain () =
+      while not (Queue.is_empty queue) do
+        let k, strict = Queue.pop queue in
+        if blocks.(k) = None then begin
+          let entry_depth = Option.value depth_in.(k) ~default:0 in
+          let block, succs = lower_block env ~block_id:k ~entry_depth ~strict in
+          blocks.(k) <- Some block;
+          List.iter (schedule ~strict) succs
+        end
+      done
+    in
+    schedule ~strict:true (Hashtbl.find stream.canon 0, 0, { Prog.line = 1; col = 1 });
+    drain ();
+    (* unreachable code is lowered too (with an empty entry stack) so the
+       CDFG is complete; Passes.simplify_cfg deletes it when optimising *)
+    for k = 0 to nblocks - 1 do
       if blocks.(k) = None then begin
-        let entry_depth = Option.value depth_in.(k) ~default:0 in
-        let block, succs = lower_block env ~block_id:k ~entry_depth in
-        blocks.(k) <- Some block;
-        List.iter (schedule ~strict) succs
+        if depth_in.(k) = None then depth_in.(k) <- Some 0;
+        Queue.add (k, false) queue;
+        drain ()
       end
-    done
+    done;
+    (env, Array.to_list blocks |> List.map Option.get)
   in
-  schedule ~strict:true (Hashtbl.find stream.canon 0, 0, { Prog.line = 1; col = 1 });
-  drain ();
-  (* unreachable code is lowered too (with an empty entry stack) so the
-     CDFG is complete; Passes.simplify_cfg deletes it when optimising *)
-  for k = 0 to nblocks - 1 do
-    if blocks.(k) = None then begin
-      if depth_in.(k) = None then depth_in.(k) <- Some 0;
-      Queue.add (k, false) queue;
-      drain ()
-    end
-  done;
-  let blocks = Array.to_list blocks |> List.map Option.get in
+  (* rebuild until the stk widths stop growing: widths are monotone and
+     bounded by 64, so this terminates (one extra pass in practice, only
+     when a >32-bit value crosses a block edge) *)
+  let rec converge () =
+    let env, blocks = build () in
+    let grew = ref false in
+    Hashtbl.iter
+      (fun j w ->
+        let cur = Option.value (Hashtbl.find_opt stk_widths j) ~default:32 in
+        if w > cur then begin
+          Hashtbl.replace stk_widths j w;
+          grew := true
+        end)
+      env.stk_observed;
+    if !grew then converge () else (env, blocks)
+  in
+  let env, blocks = converge () in
+  (* if instruction 0 is a branch target, the local zero-init goes in a
+     synthetic entry block so the back edge cannot re-execute it *)
+  let blocks =
+    match stream.entry with
+    | None -> blocks
+    | Some label ->
+      let instrs =
+        List.map
+          (fun v -> Ir.Instr.Mov { dst = v; src = Ir.Instr.Imm 0 })
+          env.local_order
+      in
+      Ir.Block.make ~label ~instrs ~term:(Ir.Block.Jump (Hashtbl.find stream.canon 0))
+      :: blocks
+  in
   let cfg = Ir.Cfg.of_blocks blocks in
   Ir.Cdfg.make ~name:prog.name
     ~arrays:(List.map (fun (a : Prog.array_decl) -> Hashtbl.find arrays a.aname) prog.arrays)

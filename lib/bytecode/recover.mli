@@ -12,10 +12,16 @@
       them and emit three-address instructions into fresh SSA-ish
       temporaries (Mini-C width rules), and values still on the stack at
       a block exit are spilled to canonical [stk_<i>] registers that the
-      successor reloads — a parallel move, so swaps are safe;
-    - declared locals are zero-initialised in the entry block (the
-      machine's semantics, and what makes {!Hypar_ir.Verify}'s
-      defs-before-uses invariant hold by construction);
+      successor reloads — a parallel move, so swaps are safe.  Each
+      [stk_<i>] register is sized (by fixpoint) to the widest operand
+      any edge spills into that position; unreachable blocks are lowered
+      under an assumed empty entry stack, with underflow padded by fresh
+      registers rather than rejected;
+    - declared locals are zero-initialised once at entry (the machine's
+      semantics, and what makes {!Hypar_ir.Verify}'s defs-before-uses
+      invariant hold by construction) — in the first block, or in a
+      synthetic entry block when some branch targets instruction 0, so a
+      back edge to the top of the program cannot re-run the init;
     - loop structure is recovered by {!Hypar_ir.Cdfg.make} from the
       rebuilt CFG's back edges.
 

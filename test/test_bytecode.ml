@@ -183,6 +183,58 @@ let test_spill_across_blocks () =
      \  retv\n"
     1
 
+let test_entry_back_edge () =
+  (* a branch back to instruction 0: the local zero-init must not sit in
+     the loop body, or the counter is re-zeroed every iteration and the
+     loop never terminates *)
+  let src =
+    ".local i 8\n\
+     top:\n\
+     \  load i\n\
+     \  push 1\n\
+     \  add\n\
+     \  store i\n\
+     \  load i\n\
+     \  push 10\n\
+     \  lt\n\
+     \  brt top\n\
+     \  load i\n\
+     \  retv\n"
+  in
+  let cdfg = compile src in
+  (* the init lives in a synthetic entry block that jumps to "top" *)
+  let entry =
+    (Ir.Cfg.blocks (Ir.Cdfg.cfg cdfg)).(Ir.Cfg.entry (Ir.Cdfg.cfg cdfg))
+  in
+  Alcotest.(check bool)
+    "synthetic entry is not the branch target" true
+    (entry.Ir.Block.label <> "top");
+  (match entry.Ir.Block.term with
+  | Ir.Block.Jump "top" -> ()
+  | _ -> Alcotest.fail "entry block should jump to \"top\"");
+  Alcotest.(check (option int)) "counts to 10" (Some 10) (returns src);
+  Alcotest.(check (option int))
+    "counts to 10 optimised" (Some 10)
+    (Interp.run (compile ~optimize:true src)).Interp.return_value
+
+let test_stk_register_widths () =
+  (* a 64-bit value live on the stack across a block edge must not be
+     narrowed by the stk_<j> register that carries it *)
+  let src = ".local x 64\n  load x\n  jmp next\nnext:\n  retv\n" in
+  let cdfg = compile src in
+  let width = ref 0 in
+  Array.iter
+    (fun (info : Ir.Cdfg.block_info) ->
+      List.iter
+        (fun instr ->
+          List.iter
+            (fun (v : Ir.Instr.var) ->
+              if v.vname = "stk_0" && v.vwidth > !width then width := v.vwidth)
+            (Option.to_list (Ir.Instr.def instr) @ Ir.Instr.used_vars instr))
+        info.block.Ir.Block.instrs)
+    (Ir.Cdfg.infos cdfg);
+  Alcotest.(check int) "stk_0 carries the full 64 bits" 64 !width
+
 let test_unreachable_code () =
   let src = "  push 1\n  retv\ndead:\n  push 2\n  retv\n" in
   let raw = compile src in
@@ -191,6 +243,16 @@ let test_unreachable_code () =
   Alcotest.(check int) "dead block optimised away" 1 (Ir.Cdfg.block_count opt);
   Alcotest.(check (option int)) "still returns 1" (Some 1)
     (Interp.run opt).Interp.return_value
+
+let test_unreachable_underflow () =
+  (* dead code is lowered under an assumed empty stack; a pop there must
+     be padded, not rejected — the program is valid, the pop never runs *)
+  let src = "  push 1\n  retv\ndead:\n  pop\n  push 2\n  retv\n" in
+  let raw = compile src in
+  Alcotest.(check int) "dead block kept raw" 2 (Ir.Cdfg.block_count raw);
+  Alcotest.(check (option int)) "still returns 1" (Some 1) (returns src);
+  let opt = compile ~optimize:true src in
+  Alcotest.(check int) "dead block optimised away" 1 (Ir.Cdfg.block_count opt)
 
 let check_reject what src line needle =
   let e = error src in
@@ -315,8 +377,11 @@ let suite =
     Alcotest.test_case "arithmetic" `Quick test_arith;
     Alcotest.test_case "locals and arrays" `Quick test_locals_and_arrays;
     Alcotest.test_case "back-edge loop" `Quick test_back_edge_loop;
+    Alcotest.test_case "back edge to instruction 0" `Quick test_entry_back_edge;
+    Alcotest.test_case "stk register widths" `Quick test_stk_register_widths;
     Alcotest.test_case "stack spills across blocks" `Quick test_spill_across_blocks;
     Alcotest.test_case "unreachable code" `Quick test_unreachable_code;
+    Alcotest.test_case "unreachable stack underflow" `Quick test_unreachable_underflow;
     Alcotest.test_case "recovery rejects" `Quick test_recovery_rejects;
     Alcotest.test_case "stack mismatch at join" `Quick test_stack_mismatch_at_join;
     Alcotest.test_case "stack overflow" `Quick test_stack_overflow;
