@@ -641,6 +641,7 @@ let serve_bench () =
   let config =
     {
       Worker.faults = None;
+      backend = None;
       default_deadline_ms = None;
       default_fuel = None;
       drain = Hypar_server.Drain.create ~drain_timeout_ms:1000;
@@ -975,6 +976,139 @@ let bytecode_bench () =
   Printf.printf "wrote BENCH_bytecode.json\n";
   print_newline ()
 
+(* ---- interp: compiled backend vs tree oracle + engine delta updates ------ *)
+
+(* Two speedup gates for the compiled execution backend.  First the
+   profiling interpreter itself: each application runs under the
+   tree-walking oracle and under Exec.run (flatten + execute, so the
+   compile cost is charged to every run) on the same inputs; JPEG — the
+   largest workload — must come out at least 3x faster or the bench
+   exits 1.  Then the engine: pricing every prefix of a partitioning
+   trajectory by full recharacterisation (what Engine.run used to do)
+   versus replaying the same moves through Engine.Inc's delta updates. *)
+let interp_bench () =
+  section_header "Interp — compiled backend vs tree-walking oracle";
+  let module Interp = Hypar_profiling.Interp in
+  let module Exec = Hypar_profiling.Exec in
+  let apps =
+    [
+      ("OFDM", Ofdm.source, Ofdm.inputs ());
+      ("JPEG", Jpeg.source, Jpeg.inputs ());
+      ("Sobel", Hypar_apps.Sobel.source, Hypar_apps.Sobel.inputs ());
+      ("ADPCM", Hypar_apps.Adpcm.source, Hypar_apps.Adpcm.inputs ());
+    ]
+  in
+  let time_best ~reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  Printf.printf "%-6s | %12s | %12s | %8s | %6s\n" "app" "tree ms" "compiled ms"
+    "speedup" "equal";
+  let rows =
+    List.map
+      (fun (name, src, inputs) ->
+        let cdfg = Hypar_minic.Driver.compile_exn ~name src in
+        let r_tree = ref None and r_comp = ref None in
+        let t_tree =
+          time_best ~reps:3 (fun () -> r_tree := Some (Interp.run ~inputs cdfg))
+        in
+        let t_comp =
+          time_best ~reps:3 (fun () -> r_comp := Some (Exec.run ~inputs cdfg))
+        in
+        let equal = !r_tree = !r_comp in
+        let speedup = t_tree /. t_comp in
+        Printf.printf "%-6s | %12.3f | %12.3f | %7.2fx | %6s\n" name
+          (t_tree *. 1e3) (t_comp *. 1e3) speedup
+          (if equal then "yes" else "NO");
+        (name, t_tree, t_comp, speedup, equal))
+      apps
+  in
+  let failed = ref false in
+  List.iter
+    (fun (name, _, _, speedup, equal) ->
+      if not equal then begin
+        Printf.printf "FAIL: %s results differ across backends\n" name;
+        failed := true
+      end;
+      if name = "JPEG" && speedup < 3.0 then begin
+        Printf.printf "FAIL: JPEG compiled speedup %.2fx below the 3x budget\n"
+          speedup;
+        failed := true
+      end)
+    rows;
+  (* engine: full recharacterisation of every trajectory prefix vs the
+     same trajectory replayed through the incremental state *)
+  let prepared = Ofdm.prepared () in
+  let pl = platform () in
+  let r =
+    Engine.run pl ~timing_constraint:1 prepared.Flow.cdfg prepared.Flow.profile
+  in
+  let prefixes =
+    List.mapi
+      (fun i _ -> List.filteri (fun j _ -> j <= i) r.Engine.moved)
+      r.Engine.moved
+  in
+  let batch = 50 in
+  let t_full =
+    time_best ~reps:5 (fun () ->
+        for _ = 1 to batch do
+          let full =
+            Engine.evaluate pl prepared.Flow.cdfg prepared.Flow.profile
+          in
+          ignore (full []);
+          List.iter (fun prefix -> ignore (full prefix)) prefixes
+        done)
+  in
+  let inc = Engine.Inc.create pl prepared.Flow.cdfg prepared.Flow.profile in
+  let t_delta =
+    time_best ~reps:5 (fun () ->
+        for _ = 1 to batch do
+          Engine.Inc.reset inc;
+          ignore (Engine.Inc.times inc);
+          List.iter
+            (fun b ->
+              Engine.Inc.move inc b;
+              ignore (Engine.Inc.times inc))
+            r.Engine.moved
+        done)
+  in
+  let engine_speedup = t_full /. t_delta in
+  Printf.printf
+    "engine (OFDM, %d moves): full %.3f ms, delta %.3f ms -> %.2fx\n"
+    (List.length r.Engine.moved)
+    (t_full /. float_of_int batch *. 1e3)
+    (t_delta /. float_of_int batch *. 1e3)
+    engine_speedup;
+  if !failed then exit 1;
+  let oc = open_out "BENCH_interp.json" in
+  Printf.fprintf oc "{\n  \"section\": \"interp\",\n  \"apps\": [\n";
+  List.iteri
+    (fun i (name, t_tree, t_comp, speedup, equal) ->
+      Printf.fprintf oc
+        "    {\"app\": %S, \"tree_ms\": %.3f, \"compiled_ms\": %.3f, \
+         \"speedup\": %.2f, \"identical\": %b}%s\n"
+        name (t_tree *. 1e3) (t_comp *. 1e3) speedup equal
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"engine\": {\"moves\": %d, \"full_ms\": %.3f, \"delta_ms\": %.3f, \
+     \"speedup\": %.2f}\n\
+     }\n"
+    (List.length r.Engine.moved)
+    (t_full /. float_of_int batch *. 1e3)
+    (t_delta /. float_of_int batch *. 1e3)
+    engine_speedup;
+  close_out oc;
+  Printf.printf "wrote BENCH_interp.json\n";
+  print_newline ()
+
 (* ---- driver -------------------------------------------------------------- *)
 
 let sections =
@@ -1000,6 +1134,7 @@ let sections =
     ("extension:modulo", extension_modulo);
     ("dataflow", dataflow_bench);
     ("bytecode", bytecode_bench);
+    ("interp", interp_bench);
     ("micro", micro);
   ]
 

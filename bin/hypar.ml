@@ -85,9 +85,12 @@ let load_cdfg ?(raw = false) ?verify path =
       (read_file path)
   else raise (Unsupported_input path)
 
-let prepare_file ?(verify_ir = false) ?max_steps path =
+(* [backend] is the --interp override; when absent Profile.run honours
+   the HYPAR_INTERP environment variable and defaults to the compiled
+   backend, which is byte-identical to the tree-walking oracle. *)
+let prepare_file ?backend ?(verify_ir = false) ?max_steps path =
   let cdfg = load_cdfg ?verify:(if verify_ir then Some true else None) path in
-  let interp = Hypar_profiling.Interp.run ?max_steps cdfg in
+  let interp = Hypar_profiling.Profile.run ?backend ?max_steps cdfg in
   let profile = Hypar_profiling.Profile.of_result cdfg interp in
   { Flow.cdfg; profile; interp }
 
@@ -134,6 +137,20 @@ let platform_of ~area ~cgcs ~rows ~cols ~ratio =
     ()
 
 open Cmdliner
+
+(* ---- profiling backend: --interp compiled|tree / HYPAR_INTERP env ---- *)
+
+let interp_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("compiled", `Compiled); ("tree", `Tree) ])) None
+    & info [ "interp" ] ~docv:"BACKEND"
+        ~doc:
+          "profiling interpreter backend: $(b,compiled) (default; flattens \
+           the CDFG once and executes preallocated instruction arrays) or \
+           $(b,tree) (the tree-walking oracle). Both produce byte-identical \
+           profiles. The $(b,HYPAR_INTERP) environment variable provides \
+           the default")
 
 (* ---- observability: --trace FILE / --stats / HYPAR_TRACE env ---- *)
 
@@ -237,10 +254,10 @@ let faults_file_arg =
 
 let partition_cmd =
   let run file area cgcs rows cols ratio timing report loops pipelined verify_ir
-      faults obs =
+      faults interp obs =
     with_obs ~command:"partition" obs @@ fun () ->
     with_verification @@ fun () ->
-    let prepared = prepare_file ~verify_ir file in
+    let prepared = prepare_file ?backend:interp ~verify_ir file in
     let platform = platform_of ~area ~cgcs ~rows ~cols ~ratio in
     let granularity = if loops then `Loop else `Block in
     let go platform =
@@ -287,7 +304,7 @@ let partition_cmd =
     Term.(
       const run $ file_arg $ area_arg $ cgcs_arg $ rows_arg $ cols_arg
       $ ratio_arg $ constraint_arg $ report_arg $ loops_arg $ pipelined_arg
-      $ verify_ir_arg $ faults_file_arg $ obs_args)
+      $ verify_ir_arg $ faults_file_arg $ interp_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "partition"
@@ -296,10 +313,10 @@ let partition_cmd =
     term
 
 let kernels_cmd =
-  let run file top obs =
+  let run file top interp obs =
     with_obs ~command:"kernels" obs @@ fun () ->
     with_verification @@ fun () ->
-    let prepared = prepare_file file in
+    let prepared = prepare_file ?backend:interp file in
     let analysis =
       Hypar_analysis.Kernel.analyse prepared.Flow.cdfg prepared.Flow.profile
     in
@@ -310,7 +327,7 @@ let kernels_cmd =
   let top_arg =
     Arg.(value & opt int 8 & info [ "top" ] ~docv:"N" ~doc:"number of kernels to list")
   in
-  let term = Term.(const run $ file_arg $ top_arg $ obs_args) in
+  let term = Term.(const run $ file_arg $ top_arg $ interp_arg $ obs_args) in
   Cmd.v (Cmd.info "kernels" ~doc:"Kernel analysis (Table-1 style)") term
 
 let analyze_cmd =
@@ -468,14 +485,14 @@ let opt_cmd =
     term
 
 let profile_cmd =
-  let run file obs =
+  let run file interp obs =
     with_obs ~command:"profile" obs @@ fun () ->
     with_verification @@ fun () ->
-    let prepared = prepare_file file in
+    let prepared = prepare_file ?backend:interp file in
     Format.printf "%a@." Hypar_profiling.Profile.pp prepared.Flow.profile;
     0
   in
-  let term = Term.(const run $ file_arg $ obs_args) in
+  let term = Term.(const run $ file_arg $ interp_arg $ obs_args) in
   Cmd.v (Cmd.info "profile" ~doc:"Dynamic profile of a Mini-C program") term
 
 let dot_cmd =
@@ -635,10 +652,10 @@ let lint_cmd =
     term
 
 let baselines_cmd =
-  let run file area cgcs rows cols ratio timing obs =
+  let run file area cgcs rows cols ratio timing interp obs =
     with_obs ~command:"baselines" obs @@ fun () ->
     with_verification @@ fun () ->
-    let prepared = prepare_file file in
+    let prepared = prepare_file ?backend:interp file in
     let platform = platform_of ~area ~cgcs ~rows ~cols ~ratio in
     Printf.printf "%-28s %7s %16s %6s %8s\n" "strategy" "moves" "final" "met"
       "evals";
@@ -655,7 +672,7 @@ let baselines_cmd =
   let term =
     Term.(
       const run $ file_arg $ area_arg $ cgcs_arg $ rows_arg $ cols_arg
-      $ ratio_arg $ constraint_arg $ obs_args)
+      $ ratio_arg $ constraint_arg $ interp_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "baselines"
@@ -697,10 +714,10 @@ let exit_of_summary (summary : Explore.Driver.t) =
 let sweep_cmd =
   let module Space = Explore.Space in
   let module Driver = Explore.Driver in
-  let run file ratio timing obs =
+  let run file ratio timing interp obs =
     with_obs ~command:"sweep" obs @@ fun () ->
     with_verification @@ fun () ->
-    let prepared = prepare_file file in
+    let prepared = prepare_file ?backend:interp file in
     let space =
       Space.make ~areas:[ 500; 1500; 5000 ] ~cgcs:[ 1; 2; 3 ]
         ~clock_ratios:[ ratio ] ~timings:[ timing ] ()
@@ -728,7 +745,9 @@ let sweep_cmd =
       exit_of_summary summary
   in
   let term =
-    Term.(const run $ file_arg $ ratio_arg $ constraint_arg $ obs_args)
+    Term.(
+      const run $ file_arg $ ratio_arg $ constraint_arg $ interp_arg
+      $ obs_args)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -858,7 +877,7 @@ let explore_cmd =
              interrupted run never leaves a torn report")
   in
   let run file areas cgcs rows cols ratios timings jobs max_points format
-      pareto_only faults retries point_fuel checkpoint resume out obs =
+      pareto_only faults retries point_fuel checkpoint resume out interp obs =
     with_obs ~command:"explore" obs @@ fun () ->
     with_verification @@ fun () ->
     if resume && checkpoint = None then begin
@@ -875,7 +894,7 @@ let explore_cmd =
         Printf.eprintf "hypar: %s\n" msg;
         2
       | Ok faults -> (
-        let prepared = prepare_file ?max_steps:point_fuel file in
+        let prepared = prepare_file ?backend:interp ?max_steps:point_fuel file in
         let space =
           Space.make ~areas ~cgcs ~rows ~cols ~clock_ratios:ratios
             ~timings ~max_points ()
@@ -906,7 +925,7 @@ let explore_cmd =
       const run $ file_arg $ areas_arg $ cgcs_arg $ rows_arg $ cols_arg
       $ ratios_arg $ timings_arg $ jobs_arg $ max_points_arg $ format_arg
       $ pareto_only_arg $ faults_file_arg $ retries_arg $ point_fuel_arg
-      $ checkpoint_arg $ resume_arg $ out_arg $ obs_args)
+      $ checkpoint_arg $ resume_arg $ out_arg $ interp_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -1057,7 +1076,7 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Reproduce the paper's Tables 2 and 3") term
 
 let serve_cmd =
-  let run jobs max_queue drain_timeout socket faults deadline fuel obs =
+  let run jobs max_queue drain_timeout socket faults deadline fuel interp obs =
     with_obs ~command:"serve" obs @@ fun () ->
     match
       match faults with
@@ -1074,6 +1093,7 @@ let serve_cmd =
           max_queue;
           drain_timeout_ms = drain_timeout;
           faults;
+          backend = interp;
           default_deadline_ms = deadline;
           default_fuel = fuel;
         }
@@ -1138,7 +1158,7 @@ let serve_cmd =
   let term =
     Term.(
       const run $ jobs_arg $ max_queue_arg $ drain_timeout_arg $ socket_arg
-      $ faults_file_arg $ deadline_arg $ fuel_arg $ obs_args)
+      $ faults_file_arg $ deadline_arg $ fuel_arg $ interp_arg $ obs_args)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -30,6 +30,13 @@ val total_cycles :
     iterations of a moved kernel keep their values in the CGC register
     bank.  Kept for the communication-model ablation. *)
 
+val words_cost : model -> int -> int
+(** Cost of one boundary crossing moving [words] words: the fixed
+    synchronisation overhead plus the port-parallel transfer time.  The
+    per-edge unit {!transition_cycles} sums — exposed so the incremental
+    engine ({!Engine.Inc}) can precompute both crossing directions of an
+    edge once. *)
+
 val transition_cycles :
   model ->
   Hypar_ir.Live.t ->

@@ -82,6 +82,30 @@ let times_of platform ~pricing ~fine ~coarse ~pipeline ~entries ~comm ~live
     t_total = !t_fpga + t_coarse + t_comm;
   }
 
+exception
+  Delta_mismatch of {
+    moved : int list;
+    field : string;
+    full : int;
+    incremental : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Delta_mismatch { moved; field; full; incremental } ->
+      Some
+        (Printf.sprintf
+           "Delta_mismatch(%s: full=%d incremental=%d, moved=[%s])" field full
+           incremental
+           (String.concat ";" (List.map string_of_int moved)))
+    | _ -> None)
+
+let check_incremental =
+  ref
+    (match Sys.getenv_opt "HYPAR_ENGINE_CHECK" with
+    | Some ("1" | "true" | "on") -> true
+    | Some _ | None -> false)
+
 let characterise ?(cgc_pipelining = false) (platform : Platform.t) cdfg profile
     =
   Hypar_obs.Span.with_ ~cat:"engine" "engine.characterise" @@ fun () ->
@@ -139,6 +163,198 @@ let evaluate ?(comm_pricing = `Transition) ?cgc_pipelining
   fun moved ->
     times_of platform ~pricing:comm_pricing ~fine ~coarse ~pipeline ~entries
       ~comm ~live ~edges ~freq ~moved n
+
+(* Incremental recharacterisation: [times_of] walks every block and every
+   profile edge on each call; over a whole greedy trajectory that is
+   O(moves * (blocks + edges)).  [Inc] keeps the running sums and updates
+   them per move in O(degree of the moved block): the moved block's own
+   fine/coarse contribution flips sides, and only its incident CFG edges
+   can change boundary state.  The invariants the delta update relies on:
+
+   - a block's fine and coarse prices are independent of the moved set;
+   - [`Transition] comm prices are per-edge and depend only on whether
+     the edge crosses the partition boundary and in which direction;
+   - [`Per_invocation] comm prices are per-block and additive;
+   - self edges never cross the boundary, so they are dropped up front.
+
+   With [check_incremental] set (or HYPAR_ENGINE_CHECK=1), every [times]
+   read is cross-checked against the full [times_of] recompute and a
+   mismatch raises {!Delta_mismatch}. *)
+module Inc = struct
+  type t = {
+    platform : Platform.t;
+    pricing : [ `Transition | `Per_invocation ];
+    n : int;
+    freq : int array;
+    fine : int array;
+    coarse : int option array;
+    pipeline : (int * int) option array;
+    entries : int array;
+    comm : int array;
+    live : Ir.Live.t;
+    edges : ((int * int) * int) list;
+    (* inter-block profile edges, flattened, with both boundary prices
+       precomputed (count * words_cost of the crossing direction) *)
+    edge_src : int array;
+    edge_dst : int array;
+    edge_cost_dst_cgc : int array;
+    edge_cost_src_cgc : int array;
+    incident : int list array;  (* block -> incident inter-block edges *)
+    is_moved : bool array;
+    mutable moved_rev : int list;
+    mutable t_fpga : int;
+    mutable t_coarse_cgc : int;
+    mutable t_comm : int;
+  }
+
+  let initial_fpga ~freq ~fine n =
+    let s = ref 0 in
+    for i = 0 to n - 1 do
+      if freq.(i) > 0 then s := !s + (fine.(i) * freq.(i))
+    done;
+    !s
+
+  let make ~platform ~pricing ~freq ~fine ~coarse ~pipeline ~entries ~comm
+      ~live ~edges n =
+    let inter = List.filter (fun ((s, d), _) -> s <> d) edges in
+    let ne = List.length inter in
+    let edge_src = Array.make ne 0 in
+    let edge_dst = Array.make ne 0 in
+    let edge_cost_dst_cgc = Array.make ne 0 in
+    let edge_cost_src_cgc = Array.make ne 0 in
+    let incident = Array.make n [] in
+    let model = platform.Platform.comm in
+    List.iteri
+      (fun e ((s, d), count) ->
+        edge_src.(e) <- s;
+        edge_dst.(e) <- d;
+        edge_cost_dst_cgc.(e) <-
+          count * Comm.words_cost model (List.length (Ir.Live.live_in live d));
+        edge_cost_src_cgc.(e) <-
+          count
+          * Comm.words_cost model (List.length (Ir.Live.defs_live_out live s));
+        incident.(s) <- e :: incident.(s);
+        incident.(d) <- e :: incident.(d))
+      inter;
+    {
+      platform;
+      pricing;
+      n;
+      freq;
+      fine;
+      coarse;
+      pipeline;
+      entries;
+      comm;
+      live;
+      edges;
+      edge_src;
+      edge_dst;
+      edge_cost_dst_cgc;
+      edge_cost_src_cgc;
+      incident;
+      is_moved = Array.make n false;
+      moved_rev = [];
+      t_fpga = initial_fpga ~freq ~fine n;
+      t_coarse_cgc = 0;
+      t_comm = 0;
+    }
+
+  let reset t =
+    Array.fill t.is_moved 0 t.n false;
+    t.moved_rev <- [];
+    t.t_fpga <- initial_fpga ~freq:t.freq ~fine:t.fine t.n;
+    t.t_coarse_cgc <- 0;
+    t.t_comm <- 0
+
+  let moved t = List.rev t.moved_rev
+
+  let edge_contrib t e =
+    match (t.is_moved.(t.edge_src.(e)), t.is_moved.(t.edge_dst.(e))) with
+    | true, true | false, false -> 0
+    | false, true -> t.edge_cost_dst_cgc.(e)
+    | true, false -> t.edge_cost_src_cgc.(e)
+
+  let coarse_cycles t i =
+    match (t.coarse.(i), t.pipeline.(i)) with
+    | _, Some (ii, lat) ->
+      let starts = max 1 (min t.entries.(i) t.freq.(i)) in
+      ((t.freq.(i) - starts) * ii) + (starts * lat)
+    | Some lat, None -> lat * t.freq.(i)
+    | None, None -> invalid_arg "Engine: moved an unmappable block"
+
+  let flip t i target =
+    if t.is_moved.(i) = target then
+      invalid_arg "Engine.Inc: block already on that side";
+    (match t.pricing with
+    | `Transition ->
+      List.iter
+        (fun e -> t.t_comm <- t.t_comm - edge_contrib t e)
+        t.incident.(i)
+    | `Per_invocation -> ());
+    t.is_moved.(i) <- target;
+    let sign = if target then 1 else -1 in
+    (* freq-0 blocks price to zero on both sides and [times_of] never
+       inspects their mappability, so neither do we *)
+    if t.freq.(i) > 0 then begin
+      t.t_fpga <- t.t_fpga - (sign * t.fine.(i) * t.freq.(i));
+      t.t_coarse_cgc <- t.t_coarse_cgc + (sign * coarse_cycles t i)
+    end;
+    match t.pricing with
+    | `Transition ->
+      List.iter
+        (fun e -> t.t_comm <- t.t_comm + edge_contrib t e)
+        t.incident.(i)
+    | `Per_invocation -> t.t_comm <- t.t_comm + (sign * t.comm.(i) * t.freq.(i))
+
+  let move t i =
+    flip t i true;
+    t.moved_rev <- i :: t.moved_rev
+
+  let unmove t i =
+    flip t i false;
+    t.moved_rev <- List.filter (fun j -> j <> i) t.moved_rev
+
+  let times t =
+    let t_coarse = Platform.cgc_to_fpga_cycles t.platform t.t_coarse_cgc in
+    let r =
+      {
+        t_fpga = t.t_fpga;
+        t_coarse_cgc = t.t_coarse_cgc;
+        t_coarse;
+        t_comm = t.t_comm;
+        t_total = t.t_fpga + t_coarse + t.t_comm;
+      }
+    in
+    if !check_incremental then begin
+      let full =
+        times_of t.platform ~pricing:t.pricing ~fine:t.fine ~coarse:t.coarse
+          ~pipeline:t.pipeline ~entries:t.entries ~comm:t.comm ~live:t.live
+          ~edges:t.edges ~freq:t.freq ~moved:(moved t) t.n
+      in
+      let check field full_v inc_v =
+        if full_v <> inc_v then
+          raise
+            (Delta_mismatch
+               { moved = moved t; field; full = full_v; incremental = inc_v })
+      in
+      check "t_fpga" full.t_fpga r.t_fpga;
+      check "t_coarse_cgc" full.t_coarse_cgc r.t_coarse_cgc;
+      check "t_coarse" full.t_coarse r.t_coarse;
+      check "t_comm" full.t_comm r.t_comm;
+      check "t_total" full.t_total r.t_total
+    end;
+    r
+
+  let create ?(comm_pricing = `Transition) ?cgc_pipelining platform cdfg
+      profile =
+    let freq, fine, coarse, pipeline, entries, comm, live, edges =
+      characterise ?cgc_pipelining platform cdfg profile
+    in
+    make ~platform ~pricing:comm_pricing ~freq ~fine ~coarse ~pipeline
+      ~entries ~comm ~live ~edges
+      (Ir.Cdfg.block_count cdfg)
+end
 
 let mappable (platform : Platform.t) cdfg i =
   Coarsegrain.Schedule.supported_on ?health:platform.Platform.cgc_health
@@ -200,12 +416,17 @@ let run ?weights ?max_moves ?(comm_pricing = `Transition) ?cgc_pipelining
   let freq, fine, coarse, pipeline, entries, comm, live, edges =
     characterise ?cgc_pipelining platform cdfg profile
   in
-  let compute moved =
-    Hypar_obs.Counter.incr "engine.evaluations";
-    times_of platform ~pricing:comm_pricing ~fine ~coarse ~pipeline ~entries
-      ~comm ~live ~edges ~freq ~moved n
+  let inc =
+    Inc.make ~platform ~pricing:comm_pricing ~freq ~fine ~coarse ~pipeline
+      ~entries ~comm ~live ~edges n
   in
-  let initial = compute [] in
+  (* each read is O(1) off the running sums (and cross-checked against the
+     full recompute when [check_incremental] is set) *)
+  let read_times () =
+    Hypar_obs.Counter.incr "engine.evaluations";
+    Inc.times inc
+  in
+  let initial = read_times () in
   let analysis = Analysis.Kernel.analyse ?weights cdfg profile in
   let base =
     {
@@ -305,7 +526,10 @@ let run ?weights ?max_moves ?(comm_pricing = `Transition) ?cgc_pipelining
                 ]
             @@ fun () ->
             Hypar_obs.Counter.incr "engine.moves";
-            let times = compute moved in
+            List.iter
+              (fun (k : Analysis.Kernel.entry) -> Inc.move inc k.block_id)
+              movable;
+            let times = read_times () in
             {
               step_index = count + 1;
               moved_block = k.block_id;

@@ -100,6 +100,60 @@ val evaluate :
     ({!Baselines}) and the ablation benches.  Raises [Invalid_argument]
     when a moved block is not CGC-executable. *)
 
+exception
+  Delta_mismatch of {
+    moved : int list;
+    field : string;
+    full : int;
+    incremental : int;
+  }
+(** Raised by {!Inc.times} under {!check_incremental} when a delta-updated
+    time disagrees with the full {!evaluate}-style recompute. *)
+
+val check_incremental : bool ref
+(** Debug cross-check switch (also set by [HYPAR_ENGINE_CHECK=1]): every
+    {!Inc.times} read — including the ones inside {!run} — recomputes the
+    times from scratch and raises {!Delta_mismatch} on disagreement.  The
+    test suite runs with this on. *)
+
+module Inc : sig
+  (** Incremental recharacterisation state.  Where {!evaluate} prices a
+      moved set by walking every block and profile edge, [Inc] maintains
+      the running [t_fpga]/[t_coarse_cgc]/[t_comm] sums and updates them
+      per {!move} in O(degree of the moved block): only the moved
+      kernel's own contribution flips sides and only its incident CFG
+      edges can change boundary state.  {!run} is built on this. *)
+
+  type t
+
+  val create :
+    ?comm_pricing:[ `Transition | `Per_invocation ] ->
+    ?cgc_pipelining:bool ->
+    Platform.t ->
+    Hypar_ir.Cdfg.t ->
+    Hypar_profiling.Profile.t ->
+    t
+  (** Characterises once (like {!evaluate}) and starts from the all-FPGA
+      mapping. *)
+
+  val move : t -> int -> unit
+  (** Moves a block to the coarse-grain data-path.  Raises
+      [Invalid_argument] if it is already there, or (like {!evaluate})
+      when the block executes but is not CGC-mappable. *)
+
+  val unmove : t -> int -> unit
+  (** Moves a block back to the FPGA — deltas are symmetric. *)
+
+  val times : t -> times
+  (** Current Eq. 2 times, O(1) off the running sums. *)
+
+  val moved : t -> int list
+  (** Current moved set, in move order. *)
+
+  val reset : t -> unit
+  (** Back to the all-FPGA mapping without recharacterising. *)
+end
+
 val mappable : Platform.t -> Hypar_ir.Cdfg.t -> int -> bool
 (** Whether a block can execute on the platform's CGC data-path. *)
 

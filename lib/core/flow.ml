@@ -6,9 +6,10 @@ type prepared = {
   interp : Profiling.Interp.result;
 }
 
-let prepare ?name ?simplify ?verify_ir ?max_steps ?poll ?(inputs = []) source =
+let prepare ?backend ?name ?simplify ?verify_ir ?max_steps ?poll ?(inputs = [])
+    source =
   let cdfg = Hypar_minic.Driver.compile_exn ?name ?simplify ?verify_ir source in
-  let interp = Profiling.Interp.run ?max_steps ?poll ~inputs cdfg in
+  let interp = Profiling.Profile.run ?backend ?max_steps ?poll ~inputs cdfg in
   let profile = Profiling.Profile.of_result cdfg interp in
   { cdfg; profile; interp }
 

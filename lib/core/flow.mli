@@ -8,6 +8,7 @@ type prepared = {
 }
 
 val prepare :
+  ?backend:Hypar_profiling.Profile.backend ->
   ?name:string ->
   ?simplify:bool ->
   ?verify_ir:bool ->
@@ -19,7 +20,9 @@ val prepare :
 (** Compiles the source (frontend + clean-up passes) and profiles it on
     the given inputs. Raises {!Hypar_minic.Driver.Frontend_error} on
     frontend errors and {!Hypar_profiling.Interp.Runtime_error} on
-    execution errors.  [max_steps] bounds the profiling interpreter
+    execution errors.  [backend] selects the profiling execution backend
+    (default {!Hypar_profiling.Profile.backend_of_env}: compiled, unless
+    [HYPAR_INTERP=tree]).  [max_steps] bounds the profiling interpreter
     (default unlimited), raising
     {!Hypar_profiling.Interp.Fuel_exhausted} when exceeded; [poll] is
     the interpreter's cooperative cancellation hook (see

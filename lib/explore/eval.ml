@@ -37,6 +37,14 @@ let error_string (p : Space.point) exn =
     | Failure msg -> "Failure: " ^ msg
     | Hypar_profiling.Interp.Fuel_exhausted { steps } ->
       Printf.sprintf "Fuel_exhausted: point budget spent after %d steps" steps
+    | Engine.Delta_mismatch { field; full; incremental; moved } ->
+      (* the debug cross-check tripped: the engine's delta-updated time
+         diverged from the full recharacterisation at this point *)
+      Printf.sprintf
+        "Delta_mismatch: incremental %s=%d but full recompute=%d after \
+         moving [%s]"
+        field incremental full
+        (String.concat ";" (List.map string_of_int moved))
     | Hypar_ir.Verify.Failed { context; violations } ->
       Printf.sprintf "Verify.Failed: IR verification failed after %S: %s"
         context

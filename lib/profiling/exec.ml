@@ -1,0 +1,188 @@
+module Ir = Hypar_ir
+
+let error fmt =
+  Format.kasprintf (fun s -> raise (Interp.Runtime_error s)) fmt
+
+(* Executes a flattened program with semantics byte-identical to
+   [Interp.run]: same tick ordering (max_steps check, poll cadence, fuel
+   check, decrement), same evaluation order inside instructions (operands
+   right-to-left, matching the oracle's application order), same error
+   messages, same result assembly.  The only licensed shortcut: when
+   neither [max_steps] nor [poll] is present and enough fuel remains for a
+   whole block, the per-unit tick is batched into one subtraction — the
+   intermediate step counter is unobservable in that configuration. *)
+let exec ?(fuel = 400_000_000) ?max_steps ?poll ?(inputs = [])
+    (p : Compile.t) =
+  let regs = Array.make p.nregs 0 in
+  let defined = Bytes.make p.nregs '\000' in
+  let data =
+    Array.map
+      (fun (d : Ir.Cdfg.array_decl) ->
+        match d.init with
+        | Some init ->
+          let a = Array.make d.size 0 in
+          Array.blit init 0 a 0 (min (Array.length init) d.size);
+          a
+        | None -> Array.make d.size 0)
+      p.decls
+  in
+  List.iter
+    (fun (name, values) ->
+      match Hashtbl.find_opt p.handle_of name with
+      | None -> error "input for undeclared array %S" name
+      | Some h ->
+        if Hashtbl.mem p.const_names name then
+          error "input for const array %S" name;
+        let a = data.(h) in
+        Array.blit values 0 a 0 (min (Array.length values) (Array.length a)))
+    inputs;
+  let nblocks = Array.length p.blocks in
+  let exec_freq = Array.make nblocks 0 in
+  let edge_counts = Array.make (Array.length p.edge_keys) 0 in
+  let budget = ref fuel in
+  let steps = ref 0 in
+  let fast = max_steps = None && poll = None in
+  let tick () =
+    (match max_steps with
+    | Some limit when !steps >= limit ->
+      raise (Interp.Fuel_exhausted { steps = !steps })
+    | Some _ | None -> ());
+    (match poll with
+    | Some check when !steps land 1023 = 0 -> check ()
+    | Some _ | None -> ());
+    if !budget <= 0 then error "fuel exhausted (infinite loop?)";
+    decr budget;
+    incr steps
+  in
+  let get = function
+    | Compile.Imm n -> n
+    | Compile.Reg (r, name) ->
+      if Bytes.unsafe_get defined r = '\001' then Array.unsafe_get regs r
+      else error "read of undefined variable %s#%d" name r
+  in
+  let set r v =
+    Array.unsafe_set regs r v;
+    Bytes.unsafe_set defined r '\001'
+  in
+  let exec_one ins =
+    match ins with
+    | Compile.Bin { dst; op; a; b } ->
+      let vb = get b in
+      let va = get a in
+      set dst (Ir.Types.eval_alu_op op va vb)
+    | Compile.Mul { dst; a; b } ->
+      let vb = get b in
+      let va = get a in
+      set dst (va * vb)
+    | Compile.Div { dst; a; b } ->
+      let d = get b in
+      if d = 0 then error "division by zero";
+      set dst (get a / d)
+    | Compile.Rem { dst; a; b } ->
+      let d = get b in
+      if d = 0 then error "remainder by zero";
+      set dst (get a mod d)
+    | Compile.Un { dst; op; a } -> set dst (Ir.Types.eval_un_op op (get a))
+    | Compile.Mov { dst; src } -> set dst (get src)
+    | Compile.Select { dst; cond; if_true; if_false } ->
+      set dst (if get cond <> 0 then get if_true else get if_false)
+    | Compile.Load { dst; arr; aname; index } ->
+      if arr < 0 then error "access to undeclared array %S" aname;
+      let a = Array.unsafe_get data arr in
+      let i = get index in
+      if i < 0 || i >= Array.length a then
+        error "array %S index %d out of bounds [0, %d)" aname i
+          (Array.length a);
+      set dst (Array.unsafe_get a i)
+    | Compile.Store { arr; aname; const; index; value } ->
+      if const then error "store to const array %S" aname;
+      if arr < 0 then error "access to undeclared array %S" aname;
+      let a = Array.unsafe_get data arr in
+      let i = get index in
+      if i < 0 || i >= Array.length a then
+        error "array %S index %d out of bounds [0, %d)" aname i
+          (Array.length a);
+      Array.unsafe_set a i (get value)
+  in
+  let rec exec_block i =
+    exec_freq.(i) <- exec_freq.(i) + 1;
+    let b = Array.unsafe_get p.blocks i in
+    let body = b.Compile.body in
+    let len = Array.length body in
+    if fast && !budget > len + 1 then begin
+      budget := !budget - (len + 1);
+      for k = 0 to len - 1 do
+        exec_one (Array.unsafe_get body k)
+      done
+    end
+    else begin
+      tick ();
+      for k = 0 to len - 1 do
+        tick ();
+        exec_one (Array.unsafe_get body k)
+      done
+    end;
+    match b.Compile.term with
+    | Compile.Jump { target; edge } ->
+      edge_counts.(edge) <- edge_counts.(edge) + 1;
+      exec_block target
+    | Compile.Branch { cond; if_true; edge_true; if_false; edge_false } ->
+      if get cond <> 0 then begin
+        edge_counts.(edge_true) <- edge_counts.(edge_true) + 1;
+        exec_block if_true
+      end
+      else begin
+        edge_counts.(edge_false) <- edge_counts.(edge_false) + 1;
+        exec_block if_false
+      end
+    | Compile.Return None -> None
+    | Compile.Return (Some op) -> Some (get op)
+  in
+  let return_value = exec_block p.entry in
+  (* Per-block memory traffic and the executed-unit totals are products
+     of the visit counts: every *completed* run executed each block's
+     full body [exec_freq] times, and an aborted run never reaches this
+     point.  This keeps three counter bumps off the hot loop. *)
+  let mem_reads = Array.make nblocks 0 in
+  let mem_writes = Array.make nblocks 0 in
+  let instrs_executed = ref 0 in
+  let blocks_executed = ref 0 in
+  for i = 0 to nblocks - 1 do
+    let b = p.blocks.(i) in
+    mem_reads.(i) <- exec_freq.(i) * b.Compile.static_loads;
+    mem_writes.(i) <- exec_freq.(i) * b.Compile.static_stores;
+    instrs_executed :=
+      !instrs_executed + (exec_freq.(i) * Array.length b.Compile.body);
+    blocks_executed := !blocks_executed + exec_freq.(i)
+  done;
+  let arrays =
+    Array.to_list
+      (Array.map
+         (fun (d : Ir.Cdfg.array_decl) ->
+           (d.aname, data.(Hashtbl.find p.handle_of d.aname)))
+         p.decls)
+  in
+  let edge_freq = ref [] in
+  for s = Array.length edge_counts - 1 downto 0 do
+    if edge_counts.(s) > 0 then
+      edge_freq := (p.edge_keys.(s), edge_counts.(s)) :: !edge_freq
+  done;
+  let edge_freq = List.sort compare !edge_freq in
+  if Hypar_obs.Sink.enabled () then begin
+    Hypar_obs.Counter.incr ~by:!instrs_executed "profile.instrs_executed";
+    Hypar_obs.Counter.incr ~by:!blocks_executed "profile.blocks_executed"
+  end;
+  {
+    Interp.exec_freq;
+    mem_reads;
+    mem_writes;
+    edge_freq;
+    instrs_executed = !instrs_executed;
+    blocks_executed = !blocks_executed;
+    return_value;
+    arrays;
+  }
+
+let run ?fuel ?max_steps ?poll ?inputs cdfg =
+  Hypar_obs.Span.with_ ~cat:"profile" "profile.run" @@ fun () ->
+  exec ?fuel ?max_steps ?poll ?inputs (Compile.compile cdfg)

@@ -44,8 +44,22 @@ let of_result cdfg (r : Interp.result) =
     return_value = r.return_value;
   }
 
-let collect ?fuel ?inputs cdfg =
-  of_result cdfg (Interp.run ?fuel ?inputs cdfg)
+type backend = [ `Compiled | `Tree ]
+
+let backend_of_env () =
+  match Sys.getenv_opt "HYPAR_INTERP" with
+  | Some s when String.lowercase_ascii (String.trim s) = "tree" -> `Tree
+  | Some _ | None -> `Compiled
+
+let run ?backend ?fuel ?max_steps ?poll ?inputs cdfg =
+  match
+    match backend with Some b -> b | None -> backend_of_env ()
+  with
+  | `Tree -> Interp.run ?fuel ?max_steps ?poll ?inputs cdfg
+  | `Compiled -> Exec.run ?fuel ?max_steps ?poll ?inputs cdfg
+
+let collect ?backend ?fuel ?inputs cdfg =
+  of_result cdfg (run ?backend ?fuel ?inputs cdfg)
 
 let freq t i = if i >= 0 && i < Array.length t.blocks then t.blocks.(i).freq else 0
 

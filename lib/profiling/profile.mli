@@ -23,9 +23,36 @@ type t = {
   return_value : int option;
 }
 
+type backend = [ `Compiled | `Tree ]
+(** Execution backend of the profiling interpreter.  [`Compiled]
+    (default) flattens the CDFG once ({!Compile}) and executes the flat
+    program ({!Exec}); [`Tree] is the original tree-walking oracle
+    ({!Interp.run}).  Both produce byte-identical {!Interp.result}s. *)
+
+val backend_of_env : unit -> backend
+(** Backend selected by the [HYPAR_INTERP] environment variable:
+    ["tree"] picks the oracle, anything else (or unset) the compiled
+    backend.  This is the default of {!run} and what [hypar serve]
+    honours. *)
+
+val run :
+  ?backend:backend ->
+  ?fuel:int ->
+  ?max_steps:int ->
+  ?poll:(unit -> unit) ->
+  ?inputs:(string * int array) list ->
+  Hypar_ir.Cdfg.t ->
+  Interp.result
+(** Executes the program on the selected backend (default
+    {!backend_of_env}).  Parameters and exceptions as {!Interp.run}. *)
+
 val collect :
-  ?fuel:int -> ?inputs:(string * int array) list -> Hypar_ir.Cdfg.t -> t
-(** Runs the program (see {!Interp.run}) and assembles per-block stats. *)
+  ?backend:backend ->
+  ?fuel:int ->
+  ?inputs:(string * int array) list ->
+  Hypar_ir.Cdfg.t ->
+  t
+(** Runs the program (see {!run}) and assembles per-block stats. *)
 
 val of_result : Hypar_ir.Cdfg.t -> Interp.result -> t
 (** Assembles a profile from an existing interpreter run. *)

@@ -6,6 +6,7 @@ type config = {
   max_queue : int;
   drain_timeout_ms : int;
   faults : Hypar_resilience.Fault.spec option;
+  backend : Hypar_profiling.Profile.backend option;
   default_deadline_ms : int option;
   default_fuel : int option;
 }
@@ -39,6 +40,7 @@ let run_session ?(drain_on_eof = true) ?(execute = Worker.execute) config drain
   let wconfig =
     {
       Worker.faults = config.faults;
+      backend = config.backend;
       default_deadline_ms = config.default_deadline_ms;
       default_fuel = config.default_fuel;
       drain;

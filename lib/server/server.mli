@@ -23,6 +23,8 @@ type config = {
   max_queue : int;
   drain_timeout_ms : int;
   faults : Hypar_resilience.Fault.spec option;
+  backend : Hypar_profiling.Profile.backend option;
+      (** profiling backend override; [None] honours [HYPAR_INTERP] *)
   default_deadline_ms : int option;
   default_fuel : int option;
 }

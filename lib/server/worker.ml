@@ -6,6 +6,7 @@ module P = Protocol
 
 type config = {
   faults : Hypar_resilience.Fault.spec option;
+  backend : Hypar_profiling.Profile.backend option;
   default_deadline_ms : int option;
   default_fuel : int option;
   drain : Drain.t;
@@ -22,9 +23,9 @@ let read_file path =
    the bytecode frontend, .mc through Mini-C — anything else is a typed
    failure envelope, not a parse error.  Every path profiles under the
    same poll hook and fuel cap so deadlines reach the interpreter. *)
-let prepare ~poll ?max_steps path =
+let prepare ?backend ~poll ?max_steps path =
   let profile_of cdfg =
-    let interp = Hypar_profiling.Interp.run ?max_steps ~poll cdfg in
+    let interp = Hypar_profiling.Profile.run ?backend ?max_steps ~poll cdfg in
     let profile = Hypar_profiling.Profile.of_result cdfg interp in
     { Flow.cdfg; profile; interp }
   in
@@ -35,7 +36,7 @@ let prepare ~poll ?max_steps path =
       (Hypar_bytecode.Driver.compile_exn ~name:(Filename.basename path)
          (read_file path))
   else if Filename.check_suffix path ".mc" then
-    Flow.prepare ~name:(Filename.basename path) ?max_steps ~poll
+    Flow.prepare ?backend ~name:(Filename.basename path) ?max_steps ~poll
       (read_file path)
   else
     raise
@@ -115,7 +116,7 @@ let partition config body =
   let deadline = deadline_of config body in
   let poll = poll_hook config deadline in
   let platform = degrade config (platform_of ~area ~cgcs ~rows ~cols ~ratio) in
-  let prepared = prepare ~poll ?max_steps:(fuel_of config body) file in
+  let prepared = prepare ?backend:config.backend ~poll ?max_steps:(fuel_of config body) file in
   poll ();
   let r =
     Engine.run ~granularity ~cgc_pipelining:pipelined platform
@@ -141,7 +142,7 @@ let analyze config body =
   let top = P.int_field ~default:8 body "top" in
   let deadline = deadline_of config body in
   let poll = poll_hook config deadline in
-  let prepared = prepare ~poll ?max_steps:(fuel_of config body) file in
+  let prepared = prepare ?backend:config.backend ~poll ?max_steps:(fuel_of config body) file in
   poll ();
   let analysis =
     Hypar_analysis.Kernel.analyse prepared.Flow.cdfg prepared.Flow.profile
@@ -196,7 +197,7 @@ let explore config body =
   let fuel = fuel_of config body in
   let deadline = deadline_of config body in
   let poll = poll_hook config deadline in
-  let prepared = prepare ~poll ?max_steps:fuel file in
+  let prepared = prepare ?backend:config.backend ~poll ?max_steps:fuel file in
   poll ();
   let space =
     Hypar_explore.Space.make ~areas ~cgcs ~rows ~cols ~clock_ratios:ratios

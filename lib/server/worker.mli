@@ -22,6 +22,9 @@
 type config = {
   faults : Hypar_resilience.Fault.spec option;
       (** degrade the platform for [partition]/[explore], as [--faults] *)
+  backend : Hypar_profiling.Profile.backend option;
+      (** profiling interpreter backend; [None] defers to
+          {!Hypar_profiling.Profile.backend_of_env} ([HYPAR_INTERP]) *)
   default_deadline_ms : int option;
   default_fuel : int option;
   drain : Drain.t;

@@ -559,3 +559,24 @@ An unknown extension is refused before any work happens:
   $ hypar kernels faults.spec
   hypar: faults.spec: unsupported input (expected .mc Mini-C, .hbc bytecode or .ir serialised CDFG)
   [2]
+
+The profiling interpreter has two execution backends — the compiled
+flat executor (the default) and the original tree-walking oracle — and
+everything the CLI prints must be byte-identical across them.  --interp
+selects the backend explicitly:
+
+  $ hypar profile fir.mc > prof-compiled.txt
+  $ hypar profile fir.mc --interp tree > prof-tree.txt
+  $ cmp prof-compiled.txt prof-tree.txt
+
+  $ hypar partition fir.mc -t 8000 > part-compiled.txt
+  $ hypar partition fir.mc -t 8000 --interp tree > part-tree.txt
+  $ cmp part-compiled.txt part-tree.txt
+
+HYPAR_INTERP=tree is the environment-variable equivalent, honoured by
+every subcommand including serve:
+
+  $ printf '{"id":1,"verb":"partition","file":"fir.mc","timing":8000}\n' > one.jsonl
+  $ hypar serve < one.jsonl 2> /dev/null > serve-compiled.jsonl
+  $ HYPAR_INTERP=tree hypar serve < one.jsonl 2> /dev/null > serve-tree.jsonl
+  $ cmp serve-compiled.jsonl serve-tree.jsonl

@@ -3,6 +3,10 @@
    with the pass name rather than skewing downstream numbers *)
 let () = Hypar_ir.Passes.verify_passes := true
 
+(* likewise, every Engine.run in the suite cross-checks its delta-updated
+   times against the full recharacterisation (Engine.Delta_mismatch) *)
+let () = Hypar_core.Engine.check_incremental := true
+
 let () =
   Alcotest.run "hypar"
     [
@@ -29,6 +33,7 @@ let () =
       ("inline", Test_inline.suite);
       ("lower", Test_lower.suite);
       ("interp", Test_interp.suite);
+      ("compile", Test_compile.suite);
       ("profile", Test_profile.suite);
       ("analysis", Test_analysis.suite);
       ("range", Test_range.suite);

@@ -1,0 +1,333 @@
+(* Golden oracle tests for the compiled profiling backend: the flattened
+   executor (Compile/Exec) must produce Interp.result values byte-identical
+   to the tree-walking interpreter — on the four benchmark applications,
+   on the bundled bytecode examples, and on the runtime edge cases (fuel
+   exhaustion, cooperative polling, every Runtime_error message). *)
+
+module Ir = Hypar_ir
+module Interp = Hypar_profiling.Interp
+module Exec = Hypar_profiling.Exec
+module Compile = Hypar_profiling.Compile
+
+let compile = Hypar_minic.Driver.compile_exn
+
+let edge = Alcotest.(pair (pair int int) int)
+let arrays = Alcotest.(list (pair string (array int)))
+
+let check_same what (tree : Interp.result) (comp : Interp.result) =
+  Alcotest.(check (array int))
+    (what ^ ": exec_freq") tree.Interp.exec_freq comp.Interp.exec_freq;
+  Alcotest.(check (array int)) (what ^ ": mem_reads") tree.mem_reads comp.mem_reads;
+  Alcotest.(check (array int)) (what ^ ": mem_writes") tree.mem_writes comp.mem_writes;
+  Alcotest.(check (list edge)) (what ^ ": edge_freq") tree.edge_freq comp.edge_freq;
+  Alcotest.(check int) (what ^ ": instrs_executed") tree.instrs_executed
+    comp.instrs_executed;
+  Alcotest.(check int) (what ^ ": blocks_executed") tree.blocks_executed
+    comp.blocks_executed;
+  Alcotest.(check (option int)) (what ^ ": return_value") tree.return_value
+    comp.return_value;
+  Alcotest.(check arrays) (what ^ ": arrays") tree.arrays comp.arrays
+
+(* Run both backends under identical parameters and require the same
+   outcome: equal results, or the same exception with the same payload.
+   [mk_poll] is a factory so each run gets a fresh (stateful) hook. *)
+type outcome =
+  | Value of Interp.result
+  | Error_msg of string
+  | Fuel of int
+  | Raised of string
+
+type runner =
+  ?fuel:int ->
+  ?max_steps:int ->
+  ?poll:(unit -> unit) ->
+  ?inputs:(string * int array) list ->
+  Ir.Cdfg.t ->
+  Interp.result
+
+let outcome ?fuel ?max_steps ?mk_poll ?inputs (run : runner) cdfg =
+  let poll = Option.map (fun f -> f ()) mk_poll in
+  match run ?fuel ?max_steps ?poll ?inputs cdfg with
+  | r -> Value r
+  | exception Interp.Runtime_error m -> Error_msg m
+  | exception Interp.Fuel_exhausted { steps } -> Fuel steps
+  | exception e -> Raised (Printexc.to_string e)
+
+let show_outcome = function
+  | Value _ -> "a result"
+  | Error_msg m -> Printf.sprintf "Runtime_error %S" m
+  | Fuel s -> Printf.sprintf "Fuel_exhausted { steps = %d }" s
+  | Raised s -> s
+
+let check_outcomes what a b =
+  match (a, b) with
+  | Value ta, Value tb -> check_same what ta tb
+  | Error_msg ma, Error_msg mb ->
+    Alcotest.(check string) (what ^ ": error message") ma mb
+  | Fuel sa, Fuel sb -> Alcotest.(check int) (what ^ ": exhausted steps") sa sb
+  | Raised ra, Raised rb -> Alcotest.(check string) (what ^ ": exception") ra rb
+  | a, b ->
+    Alcotest.failf "%s: tree %s but compiled %s" what (show_outcome a)
+      (show_outcome b)
+
+let check_both ?fuel ?max_steps ?mk_poll ?inputs what cdfg =
+  check_outcomes what
+    (outcome ?fuel ?max_steps ?mk_poll ?inputs Interp.run cdfg)
+    (outcome ?fuel ?max_steps ?mk_poll ?inputs Exec.run cdfg)
+
+(* --- the four benchmark applications, field by field --- *)
+
+let apps =
+  [
+    ("ofdm", Hypar_apps.Ofdm.source, Hypar_apps.Ofdm.inputs ());
+    ("jpeg", Hypar_apps.Jpeg.source, Hypar_apps.Jpeg.inputs ());
+    ("sobel", Hypar_apps.Sobel.source, Hypar_apps.Sobel.inputs ());
+    ("adpcm", Hypar_apps.Adpcm.source, Hypar_apps.Adpcm.inputs ());
+  ]
+
+let test_app (name, source, inputs) () =
+  let cdfg = compile ~name source in
+  check_same name (Interp.run ~inputs cdfg) (Exec.run ~inputs cdfg)
+
+(* --- the bundled bytecode examples --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* resolve the examples directory from either cwd: the test directory
+   (dune runtest) or the project root (dune exec test/main.exe) *)
+let bytecode_dir () =
+  List.find Sys.file_exists
+    [ "../examples/bytecode"; "examples/bytecode" ]
+
+let test_bytecode_examples () =
+  List.iter
+    (fun name ->
+      let file = name ^ ".hbc" in
+      let src = read_file (Filename.concat (bytecode_dir ()) file) in
+      let cdfg = Hypar_bytecode.Driver.compile_exn ~name:file src in
+      check_both file cdfg)
+    [ "dotprod"; "fib"; "gcd" ]
+
+(* --- compiled-program reuse: one Compile.compile, many Exec.exec --- *)
+
+let test_compile_reuse () =
+  let cdfg =
+    compile
+      {|
+int in[8];
+int out[1];
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 8; i = i + 1) { s = s + in[i] * in[i]; }
+  out[0] = s;
+}
+|}
+  in
+  let p = Compile.compile cdfg in
+  for seed = 0 to 3 do
+    let inputs = [ ("in", Array.init 8 (fun i -> ((i * 7) + seed) mod 11)) ] in
+    check_same
+      (Printf.sprintf "reuse (seed %d)" seed)
+      (Interp.run ~inputs cdfg)
+      (Exec.exec ~inputs p)
+  done
+
+(* --- fuel: the legacy budget must exhaust at exactly the same unit ---
+
+   The compiled fast path batch-decrements the budget per block, so an
+   off-by-one there would move the exhaustion point.  Sweep fuel values
+   around the program's exact cost and require identical outcomes. *)
+
+let loop_src =
+  {|
+int out[1];
+void main() {
+  int i = 0;
+  int s = 0;
+  while (i < 50) { s = s + i; i = i + 1; }
+  out[0] = s;
+}
+|}
+
+let test_fuel_boundary () =
+  let cdfg = compile loop_src in
+  let r = Interp.run cdfg in
+  let total = r.Interp.instrs_executed + r.Interp.blocks_executed in
+  List.iter
+    (fun fuel ->
+      check_both ~fuel (Printf.sprintf "fuel=%d (total=%d)" fuel total) cdfg)
+    [ 1; 2; total - 2; total - 1; total; total + 1 ]
+
+let test_fuel_exhaustion_message () =
+  let cdfg =
+    compile
+      {|
+int out[1];
+void main() {
+  int i = 0;
+  while (i < 1000000) { i = i + 1; }
+  out[0] = i;
+}
+|}
+  in
+  check_both ~fuel:1000 "fuel message" cdfg
+
+(* --- max_steps: typed exhaustion with identical step counts --- *)
+
+let test_max_steps_boundary () =
+  let cdfg = compile loop_src in
+  let r = Interp.run cdfg in
+  let total = r.Interp.instrs_executed + r.Interp.blocks_executed in
+  List.iter
+    (fun max_steps ->
+      check_both ~max_steps
+        (Printf.sprintf "max_steps=%d (total=%d)" max_steps total)
+        cdfg)
+    [ 1; 7; total - 1; total; total + 1 ]
+
+(* --- poll: same cadence (at least every 1024 units), same call count --- *)
+
+let poll_src =
+  {|
+int out[1];
+void main() {
+  int i = 0;
+  int s = 0;
+  while (i < 2000) { s = s + i; i = i + 1; }
+  out[0] = s;
+}
+|}
+
+let test_poll_cadence () =
+  let cdfg = compile poll_src in
+  let count (run : runner) =
+    let n = ref 0 in
+    ignore (run ~poll:(fun () -> incr n) cdfg);
+    !n
+  in
+  let tree = count Interp.run and comp = count Exec.run in
+  Alcotest.(check bool) "poll fired" true (tree > 1);
+  Alcotest.(check int) "same poll count" tree comp
+
+let test_poll_raises () =
+  let cdfg = compile poll_src in
+  let mk_poll () =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      if !n = 3 then raise Exit
+  in
+  check_both ~mk_poll "raising poll" cdfg
+
+(* --- runtime errors: identical messages, byte for byte --- *)
+
+let test_division_by_zero () =
+  let cdfg =
+    compile {|
+int out[1];
+int in[1];
+void main() { out[0] = 10 / in[0]; }
+|}
+  in
+  check_both "div by zero" cdfg
+
+let test_out_of_bounds () =
+  let cdfg = compile {|
+int t[4];
+void main() { t[4] = 1; }
+|} in
+  check_both "index 4 of [0,4)" cdfg
+
+let test_negative_index () =
+  let cdfg =
+    compile {|
+int t[4];
+int in[1];
+void main() { t[in[0] - 1] = 1; }
+|}
+  in
+  check_both "negative index" cdfg
+
+(* The remaining error paths are unreachable from the frontends (the
+   typechecker rejects them), so the programs are built directly. *)
+
+let build f =
+  let b = Ir.Builder.create () in
+  f b;
+  Ir.Builder.cdfg b
+
+let test_undefined_read () =
+  let cdfg =
+    build (fun b ->
+        Ir.Builder.declare_array b "out" 1;
+        let x = Ir.Builder.fresh_var b "x" in
+        Ir.Builder.store b ~arr:"out" (Ir.Builder.imm 0) (Ir.Builder.var x);
+        Ir.Builder.finish_block b ~label:"entry" ~term:(Ir.Block.Return None))
+  in
+  check_both "read of undefined variable" cdfg
+
+let test_undeclared_array () =
+  let cdfg =
+    build (fun b ->
+        let _ = Ir.Builder.load b "t" ~arr:"nosuch" (Ir.Builder.imm 0) in
+        Ir.Builder.finish_block b ~label:"entry" ~term:(Ir.Block.Return None))
+  in
+  check_both "undeclared array" cdfg
+
+let test_store_to_const () =
+  let cdfg =
+    build (fun b ->
+        Ir.Builder.declare_array ~is_const:true ~init:[| 7; 8 |] b "rom" 2;
+        Ir.Builder.store b ~arr:"rom" (Ir.Builder.imm 0) (Ir.Builder.imm 1);
+        Ir.Builder.finish_block b ~label:"entry" ~term:(Ir.Block.Return None))
+  in
+  check_both "store to const" cdfg
+
+let test_remainder_by_zero () =
+  let cdfg =
+    build (fun b ->
+        let d = Ir.Builder.fresh_var b "q" in
+        Ir.Builder.emit b
+          (Ir.Instr.Rem { dst = d; a = Ir.Instr.Imm 5; b = Ir.Instr.Imm 0 });
+        Ir.Builder.finish_block b ~label:"entry" ~term:(Ir.Block.Return None))
+  in
+  check_both "remainder by zero" cdfg
+
+let test_input_errors () =
+  let cdfg =
+    compile {|
+const int rom[2] = { 7, 8 };
+int out[1];
+void main() { out[0] = rom[0]; }
+|}
+  in
+  check_both ~inputs:[ ("rom", [| 1; 2 |]) ] "input for const array" cdfg;
+  check_both ~inputs:[ ("nope", [| 1 |]) ] "input for undeclared array" cdfg
+
+let suite =
+  List.map
+    (fun ((name, _, _) as app) ->
+      Alcotest.test_case ("app " ^ name) `Quick (test_app app))
+    apps
+  @ [
+      Alcotest.test_case "bytecode examples" `Quick test_bytecode_examples;
+      Alcotest.test_case "compiled program reuse" `Quick test_compile_reuse;
+      Alcotest.test_case "fuel boundary" `Quick test_fuel_boundary;
+      Alcotest.test_case "fuel message" `Quick test_fuel_exhaustion_message;
+      Alcotest.test_case "max_steps boundary" `Quick test_max_steps_boundary;
+      Alcotest.test_case "poll cadence" `Quick test_poll_cadence;
+      Alcotest.test_case "poll raises" `Quick test_poll_raises;
+      Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+      Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
+      Alcotest.test_case "negative index" `Quick test_negative_index;
+      Alcotest.test_case "undefined read" `Quick test_undefined_read;
+      Alcotest.test_case "undeclared array" `Quick test_undeclared_array;
+      Alcotest.test_case "store to const" `Quick test_store_to_const;
+      Alcotest.test_case "remainder by zero" `Quick test_remainder_by_zero;
+      Alcotest.test_case "input errors" `Quick test_input_errors;
+    ]

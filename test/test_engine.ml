@@ -233,4 +233,169 @@ let granularity_suite =
     Alcotest.test_case "granularities coincide" `Quick test_loop_granularity_same_on_single_block_loops;
   ]
 
-let suite = suite @ granularity_suite
+(* --- incremental recharacterisation: Inc vs the full recompute ---
+
+   Engine.run now maintains its times by delta update (Engine.Inc); these
+   tests replay full trajectories and require every published step to
+   equal the from-scratch Engine.evaluate pricing of the same moved set —
+   on the benchmark applications, on seeded random platforms, on degraded
+   (faulted) platforms, and through Inc's own move/unmove/reset API. *)
+
+let check_times_eq what (full : Engine.times) (inc : Engine.times) =
+  if full <> inc then
+    Alcotest.failf
+      "%s: full (fpga=%d cgc=%d coarse=%d comm=%d total=%d) <> incremental \
+       (fpga=%d cgc=%d coarse=%d comm=%d total=%d)"
+      what full.Engine.t_fpga full.t_coarse_cgc full.t_coarse full.t_comm
+      full.t_total inc.Engine.t_fpga inc.t_coarse_cgc inc.t_coarse inc.t_comm
+      inc.t_total
+
+let check_trajectory ?comm_pricing ?cgc_pipelining ?granularity what pl
+    (prepared : Flow.prepared) ~timing_constraint =
+  let r =
+    Engine.run ?comm_pricing ?cgc_pipelining ?granularity pl ~timing_constraint
+      prepared.Flow.cdfg prepared.Flow.profile
+  in
+  let full =
+    Engine.evaluate ?comm_pricing ?cgc_pipelining pl prepared.Flow.cdfg
+      prepared.Flow.profile
+  in
+  check_times_eq (what ^ ": initial") (full []) r.Engine.initial;
+  List.iter
+    (fun (s : Engine.step) ->
+      check_times_eq
+        (Printf.sprintf "%s: step %d" what s.Engine.step_index)
+        (full s.Engine.on_cgc) s.Engine.times)
+    r.Engine.steps;
+  check_times_eq (what ^ ": final") (full r.Engine.moved) r.Engine.final;
+  r
+
+let test_incremental_apps () =
+  List.iter
+    (fun (name, prepared) ->
+      ignore
+        (check_trajectory name (platform ()) prepared ~timing_constraint:1))
+    [
+      ("ofdm", Hypar_apps.Ofdm.prepared ());
+      ("jpeg", Hypar_apps.Jpeg.prepared ());
+      ("sobel", Hypar_apps.Sobel.prepared ());
+      ("adpcm", Hypar_apps.Adpcm.prepared ());
+    ]
+
+let test_incremental_loop_granularity () =
+  (* loop granularity moves several blocks per step — the delta path must
+     price multi-block steps exactly like the full recompute *)
+  let prepared = Hypar_apps.Adpcm.prepared () in
+  ignore
+    (check_trajectory ~granularity:`Loop "adpcm loops" (platform ()) prepared
+       ~timing_constraint:Hypar_apps.Adpcm.timing_constraint)
+
+let lcg seed =
+  let state = ref (if seed = 0 then 1 else seed) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+let test_incremental_random_platforms () =
+  let prepared = Lazy.force prepared_hot in
+  for seed = 1 to 12 do
+    let next = lcg (seed * 7919) in
+    let pl =
+      Platform.make
+        ~clock_ratio:(1 + next 4)
+        ~fpga:(Fpga.make ~area:(200 + next 4000) ())
+        ~cgc:
+          (Cgc.make ~cgcs:(1 + next 4) ~rows:(1 + next 4) ~cols:(1 + next 4)
+             ())
+        ()
+    in
+    let comm_pricing = if next 2 = 0 then `Transition else `Per_invocation in
+    let cgc_pipelining = next 2 = 1 in
+    ignore
+      (check_trajectory ~comm_pricing ~cgc_pipelining
+         (Printf.sprintf "random platform %d" seed)
+         pl prepared
+         ~timing_constraint:(1 + next 100_000))
+  done
+
+let test_incremental_degraded () =
+  let prepared = Hypar_apps.Ofdm.prepared () in
+  let spec =
+    {
+      Hypar_resilience.Fault.seed = 42;
+      faults =
+        [
+          Hypar_resilience.Fault.Dead_cgc 0;
+          Hypar_resilience.Fault.Area_loss (`Percent 30);
+          Hypar_resilience.Fault.Comm_slowdown 150;
+          Hypar_resilience.Fault.Dead_node
+            { cgc = 1; row = 0; col = 1; unit_kind = Hypar_resilience.Fault.Mult };
+        ];
+    }
+  in
+  match Hypar_resilience.Degrade.apply ~strict:false spec (platform ()) with
+  | Error e -> Alcotest.fail e
+  | Ok pl ->
+    ignore (check_trajectory "degraded" pl prepared ~timing_constraint:1)
+
+let test_inc_move_unmove_reset () =
+  let prepared = Lazy.force prepared_hot in
+  let pl = platform () in
+  let inc = Engine.Inc.create pl prepared.Flow.cdfg prepared.Flow.profile in
+  let full = Engine.evaluate pl prepared.Flow.cdfg prepared.Flow.profile in
+  let initial = Engine.Inc.times inc in
+  check_times_eq "all-FPGA" (full []) initial;
+  (* replay the engine's own trajectory move by move, then unwind it *)
+  let r =
+    Engine.run pl ~timing_constraint:1 prepared.Flow.cdfg prepared.Flow.profile
+  in
+  Alcotest.(check bool) "trajectory is non-trivial" true (r.Engine.moved <> []);
+  List.iteri
+    (fun i b ->
+      Engine.Inc.move inc b;
+      check_times_eq
+        (Printf.sprintf "after move %d" (i + 1))
+        (full (Engine.Inc.moved inc))
+        (Engine.Inc.times inc))
+    r.Engine.moved;
+  Alcotest.(check (list int)) "moved order" r.Engine.moved
+    (Engine.Inc.moved inc);
+  List.iter
+    (fun b ->
+      Engine.Inc.unmove inc b;
+      check_times_eq "during unwind"
+        (full (Engine.Inc.moved inc))
+        (Engine.Inc.times inc))
+    (List.rev r.Engine.moved);
+  check_times_eq "unwound to initial" initial (Engine.Inc.times inc);
+  (* re-move everything, then reset jumps straight back *)
+  List.iter (fun b -> Engine.Inc.move inc b) r.Engine.moved;
+  Engine.Inc.reset inc;
+  check_times_eq "reset" initial (Engine.Inc.times inc);
+  match r.Engine.moved with
+  | [] -> ()
+  | b :: _ -> (
+    Engine.Inc.move inc b;
+    (match Engine.Inc.move inc b with
+    | () -> Alcotest.fail "double move should raise"
+    | exception Invalid_argument _ -> ());
+    Engine.Inc.unmove inc b;
+    match Engine.Inc.unmove inc b with
+    | () -> Alcotest.fail "unmove of an unmoved block should raise"
+    | exception Invalid_argument _ -> ())
+
+let incremental_suite =
+  [
+    Alcotest.test_case "incremental matches full on apps" `Quick
+      test_incremental_apps;
+    Alcotest.test_case "incremental at loop granularity" `Quick
+      test_incremental_loop_granularity;
+    Alcotest.test_case "incremental on random platforms" `Quick
+      test_incremental_random_platforms;
+    Alcotest.test_case "incremental on degraded platforms" `Quick
+      test_incremental_degraded;
+    Alcotest.test_case "Inc move/unmove/reset" `Quick
+      test_inc_move_unmove_reset;
+  ]
+
+let suite = suite @ granularity_suite @ incremental_suite

@@ -249,6 +249,35 @@ let prop_bytecode_differential =
         r_direct.Hypar_profiling.Interp.arrays
       || QCheck.Test.fail_reportf "array contents diverged via bytecode")
 
+(* Differential testing of the two interpreter backends: on every random
+   structured program — compiled raw (-O0), through the full optimiser
+   (-O), and round-tripped through the bytecode frontend — the compiled
+   executor must produce an Interp.result structurally identical to the
+   tree-walking oracle in every field (frequencies, counters, edge
+   profile, arrays, return value).  170 seeds x 3 variants = 510 random
+   programs per run. *)
+
+let prop_backend_differential =
+  QCheck.Test.make
+    ~name:"interp: compiled backend matches tree oracle (-O0, -O, bytecode)"
+    ~count:170 optimize_arb (fun (seed, depth) ->
+      let src = Hypar_apps.Synth.random_structured_main ~seed ~depth () in
+      let raw = Driver.compile_exn ~name:"diff" ~simplify:false src in
+      let opt = Hypar_ir.Passes.optimize raw in
+      let bc =
+        Hypar_bytecode.Driver.compile_exn ~name:"diff"
+          (Hypar_bytecode.Emit.to_string raw)
+      in
+      List.for_all
+        (fun (variant, cdfg) ->
+          let tree = Hypar_profiling.Interp.run cdfg in
+          let comp = Hypar_profiling.Exec.run cdfg in
+          tree = comp
+          || QCheck.Test.fail_reportf
+               "backends diverged on the %s variant of seed %d:\n%s" variant
+               seed src)
+        [ ("-O0", raw); ("-O", opt); ("bytecode", bc) ])
+
 (* The serve protocol is the same contract one layer up: any byte soup
    on the wire must come back as a typed envelope, never an escaping
    exception and never a dead worker. *)
@@ -256,6 +285,7 @@ let prop_bytecode_differential =
 let serve_config () =
   {
     Hypar_server.Worker.faults = None;
+    backend = None;
     default_deadline_ms = None;
     default_fuel = Some 10_000;
     drain = Hypar_server.Drain.create ~drain_timeout_ms:1000;
@@ -319,6 +349,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_faults_never_raise;
     QCheck_alcotest.to_alcotest prop_optimize_differential;
     QCheck_alcotest.to_alcotest prop_bytecode_differential;
+    QCheck_alcotest.to_alcotest prop_backend_differential;
     Alcotest.test_case "serve protocol: byte soup" `Quick
       test_protocol_byte_soup;
     Alcotest.test_case "serve protocol: truncations" `Quick

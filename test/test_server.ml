@@ -41,6 +41,7 @@ let fir_file = lazy (write_temp ~suffix:".mc" fir_source)
 let fresh_config ?faults ?default_deadline_ms ?default_fuel () =
   {
     Worker.faults;
+    backend = None;
     default_deadline_ms;
     default_fuel;
     drain = Drain.create ~drain_timeout_ms:1000;
@@ -353,6 +354,7 @@ let run_session ?execute ~jobs requests =
       max_queue = 64;
       drain_timeout_ms = 1000;
       faults = None;
+      backend = None;
       default_deadline_ms = None;
       default_fuel = None;
     }
@@ -447,6 +449,7 @@ let test_session_backpressure () =
       max_queue = 1;
       drain_timeout_ms = 1000;
       faults = None;
+      backend = None;
       default_deadline_ms = None;
       default_fuel = None;
     }
