@@ -1109,6 +1109,83 @@ let interp_bench () =
   Printf.printf "wrote BENCH_interp.json\n";
   print_newline ()
 
+(* ---- fuzz: generator + oracle throughput, determinism gate --------------- *)
+
+(* The fuzzing subsystem has to stay fast enough that CI's bounded smoke
+   campaign is cheap and local campaigns cover thousands of programs per
+   minute: gate the generator alone (AST + pretty-print) and the full
+   per-program judgement (generate, compile 3 ways, run 6 interpreter
+   configurations, compare).  Also a hard determinism gate — the jobs=1
+   and jobs=2 campaign reports must be byte-identical, since every cram
+   test and CI replay relies on that. *)
+let fuzz_bench () =
+  section_header "Fuzz — generator and oracle throughput";
+  let module Runner = Hypar_fuzzgen.Runner in
+  let n_gen = 2_000 and n_oracle = 150 in
+  let t0 = Unix.gettimeofday () in
+  let bytes = ref 0 in
+  for seed = 1 to n_gen do
+    bytes := !bytes + String.length (Hypar_fuzzgen.Gen.source seed)
+  done;
+  let t_gen = Unix.gettimeofday () -. t0 in
+  let gen_rate = float_of_int n_gen /. t_gen in
+  Printf.printf "generator: %d programs (%.1f KiB) in %.3f s -> %.0f prog/s\n"
+    n_gen
+    (float_of_int !bytes /. 1024.)
+    t_gen gen_rate;
+  let t0 = Unix.gettimeofday () in
+  let r1 = Runner.run { Runner.default with Runner.seed = 21; count = n_oracle } in
+  let t_oracle = Unix.gettimeofday () -. t0 in
+  let oracle_rate = float_of_int n_oracle /. t_oracle in
+  Printf.printf
+    "oracle matrix: %d programs in %.3f s -> %.1f prog/s (%d passes)\n"
+    n_oracle t_oracle oracle_rate r1.Runner.passes;
+  let r2 =
+    Runner.run { Runner.default with Runner.seed = 21; count = n_oracle; jobs = 2 }
+  in
+  let deterministic =
+    Runner.to_text r1 = Runner.to_text r2
+    && Runner.to_json r1 = Runner.to_json r2
+  in
+  Printf.printf "jobs=1 vs jobs=2 reports identical: %s\n"
+    (if deterministic then "yes" else "NO");
+  let failed = ref false in
+  if not deterministic then begin
+    Printf.printf "FAIL: campaign report depends on --jobs\n";
+    failed := true
+  end;
+  if r1.Runner.passes <> n_oracle then begin
+    Printf.printf "FAIL: %d safe-grammar programs did not pass the oracle\n"
+      (n_oracle - r1.Runner.passes);
+    failed := true
+  end;
+  (* soft floors, far below observed rates, to catch order-of-magnitude
+     regressions without flaking on slow CI machines *)
+  if gen_rate < 200. then begin
+    Printf.printf "FAIL: generator below 200 prog/s\n";
+    failed := true
+  end;
+  if oracle_rate < 1. then begin
+    Printf.printf "FAIL: oracle matrix below 1 prog/s\n";
+    failed := true
+  end;
+  if !failed then exit 1;
+  let oc = open_out "BENCH_fuzz.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"section\": \"fuzz\",\n\
+    \  \"generator\": {\"programs\": %d, \"seconds\": %.3f, \"rate_per_s\": \
+     %.0f},\n\
+    \  \"oracle\": {\"programs\": %d, \"seconds\": %.3f, \"rate_per_s\": %.1f, \
+     \"passes\": %d},\n\
+    \  \"deterministic_across_jobs\": %b\n\
+     }\n"
+    n_gen t_gen gen_rate n_oracle t_oracle oracle_rate r1.Runner.passes
+    deterministic;
+  close_out oc;
+  Printf.printf "wrote BENCH_fuzz.json\n";
+  print_newline ()
+
 (* ---- driver -------------------------------------------------------------- *)
 
 let sections =
@@ -1135,6 +1212,7 @@ let sections =
     ("dataflow", dataflow_bench);
     ("bytecode", bytecode_bench);
     ("interp", interp_bench);
+    ("fuzz", fuzz_bench);
     ("micro", micro);
   ]
 

@@ -30,6 +30,11 @@
      dot        emit the CFG (or one block's DFG) as Graphviz
      demo       reproduce the paper's Tables 2 and 3
      trace      validate and summarise a --trace output file
+     fuzz       differential fuzzing: seeded well-formed Mini-C program
+                generation, cross-backend/-frontend/-optimisation oracle
+                matrix, auto-shrinking reproducers, replayable crash
+                corpus (--corpus/--replay DIR, --jobs N, text/JSON
+                report; see docs/fuzzing.md)
      serve      long-running JSON-lines batch service (stdin/stdout or
                 --socket PATH): verbs partition/analyze/explore/faults/
                 health, bounded queue with typed overloaded rejection,
@@ -1169,6 +1174,205 @@ let serve_cmd =
           $(b,docs/server.md))")
     term
 
+let fuzz_cmd =
+  let module F = Hypar_fuzzgen in
+  let run seed count budget_ms jobs fuel unsafe max_stmts depth no_shrink
+      fail_on corpus_dir replay format out obs =
+    with_obs ~command:"fuzz" obs @@ fun () ->
+    match replay with
+    | Some dir -> (
+      match F.Corpus.load_dir dir with
+      | Error msg ->
+        Printf.eprintf "hypar: %s\n" msg;
+        2
+      | Ok entries ->
+        let failed = ref 0 in
+        List.iter
+          (fun (e : F.Corpus.entry) ->
+            let verdict = F.Corpus.replay ~fuel e in
+            if verdict <> F.Oracle.Pass then incr failed;
+            Printf.printf "corpus %s: %s\n" e.F.Corpus.name
+              (F.Oracle.verdict_to_string verdict))
+          entries;
+        Printf.printf "replayed %d entries, %d failing\n" (List.length entries)
+          !failed;
+        if !failed = 0 then 0 else 1)
+    | None ->
+      let gen =
+        {
+          F.Gen.default_config with
+          F.Gen.unsafe;
+          max_stmts;
+          max_depth = depth;
+        }
+      in
+      let config =
+        {
+          F.Runner.default with
+          F.Runner.seed;
+          count;
+          budget_ms;
+          jobs;
+          fuel;
+          gen;
+          shrink = not no_shrink;
+          fail_on;
+        }
+      in
+      let report = F.Runner.run config in
+      (match corpus_dir with
+      | None -> ()
+      | Some dir ->
+        List.iter
+          (fun (f : F.Runner.failure) ->
+            let entry =
+              {
+                F.Corpus.name = Printf.sprintf "auto-%d" f.F.Runner.case_seed;
+                seed = Some f.F.Runner.case_seed;
+                signature = f.F.Runner.finding.F.Oracle.signature;
+                note =
+                  Some (Printf.sprintf "found by hypar fuzz --seed %d" seed);
+                source = f.F.Runner.reduced;
+              }
+            in
+            Printf.eprintf "hypar: wrote %s\n" (F.Corpus.save ~dir entry))
+          report.F.Runner.failures);
+      let rendered =
+        match format with
+        | `Text -> F.Runner.to_text report
+        | `Json -> F.Runner.to_json report
+      in
+      (match out with
+      | None -> print_string rendered
+      | Some path ->
+        let oc = open_out_bin path in
+        output_string oc rendered;
+        close_out oc);
+      if report.F.Runner.failures = [] then 0 else 1
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "campaign seed; the same seed yields the same programs and the \
+             same report bytes, for any $(b,--jobs) value")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"number of programs to generate")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:
+            "stop after roughly $(docv) milliseconds instead of a fixed \
+             count ($(b,--count) then bounds the maximum); the executed \
+             prefix is still deterministic, only its length is not")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "judge programs on $(docv) worker domains; the report is \
+             byte-identical for every value")
+  in
+  let fuel_arg =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "baseline interpretation budget per program in steps (variants \
+             get four times as much)")
+  in
+  let unsafe_arg =
+    Arg.(
+      value & flag
+      & info [ "unsafe" ]
+          ~doc:
+            "also generate unguarded divisions, raw array indices and \
+             uninitialised locals; runtime errors then become legitimate \
+             and only the backend-equality oracles (which compare error \
+             behaviour exactly) apply to failing runs")
+  in
+  let max_stmts_arg =
+    Arg.(
+      value & opt int F.Gen.default_config.F.Gen.max_stmts
+      & info [ "max-stmts" ] ~docv:"N"
+          ~doc:"statement budget for each generated $(b,main)")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int F.Gen.default_config.F.Gen.max_depth
+      & info [ "depth" ] ~docv:"N" ~doc:"maximum loop/branch nesting depth")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"report failing programs as generated, without minimisation")
+  in
+  let fail_on_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fail-on" ] ~docv:"SUBSTRING"
+          ~doc:
+            "testing hook: flag any compiling program whose source contains \
+             $(docv) with a synthetic $(b,injected) divergence, to exercise \
+             the shrinking and reporting pipeline deterministically")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "persist every reduced reproducer as a replayable $(b,.mc) \
+             entry under $(docv)")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "instead of generating, replay every corpus entry under \
+             $(docv) through the full oracle matrix and report per-entry \
+             verdicts")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"report format: $(b,text) or $(b,json)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"write the report to $(docv)")
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ count_arg $ budget_arg $ jobs_arg $ fuel_arg
+      $ unsafe_arg $ max_stmts_arg $ depth_arg $ no_shrink_arg $ fail_on_arg
+      $ corpus_arg $ replay_arg $ format_arg $ out_arg $ obs_args)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate seeded well-formed Mini-C \
+          programs, judge each across the frontend/optimisation/backend \
+          cross-product, shrink any divergence to a minimal reproducer \
+          and optionally persist it to a replayable corpus (see \
+          $(b,docs/fuzzing.md))")
+    term
+
 let trace_cmd =
   let run file =
     match Hypar_obs.Export.parse_chrome (read_file file) with
@@ -1212,7 +1416,7 @@ let () =
   Sys.catch_break true;
   let doc = "hybrid fine/coarse-grain reconfigurable partitioning (DATE'04/05 methodology)" in
   let info = Cmd.info "hypar" ~version:"1.0.0" ~doc in
-  let group = Cmd.group info [ partition_cmd; kernels_cmd; analyze_cmd; opt_cmd; compile_bc_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; faults_cmd; dump_cmd; demo_cmd; trace_cmd; serve_cmd ] in
+  let group = Cmd.group info [ partition_cmd; kernels_cmd; analyze_cmd; opt_cmd; compile_bc_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; faults_cmd; dump_cmd; demo_cmd; trace_cmd; serve_cmd; fuzz_cmd ] in
   match Cmd.eval' ~catch:false group with
   | code -> exit code
   | exception Sys.Break ->

@@ -1,0 +1,110 @@
+type entry = {
+  name : string;
+  seed : int option;
+  signature : string;
+  note : string option;
+  source : string;
+}
+
+let magic = "// hypar-fuzz reproducer"
+
+let to_string e =
+  let buf = Buffer.create (String.length e.source + 128) in
+  Buffer.add_string buf (magic ^ "\n");
+  (match e.seed with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "// seed: %d\n" s)
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf "// signature: %s\n" e.signature);
+  (match e.note with
+  | Some n -> Buffer.add_string buf (Printf.sprintf "// note: %s\n" n)
+  | None -> ());
+  Buffer.add_string buf e.source;
+  Buffer.contents buf
+
+let strip_prefix ~prefix s =
+  if String.length s >= String.length prefix
+     && String.sub s 0 (String.length prefix) = prefix
+  then Some (String.sub s (String.length prefix)
+               (String.length s - String.length prefix))
+  else None
+
+let parse ~name text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | first :: rest when String.trim first = magic ->
+    let seed = ref None and signature = ref None and note = ref None in
+    let rec header = function
+      | line :: rest -> (
+        match strip_prefix ~prefix:"// seed: " line with
+        | Some v -> (
+          match int_of_string_opt (String.trim v) with
+          | Some n ->
+            seed := Some n;
+            header rest
+          | None -> Error (Printf.sprintf "%s: malformed seed line" name))
+        | None -> (
+          match strip_prefix ~prefix:"// signature: " line with
+          | Some v ->
+            signature := Some (String.trim v);
+            header rest
+          | None -> (
+            match strip_prefix ~prefix:"// note: " line with
+            | Some v ->
+              note := Some (String.trim v);
+              header rest
+            | None -> Ok (line :: rest))))
+      | [] -> Ok []
+    in
+    Result.bind (header rest) (fun body ->
+        match !signature with
+        | None -> Error (Printf.sprintf "%s: missing '// signature:' line" name)
+        | Some signature ->
+          Ok
+            {
+              name;
+              seed = !seed;
+              signature;
+              note = !note;
+              source = String.concat "\n" body;
+            })
+  | _ -> Error (Printf.sprintf "%s: missing %S header" name magic)
+
+let save ~dir e =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (e.name ^ ".mc") in
+  let oc = open_out path in
+  output_string oc (to_string e);
+  close_out oc;
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_file path =
+  match read_file path with
+  | text -> parse ~name:Filename.(remove_extension (basename path)) text
+  | exception Sys_error m -> Error m
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error m -> Error m
+  | names ->
+    let names =
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".mc")
+      |> List.sort compare
+    in
+    List.fold_left
+      (fun acc n ->
+        Result.bind acc (fun entries ->
+            Result.map
+              (fun e -> e :: entries)
+              (load_file (Filename.concat dir n))))
+      (Ok []) names
+    |> Result.map List.rev
+
+let replay ?fuel e = Oracle.run ?fuel ~expect_clean:false e.source

@@ -1,0 +1,410 @@
+module Ast = Hypar_minic.Ast
+
+type config = {
+  max_stmts : int;
+  max_depth : int;
+  max_expr_depth : int;
+  max_loop_bound : int;
+  max_helpers : int;
+  unsafe : bool;
+}
+
+let default_config =
+  {
+    max_stmts = 8;
+    max_depth = 3;
+    max_expr_depth = 3;
+    max_loop_bound = 8;
+    max_helpers = 2;
+    unsafe = false;
+  }
+
+(* [List.init]'s application order is unspecified; the generator threads
+   a stateful stream through element construction, so ordering must be
+   pinned down explicitly. *)
+let init_list n f =
+  let rec go i =
+    if i >= n then []
+    else
+      let x = f i in
+      x :: go (i + 1)
+  in
+  go 0
+
+(* --- AST construction helpers ------------------------------------------- *)
+
+let pos = { Hypar_minic.Token.line = 0; col = 0 }
+let mk_e desc = { Ast.desc; epos = pos }
+let mk_s sdesc = { Ast.sdesc; spos = pos }
+let num n = mk_e (Ast.Num n)
+let ident x = mk_e (Ast.Ident x)
+let binary op a b = mk_e (Ast.Binary (op, a, b))
+
+(* An array in scope: [mask] is the expression that wraps an index into
+   bounds ([size - 1] for globals, the mask parameter for helper array
+   params); [writable] permits stores. *)
+type arr = { aname : string; mask : Ast.expr; writable : bool }
+
+type env = {
+  rng : Rng.t;
+  cfg : config;
+  arrays : arr list;
+  helpers : helper list;  (* callable from this function's body *)
+  counter : int ref;  (* fresh-name source, per function *)
+  vars : string list;  (* assignable scalars in scope *)
+  prot : string list;  (* loop counters: readable, never assigned *)
+}
+
+and helper = { hname : string; hscalars : int; harray : bool }
+
+let fresh env prefix =
+  let n = !(env.counter) in
+  incr env.counter;
+  Printf.sprintf "%s%d" prefix n
+
+let readable env = env.vars @ env.prot
+
+(* In unsafe mode each guard is dropped with probability 1/16; guard
+   sites are frequent enough that this still makes roughly half of all
+   programs fail at runtime while the other half stay well-defined and
+   exercise the full oracle matrix. *)
+let drop_guard env = env.cfg.unsafe && Rng.int env.rng 16 = 0
+
+let arith_ops = [| Ast.Add; Ast.Sub; Ast.Mul; Ast.Band; Ast.Bor; Ast.Bxor |]
+
+let cmp_ops =
+  [| Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne; Ast.Land; Ast.Lor |]
+
+let widths = [| 16; 16; 16; 8; 32 |]
+
+(* --- expressions -------------------------------------------------------- *)
+
+let rec gen_expr env depth =
+  if depth <= 0 then gen_leaf env
+  else
+    match Rng.int env.rng 10 with
+    | 0 | 1 -> gen_leaf env
+    | 2 ->
+      let op = Rng.choose env.rng [| Ast.Neg; Ast.Bitnot; Ast.Lognot |] in
+      mk_e (Ast.Unary (op, gen_expr env (depth - 1)))
+    | 3 ->
+      let op = if Rng.bool env.rng then Ast.Div else Ast.Mod in
+      let d = gen_expr env (depth - 1) in
+      let d = if drop_guard env then d else binary Ast.Bor d (num 1) in
+      binary op (gen_expr env (depth - 1)) d
+    | 4 ->
+      let op = if Rng.bool env.rng then Ast.Shl else Ast.Shr in
+      binary op
+        (gen_expr env (depth - 1))
+        (binary Ast.Band (gen_expr env (depth - 1)) (num 15))
+    | 5 ->
+      binary
+        (Rng.choose env.rng cmp_ops)
+        (gen_expr env (depth - 1))
+        (gen_expr env (depth - 1))
+    | 6 ->
+      mk_e
+        (Ast.Ternary
+           ( gen_expr env (depth - 1),
+             gen_expr env (depth - 1),
+             gen_expr env (depth - 1) ))
+    | 7 -> gen_call env depth
+    | _ ->
+      binary
+        (Rng.choose env.rng arith_ops)
+        (gen_expr env (depth - 1))
+        (gen_expr env (depth - 1))
+
+and gen_leaf env =
+  let scalars = readable env in
+  match Rng.int env.rng 4 with
+  | 0 -> num (Rng.int env.rng 256)
+  | 1 when env.arrays <> [] -> gen_load env
+  | _ when scalars <> [] -> ident (Rng.choose env.rng (Array.of_list scalars))
+  | _ -> num (Rng.int env.rng 256)
+
+and gen_index env a depth =
+  let ix = gen_expr env depth in
+  if drop_guard env then ix else binary Ast.Band ix a.mask
+
+and gen_load env =
+  let a = Rng.choose env.rng (Array.of_list env.arrays) in
+  mk_e (Ast.Index (a.aname, gen_index env a 1))
+
+and gen_call env depth =
+  let builtin () =
+    match Rng.int env.rng 3 with
+    | 0 -> mk_e (Ast.Call ("abs", [ gen_expr env (depth - 1) ]))
+    | 1 ->
+      mk_e
+        (Ast.Call ("min", [ gen_expr env (depth - 1); gen_expr env (depth - 1) ]))
+    | _ ->
+      mk_e
+        (Ast.Call ("max", [ gen_expr env (depth - 1); gen_expr env (depth - 1) ]))
+  in
+  match env.helpers with
+  | [] -> builtin ()
+  | hs when Rng.bool env.rng ->
+    let h = Rng.choose env.rng (Array.of_list hs) in
+    let scalars =
+      init_list h.hscalars (fun _ -> gen_expr env (min 1 (depth - 1)))
+    in
+    if h.harray then (
+      (* array helpers take (array, mask, scalars...); the mask argument
+         keeps the callee's accesses in bounds for whichever array we
+         pass, so pick one whose mask is a literal (a global). *)
+      match
+        List.filter (fun a -> match a.mask.Ast.desc with Ast.Num _ -> true | _ -> false) env.arrays
+      with
+      | [] -> builtin ()
+      | globals ->
+        let a = Rng.choose env.rng (Array.of_list globals) in
+        mk_e (Ast.Call (h.hname, ident a.aname :: a.mask :: scalars)))
+    else mk_e (Ast.Call (h.hname, scalars))
+  | _ -> builtin ()
+
+(* --- statements --------------------------------------------------------- *)
+
+(* Bounded loops: the counter is fresh, starts at 0, strictly increases
+   by 1 each iteration towards a static bound, and is placed in
+   [env.prot] so no statement in the body can assign it. *)
+
+let incr_stmt name = mk_s (Ast.Assign { name; value = binary Ast.Add (ident name) (num 1) })
+
+let rec gen_stmt env depth : Ast.stmt * env =
+  let stay = gen_stmt_simple env in
+  if depth <= 0 then stay ()
+  else
+    match Rng.int env.rng 8 with
+    | 0 ->
+      let cond = gen_expr env env.cfg.max_expr_depth in
+      let then_branch = gen_block env (depth - 1) in
+      let else_branch =
+        if Rng.bool env.rng then gen_block env (depth - 1) else []
+      in
+      (mk_s (Ast.If { cond; then_branch; else_branch }), env)
+    | 1 ->
+      let name = fresh env "i" in
+      let bound = Rng.range env.rng 1 env.cfg.max_loop_bound in
+      let body =
+        gen_block { env with prot = name :: env.prot } (depth - 1)
+      in
+      ( mk_s
+          (Ast.For
+             {
+               init =
+                 Some (mk_s (Ast.Decl { name; width = 16; init = Some (num 0) }));
+               cond = Some (binary Ast.Lt (ident name) (num bound));
+               step = Some (incr_stmt name);
+               body;
+             }),
+        env )
+    | 2 ->
+      let name = fresh env "w" in
+      let bound = Rng.range env.rng 1 env.cfg.max_loop_bound in
+      let decl = mk_s (Ast.Decl { name; width = 16; init = Some (num 0) }) in
+      let body =
+        gen_block { env with prot = name :: env.prot } (depth - 1)
+        @ [ incr_stmt name ]
+      in
+      let loop =
+        if Rng.bool env.rng then
+          mk_s (Ast.While { cond = binary Ast.Lt (ident name) (num bound); body })
+        else
+          mk_s
+            (Ast.Do_while { body; cond = binary Ast.Lt (ident name) (num bound) })
+      in
+      (mk_s (Ast.Block [ decl; loop ]), env)
+    | _ -> stay ()
+
+and gen_stmt_simple env () : Ast.stmt * env =
+  let writable = List.filter (fun a -> a.writable) env.arrays in
+  match Rng.int env.rng 4 with
+  | 0 ->
+    let name = fresh env "x" in
+    let width = Rng.choose env.rng widths in
+    let init =
+      (* unsafe mode may leave a local uninitialised: reading it before
+         any assignment is a runtime error both backends must share *)
+      if drop_guard env then None else Some (gen_expr env env.cfg.max_expr_depth)
+    in
+    (mk_s (Ast.Decl { name; width; init }), { env with vars = name :: env.vars })
+  | 1 when env.vars <> [] ->
+    let name = Rng.choose env.rng (Array.of_list env.vars) in
+    (mk_s (Ast.Assign { name; value = gen_expr env env.cfg.max_expr_depth }), env)
+  | 2 when writable <> [] ->
+    let a = Rng.choose env.rng (Array.of_list writable) in
+    ( mk_s
+        (Ast.Array_assign
+           {
+             arr = a.aname;
+             index = gen_index env a 1;
+             value = gen_expr env env.cfg.max_expr_depth;
+           }),
+      env )
+  | _ ->
+    ( mk_s (Ast.Expr_stmt (gen_call env env.cfg.max_expr_depth)),
+      env )
+
+and gen_block env depth =
+  let n = Rng.range env.rng 1 3 in
+  let rec go env k =
+    if k = 0 then []
+    else
+      let st, env = gen_stmt env depth in
+      st :: go env (k - 1)
+  in
+  go env n
+
+(* --- globals and functions ---------------------------------------------- *)
+
+let gen_globals rng =
+  let n_arrays = Rng.range rng 1 3 in
+  let arrays =
+    init_list n_arrays (fun i ->
+        let size = Rng.choose rng [| 4; 8; 16; 32 |] in
+        (* the first array is always writable so every program has an
+           observable output channel *)
+        let is_const = i > 0 && Rng.int rng 4 = 0 in
+        let ginit =
+          if is_const || Rng.bool rng then
+            Some (init_list size (fun _ -> Rng.range rng (-128) 127))
+          else None
+        in
+        Ast.Global_array
+          {
+            gname = Printf.sprintf "g%d" i;
+            size;
+            ginit;
+            is_const;
+            gelem_width = Rng.choose rng widths;
+          })
+  in
+  let n_scalars = Rng.int rng 3 in
+  let scalars =
+    init_list n_scalars (fun i ->
+        Ast.Global_scalar
+          {
+            gname = Printf.sprintf "s%d" i;
+            gwidth = Rng.choose rng widths;
+            gvalue =
+              (if Rng.bool rng then Some (Rng.range rng (-128) 127) else None);
+          })
+  in
+  arrays @ scalars
+
+let arr_of_global = function
+  | Ast.Global_array { gname; size; is_const; _ } ->
+    Some { aname = gname; mask = num (size - 1); writable = not is_const }
+  | Ast.Global_scalar _ -> None
+
+let scalar_of_global = function
+  | Ast.Global_scalar { gname; _ } -> Some gname
+  | Ast.Global_array _ -> None
+
+(* Helpers are leaf value functions: a few scalar params (plus
+   optionally an array param with its mask), straight-line simple
+   statements, one trailing return.  They call only builtins, so the
+   call graph is trivially acyclic and inlining stays cheap. *)
+let gen_helper rng cfg index =
+  let hname = Printf.sprintf "f%d" index in
+  let hscalars = Rng.range rng 1 2 in
+  let harray = Rng.int rng 3 = 0 in
+  let params =
+    (if harray then
+       [
+         Ast.Array_param { pname = "a"; pelem_width = 16 };
+         Ast.Scalar_param { pname = "m"; pwidth = 16 };
+       ]
+     else [])
+    @ init_list hscalars (fun i ->
+          Ast.Scalar_param
+            { pname = Printf.sprintf "p%d" i; pwidth = Rng.choose rng widths })
+  in
+  let arrays =
+    if harray then [ { aname = "a"; mask = ident "m"; writable = false } ]
+    else []
+  in
+  let env =
+    {
+      rng;
+      cfg = { cfg with unsafe = false };
+      arrays;
+      helpers = [];
+      counter = ref 0;
+      vars = init_list hscalars (Printf.sprintf "p%d");
+      prot = [];
+    }
+  in
+  let rec straight env k =
+    if k = 0 then ([], env)
+    else
+      let st, env = gen_stmt_simple env () in
+      let rest, env = straight env (k - 1) in
+      (st :: rest, env)
+  in
+  let body, env = straight env (Rng.range rng 1 3) in
+  let ret = mk_s (Ast.Return (Some (gen_expr env cfg.max_expr_depth))) in
+  ( { Ast.fname = hname; params; returns_value = true; body = body @ [ ret ]; fpos = pos },
+    { hname; hscalars; harray } )
+
+let gen_main rng cfg arrays scalars helpers =
+  let env =
+    {
+      rng;
+      cfg;
+      arrays;
+      helpers;
+      counter = ref 0;
+      vars = scalars;
+      prot = [];
+    }
+  in
+  let n = Rng.range rng (cfg.max_stmts / 2) cfg.max_stmts in
+  let rec go env k =
+    if k = 0 then ([], env)
+    else
+      let st, env = gen_stmt env cfg.max_depth in
+      let rest, env = go env (k - 1) in
+      (st :: rest, env)
+  in
+  let body, env = go env n in
+  (* final store: a checksum of the scalar state into the first writable
+     array, so divergence anywhere upstream reaches the observable
+     arrays even if the generated statements were all dead *)
+  let sink =
+    match List.filter (fun a -> a.writable) arrays with
+    | [] -> []
+    | a :: _ ->
+      let sum =
+        List.fold_left
+          (fun acc v -> binary Ast.Add acc (ident v))
+          (num 1) (readable env)
+      in
+      [
+        mk_s
+          (Ast.Array_assign
+             { arr = a.aname; index = gen_index env a 1; value = sum });
+      ]
+  in
+  {
+    Ast.fname = "main";
+    params = [];
+    returns_value = false;
+    body = body @ sink;
+    fpos = pos;
+  }
+
+let program ?(config = default_config) seed =
+  let rng = Rng.create seed in
+  let globals = gen_globals rng in
+  let n_helpers = Rng.int rng (config.max_helpers + 1) in
+  let helper_funcs, helpers =
+    List.split (init_list n_helpers (gen_helper rng config))
+  in
+  let arrays = List.filter_map arr_of_global globals in
+  let scalars = List.filter_map scalar_of_global globals in
+  let main = gen_main rng config arrays scalars helpers in
+  { Ast.globals; funcs = helper_funcs @ [ main ] }
+
+let source ?(config = default_config) seed = Pp.program (program ~config seed)

@@ -1,0 +1,45 @@
+(** Seeded generator of typed, well-formed Mini-C programs.
+
+    Every program produced in the default (safe) configuration
+    typechecks, compiles through both frontends, and terminates within a
+    modest fuel budget by construction:
+
+    - loops use fresh counters that the body cannot assign, with static
+      bounds of at most {!config.max_loop_bound} iterations and nesting
+      limited by {!config.max_depth};
+    - array indices are masked with [size - 1] (sizes are powers of
+      two), divisors are forced odd with [| 1], and shift amounts are
+      masked with [15], so no runtime error is reachable;
+    - every local is declared with an initialiser, and global scalars
+      are always defined before use by the frontend's entry-block
+      initialisation.
+
+    With [unsafe = true] those three guards are each dropped with some
+    probability, deliberately producing programs that may divide by
+    zero, index out of bounds, or overrun the fuel budget — useful for
+    differential testing of error behaviour between backends, where the
+    oracle only demands that both interpreters fail identically.
+
+    Determinism: [program ~seed] is a pure function of [config] and
+    [seed]. *)
+
+type config = {
+  max_stmts : int;  (** statement budget for [main]'s top-level body *)
+  max_depth : int;  (** maximum loop/branch nesting depth *)
+  max_expr_depth : int;  (** maximum expression tree depth *)
+  max_loop_bound : int;  (** static iteration bound per loop *)
+  max_helpers : int;  (** number of callable helper functions *)
+  unsafe : bool;  (** drop safety guards with some probability *)
+}
+
+val default_config : config
+(** [{max_stmts = 8; max_depth = 3; max_expr_depth = 3; max_loop_bound = 8;
+     max_helpers = 2; unsafe = false}] *)
+
+val program : ?config:config -> int -> Hypar_minic.Ast.program
+(** [program seed] is the program of [seed] under [config]; equal
+    inputs yield equal ASTs. *)
+
+val source : ?config:config -> int -> string
+(** [source seed] is [Pp.program (program seed)]: concrete Mini-C text
+    that re-parses to the same AST. *)

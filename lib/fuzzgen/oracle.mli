@@ -1,0 +1,48 @@
+(** Differential oracle matrix for one Mini-C program.
+
+    [run src] pushes the source through the configuration cross-product
+    the repository already promises equivalence over, and flags the
+    first disagreement:
+
+    - {b frontends}: direct Mini-C lowering ([-O0]) versus the same CDFG
+      emitted to bytecode ([compile-bc]) and re-ingested through the
+      bytecode frontend's CFG recovery;
+    - {b optimisation}: the raw lowering versus {!Hypar_ir.Passes.optimize}
+      ([-O]), with every intermediate checked by {!Hypar_ir.Verify};
+    - {b backends}: on each CDFG variant, the tree-walking interpreter
+      versus the compiled executor, which must agree on the {e entire}
+      {!Hypar_profiling.Interp.result} — frequencies, counters, edge
+      profile, final arrays, return value, and error behaviour.
+
+    Backend comparisons demand full structural equality.  Cross-variant
+    comparisons (raw vs [-O], raw vs bytecode) apply only when the
+    baseline run is clean, and then demand semantic equality: same
+    return value and same final contents for every baseline array.
+
+    A failure carries a stable [signature] — the failure class, free of
+    program-specific values — which the shrinker preserves while
+    minimising, and which corpus replay matches against. *)
+
+type finding = {
+  oracle : string;  (** which comparison flagged, e.g. ["backend/-O"] *)
+  signature : string;  (** stable failure class, shrink-invariant *)
+  detail : string;  (** human-readable specifics *)
+}
+
+type verdict = Pass | Fail of finding
+
+val run : ?fuel:int -> ?expect_clean:bool -> string -> verdict
+(** Evaluates the whole matrix on [src].
+
+    [fuel] (default [2_000_000]) bounds the baseline interpretation;
+    variant runs get four times as much so a borderline budget cannot
+    masquerade as a cross-variant divergence.  With [expect_clean]
+    (default [true]) a baseline runtime error or fuel exhaustion is
+    itself a finding — the safe generator guarantees termination, so
+    either means a generator or frontend bug.  Pass [expect_clean:false]
+    for [unsafe]-mode programs, where a failing baseline is legitimate
+    and the backend oracles (which compare error behaviour exactly)
+    still apply. *)
+
+val verdict_to_string : verdict -> string
+(** ["pass"], or ["FAIL <oracle>: <signature> (<detail>)"]. *)

@@ -1,0 +1,211 @@
+module Ast = Hypar_minic.Ast
+
+let pos = { Hypar_minic.Token.line = 0; col = 0 }
+let mk_e desc = { Ast.desc; epos = pos }
+let mk_s sdesc = { Ast.sdesc; spos = pos }
+
+(* Variants of a list where exactly one element is removed or replaced
+   by one of its own variants; removals are proposed before in-place
+   replacements so coarse reductions are tried first. *)
+let list_variants elem_variants xs =
+  let rec removals prefix = function
+    | [] -> []
+    | x :: rest -> List.rev_append prefix rest :: removals (x :: prefix) rest
+  in
+  let rec replacements prefix = function
+    | [] -> []
+    | x :: rest ->
+      List.map
+        (fun x' -> List.rev_append prefix (x' :: rest))
+        (elem_variants x)
+      @ replacements (x :: prefix) rest
+  in
+  removals [] xs @ replacements [] xs
+
+let option_variants elem_variants = function
+  | None -> []
+  | Some x -> List.map (fun x' -> Some x') (elem_variants x)
+
+(* As {!list_variants} but replacement-only: used where list length is
+   fixed (call arguments, the function list). *)
+let list_variants_no_removal elem_variants xs =
+  let rec go prefix = function
+    | [] -> []
+    | x :: rest ->
+      List.map (fun x' -> List.rev_append prefix (x' :: rest)) (elem_variants x)
+      @ go (x :: prefix) rest
+  in
+  go [] xs
+
+(* --- expressions -------------------------------------------------------- *)
+
+let rec expr_variants (e : Ast.expr) : Ast.expr list =
+  let sub =
+    (* direct children: always strictly smaller *)
+    match e.desc with
+    | Ast.Num _ | Ast.Ident _ -> []
+    | Ast.Index (_, ix) -> [ ix ]
+    | Ast.Call (_, args) -> args
+    | Ast.Unary (_, a) -> [ a ]
+    | Ast.Binary (_, a, b) -> [ a; b ]
+    | Ast.Ternary (a, b, c) -> [ a; b; c ]
+  in
+  let consts =
+    match e.desc with
+    | Ast.Num n ->
+      (* strictly decreasing literal magnitude keeps descent finite *)
+      List.filter_map
+        (fun v -> if abs v < abs n then Some (mk_e (Ast.Num v)) else None)
+        [ 0; 1; n / 2 ]
+    | _ -> [ mk_e (Ast.Num 0); mk_e (Ast.Num 1) ]
+  in
+  let nested =
+    match e.desc with
+    | Ast.Num _ | Ast.Ident _ -> []
+    | Ast.Index (a, ix) ->
+      List.map (fun ix' -> mk_e (Ast.Index (a, ix'))) (expr_variants ix)
+    | Ast.Call (f, args) ->
+      List.map
+        (fun args' -> mk_e (Ast.Call (f, args')))
+        (list_variants_no_removal expr_variants args)
+    | Ast.Unary (op, a) ->
+      List.map (fun a' -> mk_e (Ast.Unary (op, a'))) (expr_variants a)
+    | Ast.Binary (op, a, b) ->
+      List.map (fun a' -> mk_e (Ast.Binary (op, a', b))) (expr_variants a)
+      @ List.map (fun b' -> mk_e (Ast.Binary (op, a, b'))) (expr_variants b)
+    | Ast.Ternary (a, b, c) ->
+      List.map (fun a' -> mk_e (Ast.Ternary (a', b, c))) (expr_variants a)
+      @ List.map (fun b' -> mk_e (Ast.Ternary (a, b', c))) (expr_variants b)
+      @ List.map (fun c' -> mk_e (Ast.Ternary (a, b, c'))) (expr_variants c)
+  in
+  sub @ consts @ nested
+
+(* --- statements --------------------------------------------------------- *)
+
+let rec stmt_variants (s : Ast.stmt) : Ast.stmt list =
+  let structural =
+    (* flatten control structure to its body; [Block] keeps the result a
+       single statement and scopes any declarations the body relies on *)
+    match s.sdesc with
+    | Ast.If { then_branch; else_branch; _ } ->
+      [ mk_s (Ast.Block then_branch) ]
+      @ (if else_branch = [] then [] else [ mk_s (Ast.Block else_branch) ])
+    | Ast.While { body; _ } | Ast.Do_while { body; _ } ->
+      [ mk_s (Ast.Block body) ]
+    | Ast.For { init; body; _ } ->
+      [ mk_s (Ast.Block ((match init with None -> [] | Some i -> [ i ]) @ body)) ]
+    | Ast.Block [ inner ] -> [ inner ]
+    | _ -> []
+  in
+  let nested =
+    match s.sdesc with
+    | Ast.Decl { name; width; init } ->
+      List.map
+        (fun init' -> mk_s (Ast.Decl { name; width; init = init' }))
+        (option_variants expr_variants init)
+    | Ast.Assign { name; value } ->
+      List.map
+        (fun value' -> mk_s (Ast.Assign { name; value = value' }))
+        (expr_variants value)
+    | Ast.Array_assign { arr; index; value } ->
+      List.map
+        (fun index' -> mk_s (Ast.Array_assign { arr; index = index'; value }))
+        (expr_variants index)
+      @ List.map
+          (fun value' -> mk_s (Ast.Array_assign { arr; index; value = value' }))
+          (expr_variants value)
+    | Ast.If { cond; then_branch; else_branch } ->
+      List.map
+        (fun cond' -> mk_s (Ast.If { cond = cond'; then_branch; else_branch }))
+        (expr_variants cond)
+      @ List.map
+          (fun tb -> mk_s (Ast.If { cond; then_branch = tb; else_branch }))
+          (list_variants stmt_variants then_branch)
+      @ List.map
+          (fun eb -> mk_s (Ast.If { cond; then_branch; else_branch = eb }))
+          (list_variants stmt_variants else_branch)
+    | Ast.While { cond; body } ->
+      List.map
+        (fun cond' -> mk_s (Ast.While { cond = cond'; body }))
+        (expr_variants cond)
+      @ List.map
+          (fun body' -> mk_s (Ast.While { cond; body = body' }))
+          (list_variants stmt_variants body)
+    | Ast.Do_while { body; cond } ->
+      List.map
+        (fun cond' -> mk_s (Ast.Do_while { body; cond = cond' }))
+        (expr_variants cond)
+      @ List.map
+          (fun body' -> mk_s (Ast.Do_while { body = body'; cond }))
+          (list_variants stmt_variants body)
+    | Ast.For { init; cond; step; body } ->
+      List.map
+        (fun cond' -> mk_s (Ast.For { init; cond = cond'; step; body }))
+        (option_variants expr_variants cond)
+      @ List.map
+          (fun body' -> mk_s (Ast.For { init; cond; step; body = body' }))
+          (list_variants stmt_variants body)
+    | Ast.Return v ->
+      List.map
+        (fun v' -> mk_s (Ast.Return v'))
+        (option_variants expr_variants v)
+    | Ast.Expr_stmt e ->
+      List.map (fun e' -> mk_s (Ast.Expr_stmt e')) (expr_variants e)
+    | Ast.Block body ->
+      List.map
+        (fun body' -> mk_s (Ast.Block body'))
+        (list_variants stmt_variants body)
+  in
+  structural @ nested
+
+(* --- programs ----------------------------------------------------------- *)
+
+let global_variants (g : Ast.global) =
+  match g with
+  | Ast.Global_array ({ ginit = Some _; _ } as r) ->
+    [ Ast.Global_array { r with ginit = None } ]
+  | Ast.Global_array { ginit = None; _ } -> []
+  | Ast.Global_scalar ({ gvalue = Some _; _ } as r) ->
+    [ Ast.Global_scalar { r with gvalue = None } ]
+  | Ast.Global_scalar { gvalue = None; _ } -> []
+
+let func_variants (f : Ast.func) =
+  List.map
+    (fun body' -> { f with Ast.body = body' })
+    (list_variants stmt_variants f.Ast.body)
+
+let candidates (p : Ast.program) : Ast.program list =
+  (* helper/global removal first (coarsest), then per-function body
+     reductions; [main] must survive, so removals keep the last
+     function (the generator always places [main] last, and candidates
+     that drop a still-needed definition are rejected by [keep]) *)
+  let drop_funcs =
+    match List.rev p.funcs with
+    | [] | [ _ ] -> []
+    | main :: helpers_rev ->
+      let helpers = List.rev helpers_rev in
+      List.map
+        (fun hs -> { p with Ast.funcs = hs @ [ main ] })
+        (list_variants (fun _ -> []) helpers)
+  in
+  let drop_globals =
+    List.map
+      (fun gs -> { p with Ast.globals = gs })
+      (list_variants global_variants p.globals)
+  in
+  let bodies =
+    List.map
+      (fun fs -> { p with Ast.funcs = fs })
+      (list_variants_no_removal func_variants p.funcs)
+  in
+  drop_funcs @ drop_globals @ bodies
+
+let minimize ?(max_rounds = 1000) ~keep prog =
+  let rec go prog rounds =
+    if rounds <= 0 then prog
+    else
+      match List.find_opt keep (candidates prog) with
+      | Some smaller -> go smaller (rounds - 1)
+      | None -> prog
+  in
+  go prog max_rounds

@@ -1,0 +1,32 @@
+(** Delta-debugging shrinker for failing Mini-C programs.
+
+    {!candidates} proposes one-step reductions of an AST — drop a
+    statement, global or helper; flatten a branch or loop to its body;
+    replace an expression by a subexpression, [0] or [1]; halve a
+    literal.  Every candidate is strictly smaller under the measure
+    (AST node count, then literal magnitude sum), so greedy descent
+    terminates without an explicit visited set.
+
+    {!minimize} drives them to a fixpoint: it keeps the first candidate
+    the predicate accepts and restarts from it, stopping when no
+    candidate is accepted or the round budget runs out.  With [keep] =
+    "the oracle still fails with the same signature", the result is a
+    minimal reproducer of the original failure.  Invalid candidates
+    (e.g. removing a declaration whose variable is still used) need no
+    special handling: they change the failure signature to a frontend
+    error, so [keep] rejects them.
+
+    Also the shrink half of the QCheck integration in [test_fuzz]. *)
+
+val candidates : Hypar_minic.Ast.program -> Hypar_minic.Ast.program list
+(** One-step reductions, coarsest first (whole-statement and
+    whole-declaration removals before expression simplifications). *)
+
+val minimize :
+  ?max_rounds:int ->
+  keep:(Hypar_minic.Ast.program -> bool) ->
+  Hypar_minic.Ast.program ->
+  Hypar_minic.Ast.program
+(** Greedy fixpoint of [candidates] under [keep]; the input itself is
+    assumed to satisfy [keep].  [max_rounds] (default [1000]) bounds the
+    number of accepted reductions. *)

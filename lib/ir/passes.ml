@@ -628,12 +628,30 @@ let hoist_loop (blocks : Block.t array) (loop : Loop.t) =
       | Instr.Var v ->
         (not (Hashtbl.mem def_count v.vid)) || Hashtbl.mem hoisted_vids v.vid
     in
-    let is_hoistable instr =
+    (* A load may trap (out-of-bounds index), so it can only move to the
+       preheader if the loop already executes it whenever it runs at all:
+       its block must dominate every latch and every exiting block.
+       Hoisting a load that only runs under a branch would *introduce*
+       the trap on executions that never take the branch — the ALU ops
+       are total (shifts clamp, Div/Rem are never hoisted), so they may
+       speculate freely. *)
+    let guaranteed_each_iteration =
+      let exiting =
+        List.filter
+          (fun b ->
+            List.exists (fun s -> not in_loop.(s)) (Cfg.successors cfg b))
+          loop.Loop.body
+      in
+      let must_dominate = loop.Loop.latches @ exiting in
+      fun b -> List.for_all (fun d -> Cfg.dominates cfg b d) must_dominate
+    in
+    let is_hoistable b instr =
       let pure =
         match instr with
         | Instr.Bin _ | Instr.Mul _ | Instr.Un _ | Instr.Mov _ | Instr.Select _ ->
           true
-        | Instr.Load { arr; _ } -> not (Hashtbl.mem stored_arrays arr)
+        | Instr.Load { arr; _ } ->
+          (not (Hashtbl.mem stored_arrays arr)) && guaranteed_each_iteration b
         | Instr.Div _ | Instr.Rem _ | Instr.Store _ -> false
       in
       pure
@@ -654,7 +672,7 @@ let hoist_loop (blocks : Block.t array) (loop : Loop.t) =
         (fun b ->
           List.iteri
             (fun k instr ->
-              if (not (Hashtbl.mem to_hoist (b, k))) && is_hoistable instr then begin
+              if (not (Hashtbl.mem to_hoist (b, k))) && is_hoistable b instr then begin
                 Hashtbl.replace to_hoist (b, k) ();
                 (match Instr.def instr with
                 | Some dst -> Hashtbl.replace hoisted_vids dst.vid ()

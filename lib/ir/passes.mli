@@ -64,8 +64,13 @@ val loop_invariant_motion : Cdfg.t -> Cdfg.t
     loop when: every variable it reads is defined outside the loop (or by
     an instruction already hoisted), its destination has exactly one
     definition in the loop, and the destination is not live into the loop
-    header (not loop-carried).  Loads are additionally hoisted when no
-    store in the loop touches their array.  The preheader must be the
+    header (not loop-carried).  Loads may trap on an out-of-bounds
+    index, so they are only hoisted when no store in the loop touches
+    their array *and* the loop is guaranteed to execute them whenever it
+    runs at all (their block dominates every latch and every exiting
+    block) — hoisting a branch-guarded load would introduce a runtime
+    error on executions that never take the branch (found by
+    [hypar fuzz --unsafe]).  The preheader must be the
     unique out-of-loop predecessor of the header — which the frontend's
     rotated-loop shape guarantees. *)
 

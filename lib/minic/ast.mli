@@ -92,5 +92,8 @@ val builtins : string list
 val expr_calls : expr -> string list
 (** All non-builtin callee names in an expression, in evaluation order. *)
 
+val binop_name : binop -> string
+(** The operator's concrete syntax, e.g. ["+"] for [Add]. *)
+
 val pp_binop : Format.formatter -> binop -> unit
 val pp_unop : Format.formatter -> unop -> unit

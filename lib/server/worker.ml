@@ -267,6 +267,27 @@ let exn_message = function
   | Sys_error msg -> msg
   | e -> Printexc.to_string e
 
+let envelope_of_exn id = function
+  | Deadline.Expired -> P.Deadline_exceeded { id; reason = P.Wall_clock }
+  | Hypar_profiling.Interp.Fuel_exhausted { steps } ->
+    P.Deadline_exceeded { id; reason = P.Fuel steps }
+  | P.Bad_request msg -> P.Failed { id; kind = "bad-request"; message = msg }
+  | (Stack_overflow | Out_of_memory) as e ->
+    (* resource-exhaustion crashes are a different severity class from a
+       verb reporting a domain error: rank them as [crash:*] so clients
+       and operators can tell a dying evaluation from a diagnostic, and
+       name the request so the offender is identifiable in logs *)
+    P.Failed
+      {
+        id;
+        kind = "crash:" ^ Printexc.exn_slot_name e;
+        message =
+          Printf.sprintf "evaluation aborted by %s (request %s)"
+            (Printexc.exn_slot_name e)
+            (match id with Some n -> string_of_int n | None -> "without id");
+      }
+  | e -> P.Failed { id; kind = exn_kind e; message = exn_message e }
+
 let execute config (req : P.request) =
   let id = req.P.id in
   Hypar_obs.Span.with_ ~cat:"server"
@@ -275,10 +296,4 @@ let execute config (req : P.request) =
   @@ fun () ->
   match dispatch config req with
   | payload -> P.Done { id; verb = req.P.verb; payload }
-  | exception Deadline.Expired ->
-    P.Deadline_exceeded { id; reason = P.Wall_clock }
-  | exception Hypar_profiling.Interp.Fuel_exhausted { steps } ->
-    P.Deadline_exceeded { id; reason = P.Fuel steps }
-  | exception P.Bad_request msg ->
-    P.Failed { id; kind = "bad-request"; message = msg }
-  | exception e -> P.Failed { id; kind = exn_kind e; message = exn_message e }
+  | exception e -> envelope_of_exn id e

@@ -33,3 +33,13 @@ type config = {
 
 val execute : config -> Protocol.request -> Protocol.response
 (** Total: never raises. *)
+
+val envelope_of_exn : int option -> exn -> Protocol.response
+(** The envelope {!execute} produces when a verb raises, keyed by the
+    request id: deadline and fuel exceptions become typed
+    [deadline_exceeded] envelopes, [Bad_request] becomes a
+    [bad-request] failure, and resource exhaustion ([Stack_overflow],
+    [Out_of_memory]) is ranked as a [crash:*] failure naming the
+    request — not swallowed into the generic error shape.  Exposed so
+    the crash ranking is testable without actually exhausting the
+    stack inside the test runner. *)

@@ -29,6 +29,7 @@ let () =
       ("sugar", Test_sugar.suite);
       ("typecheck", Test_typecheck.suite);
       ("fuzz", Test_fuzz.suite);
+      ("fuzzgen", Test_fuzzgen.suite);
       ("bytecode", Test_bytecode.suite);
       ("inline", Test_inline.suite);
       ("lower", Test_lower.suite);

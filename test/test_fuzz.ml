@@ -1,22 +1,22 @@
 (* Robustness fuzzing of the frontend: arbitrary input must produce a
    clean, documented error (or compile), never a crash or an undocumented
-   exception. *)
+   exception.  Random bytes and random well-formed programs both come
+   from Hypar_fuzzgen — the byte soup from its deterministic Rng, the
+   structured programs from its typed generator — so this suite and
+   `hypar fuzz` exercise the same distribution. *)
 
 module Driver = Hypar_minic.Driver
 module Lexer = Hypar_minic.Lexer
 module Parser = Hypar_minic.Parser
-
-let lcg seed =
-  let state = ref (if seed = 0 then 1 else seed) in
-  fun bound ->
-    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
-    !state mod bound
+module Rng = Hypar_fuzzgen.Rng
+module Gen = Hypar_fuzzgen.Gen
+module Pp = Hypar_fuzzgen.Pp
 
 (* random bytes over a Mini-C-flavoured alphabet *)
 let random_source seed len =
-  let next = lcg seed in
+  let rng = Rng.create seed in
   let alphabet = "abixy0159 +-*/%&|^<>=!~?:;,(){}[]\n\"intvoidforwhilereturn" in
-  String.init len (fun _ -> alphabet.[next (String.length alphabet)])
+  String.init len (fun _ -> alphabet.[Rng.int rng (String.length alphabet)])
 
 (* Resource exhaustion is a crash, not a documented error: a catch-all
    would swallow Stack_overflow/Out_of_memory and report them as the
@@ -66,23 +66,17 @@ let test_driver_total () =
   done
 
 let test_mutated_valid_programs () =
-  (* single-character mutations of a valid program keep errors clean *)
-  let base = {|
-int out[4];
-void main() {
-  int s = 0;
-  int i;
-  for (i = 0; i < 9; i++) { s += i * 2; }
-  out[0] = s;
-}
-|} in
-  let next = lcg 99 in
-  for it = 1 to 150 do
+  (* single-character mutations of generator output keep errors clean:
+     near-valid input is a different corner of frontend space than byte
+     soup, and the generator supplies unlimited distinct near-misses *)
+  for it = 1 to 120 do
+    let rng = Rng.create (7000 + it) in
+    let base = Gen.source (Rng.int rng 1_000_000) in
     let b = Bytes.of_string base in
-    let pos = next (Bytes.length b) in
-    Bytes.set b pos "+-;)({".[next 6];
+    let pos = Rng.int rng (Bytes.length b) in
+    Bytes.set b pos "+-;)({".[Rng.int rng 6];
     if not (compiles_or_reports ~seed:it (Bytes.to_string b)) then
-      Alcotest.failf "mutation at %d leaked an exception" pos
+      Alcotest.failf "mutation %d at %d leaked an exception" it pos
   done
 
 let test_deep_nesting () =
@@ -167,25 +161,33 @@ let prop_faults_never_raise =
           + r.Hypar_core.Engine.final.Hypar_core.Engine.t_coarse
           + r.Hypar_core.Engine.final.Hypar_core.Engine.t_comm)
 
-(* Differential testing of the optimiser: a random structured program,
-   compiled raw and through the full Passes.optimize pipeline, must
-   produce the identical return value and final array contents under the
-   profiling interpreter.  This is the semantic check behind the global
-   dataflow passes (const/copy propagation, CSE, DCE, LICM). *)
+(* The differential properties below draw from the typed fuzzgen
+   generator, as (seed, ast) pairs so QCheck shrinking can descend
+   through Hypar_fuzzgen.Shrink.candidates — a failing random program is
+   reported as a minimal reproducer, not a page of noise.  Shrink
+   candidates that no longer compile are treated as passing (the
+   interesting failure preserves compilability). *)
 
-let optimize_arb =
+let fuzzgen_arb =
   QCheck.make
-    ~print:(fun (seed, depth) ->
-      Printf.sprintf "seed %d:\n%s" seed
-        (Hypar_apps.Synth.random_structured_main ~seed ~depth ()))
-    QCheck.Gen.(pair (int_range 1 10_000) (int_range 1 4))
+    ~print:(fun (seed, ast) ->
+      Printf.sprintf "seed %d:\n%s" seed (Pp.program ast))
+    ~shrink:(fun (seed, ast) yield ->
+      List.iter (fun ast' -> yield (seed, ast')) (Hypar_fuzzgen.Shrink.candidates ast))
+    QCheck.Gen.(
+      map (fun seed -> (seed, Gen.program seed)) (int_range 1 1_000_000))
+
+let with_compiled src f =
+  match Driver.compile ~name:"diff" ~simplify:false src with
+  | Ok raw -> f raw
+  | Error _ -> true (* shrink artefact: not the failure we are tracking *)
 
 let prop_optimize_differential =
   QCheck.Test.make
     ~name:"passes: optimize preserves interpreter semantics"
-    ~count:40 optimize_arb (fun (seed, depth) ->
-      let src = Hypar_apps.Synth.random_structured_main ~seed ~depth () in
-      let raw = Driver.compile_exn ~name:"diff" ~simplify:false src in
+    ~count:40 fuzzgen_arb (fun (_seed, ast) ->
+      let src = Pp.program ast in
+      with_compiled src @@ fun raw ->
       let opt = Hypar_ir.Passes.optimize ~verify:true raw in
       let r_raw = Hypar_profiling.Interp.run raw in
       let r_opt = Hypar_profiling.Interp.run opt in
@@ -216,9 +218,9 @@ let prop_optimize_differential =
 let prop_bytecode_differential =
   QCheck.Test.make
     ~name:"bytecode: decompiled frontend matches Mini-C frontend"
-    ~count:40 optimize_arb (fun (seed, depth) ->
-      let src = Hypar_apps.Synth.random_structured_main ~seed ~depth () in
-      let direct = Driver.compile_exn ~name:"diff" ~simplify:false src in
+    ~count:40 fuzzgen_arb (fun (_seed, ast) ->
+      let src = Pp.program ast in
+      with_compiled src @@ fun direct ->
       let hbc = Hypar_bytecode.Emit.to_string direct in
       let recovered =
         match Hypar_bytecode.Driver.compile ~name:"diff" ~verify_ir:true hbc with
@@ -260,9 +262,9 @@ let prop_bytecode_differential =
 let prop_backend_differential =
   QCheck.Test.make
     ~name:"interp: compiled backend matches tree oracle (-O0, -O, bytecode)"
-    ~count:170 optimize_arb (fun (seed, depth) ->
-      let src = Hypar_apps.Synth.random_structured_main ~seed ~depth () in
-      let raw = Driver.compile_exn ~name:"diff" ~simplify:false src in
+    ~count:170 fuzzgen_arb (fun (seed, ast) ->
+      let src = Pp.program ast in
+      with_compiled src @@ fun raw ->
       let opt = Hypar_ir.Passes.optimize raw in
       let bc =
         Hypar_bytecode.Driver.compile_exn ~name:"diff"
@@ -277,6 +279,18 @@ let prop_backend_differential =
                "backends diverged on the %s variant of seed %d:\n%s" variant
                seed src)
         [ ("-O0", raw); ("-O", opt); ("bytecode", bc) ])
+
+(* The whole oracle matrix as one property: what `hypar fuzz` judges per
+   program, wrapped for QCheck so failures shrink. *)
+
+let prop_oracle_matrix =
+  QCheck.Test.make ~name:"fuzzgen: oracle matrix passes on generated programs"
+    ~count:60 fuzzgen_arb (fun (_seed, ast) ->
+      match Hypar_fuzzgen.Oracle.run (Pp.program ast) with
+      | Hypar_fuzzgen.Oracle.Pass -> true
+      | verdict ->
+        QCheck.Test.fail_reportf "%s"
+          (Hypar_fuzzgen.Oracle.verdict_to_string verdict))
 
 (* The serve protocol is the same contract one layer up: any byte soup
    on the wire must come back as a typed envelope, never an escaping
@@ -305,10 +319,10 @@ let test_protocol_byte_soup () =
   let config = serve_config () in
   let alphabet = {|{}[]":,0123456789.truefalsenull-+eE \verbpartitionfile|} in
   for seed = 1 to 300 do
-    let next = lcg seed in
+    let rng = Rng.create seed in
     let line =
       String.init (1 + (seed mod 80)) (fun _ ->
-          alphabet.[next (String.length alphabet)])
+          alphabet.[Rng.int rng (String.length alphabet)])
     in
     match envelope_of config line with
     | None -> ()
@@ -339,6 +353,33 @@ let test_protocol_truncations () =
   | Some (Hypar_server.Protocol.Done _) -> ()
   | _ -> Alcotest.fail "worker dead after truncation storm"
 
+let test_worker_crash_rank () =
+  (* resource exhaustion must surface as a crash:* failure naming the
+     request, not as the generic error envelope; tested through the
+     extracted envelope function so no stack actually overflows here *)
+  let check exn expected =
+    match Hypar_server.Worker.envelope_of_exn (Some 41) exn with
+    | Hypar_server.Protocol.Failed { id = Some 41; kind; message } ->
+      Alcotest.(check string) "kind" expected kind;
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "message names the request" true
+        (contains message "request 41")
+    | resp ->
+      Alcotest.failf "unexpected envelope %s"
+        (Hypar_server.Protocol.render resp)
+  in
+  check Stack_overflow "crash:Stack_overflow";
+  check Out_of_memory "crash:Out_of_memory";
+  (* ordinary exceptions keep the historical generic shape *)
+  match Hypar_server.Worker.envelope_of_exn (Some 7) (Failure "boom") with
+  | Hypar_server.Protocol.Failed { id = Some 7; kind = "Failure"; _ } -> ()
+  | resp ->
+    Alcotest.failf "unexpected envelope %s" (Hypar_server.Protocol.render resp)
+
 let suite =
   [
     Alcotest.test_case "lexer total" `Quick test_lexer_total;
@@ -350,8 +391,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_optimize_differential;
     QCheck_alcotest.to_alcotest prop_bytecode_differential;
     QCheck_alcotest.to_alcotest prop_backend_differential;
+    QCheck_alcotest.to_alcotest prop_oracle_matrix;
     Alcotest.test_case "serve protocol: byte soup" `Quick
       test_protocol_byte_soup;
     Alcotest.test_case "serve protocol: truncations" `Quick
       test_protocol_truncations;
+    Alcotest.test_case "worker: crash ranking" `Quick test_worker_crash_rank;
   ]

@@ -164,6 +164,65 @@ void main() {
   Alcotest.(check int) "no trap on zero-trip" 0 (out0 ~inputs opt);
   ignore raw
 
+let test_guarded_load_not_speculated () =
+  (* a load that only executes under a branch must stay behind its
+     guard: hoisting it to the preheader would trap on iterations (or
+     whole runs) where the branch is never taken — found by
+     hypar fuzz --unsafe *)
+  let src = {|
+int out[1];
+int table[4];
+int in[2];
+void main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    if (in[0] > 5) {
+      s = s + table[in[1]];
+    }
+    s = s + i;
+  }
+  out[0] = s;
+}
+|} in
+  let raw = compile_raw src in
+  let opt = Ir.Passes.loop_invariant_motion raw in
+  (* guard false, index wildly out of bounds: the load never runs, so
+     neither program may trap *)
+  let inputs = [ ("in", [| 0; 999 |]) ] in
+  Alcotest.(check int) "no trap when the guard is false" (out0 ~inputs raw)
+    (out0 ~inputs opt);
+  (* guard true and in bounds: semantics unchanged *)
+  let inputs = [ ("in", [| 9; 2 |]) ] in
+  Alcotest.(check int) "same result when the guard is taken"
+    (out0 ~inputs raw) (out0 ~inputs opt)
+
+let test_unconditional_load_still_hoisted () =
+  (* the speculation fix must not cost the profitable case: a load in
+     the straight-line loop body still moves to the preheader *)
+  let src = {|
+int out[1];
+int table[4];
+int in[1];
+void main() {
+  table[0] = in[0];
+  int s = 0;
+  int i;
+  for (i = 0; i < 50; i = i + 1) {
+    s = s + table[0] + ((i > 25) ? i : 0);
+  }
+  out[0] = s;
+}
+|} in
+  let raw = compile_raw src in
+  let opt = Ir.Passes.loop_invariant_motion raw in
+  let inputs = [ ("in", [| 3 |]) ] in
+  Alcotest.(check int) "sum preserved" (out0 ~inputs raw) (out0 ~inputs opt);
+  let loads cdfg =
+    Array.fold_left ( + ) 0 (Interp.run ~inputs cdfg).Interp.mem_reads
+  in
+  Alcotest.(check bool) "load still hoisted" true (loads opt < loads raw)
+
 let test_random_structured_semantics () =
   for seed = 200 to 212 do
     let src = Hypar_apps.Synth.random_structured_main ~seed ~depth:3 () in
@@ -181,5 +240,9 @@ let suite =
     Alcotest.test_case "stores block hoisting" `Quick test_loads_not_hoisted_past_stores;
     Alcotest.test_case "nested loops" `Quick test_nested_loops_hoist_through;
     Alcotest.test_case "division never hoisted" `Quick test_division_never_hoisted;
+    Alcotest.test_case "guarded load not speculated" `Quick
+      test_guarded_load_not_speculated;
+    Alcotest.test_case "unconditional load still hoisted" `Quick
+      test_unconditional_load_still_hoisted;
     Alcotest.test_case "random structured programs" `Quick test_random_structured_semantics;
   ]
