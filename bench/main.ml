@@ -646,6 +646,7 @@ let serve_bench () =
       default_fuel = None;
       drain = Hypar_server.Drain.create ~drain_timeout_ms:1000;
       queue_depth = (fun () -> 0);
+      on_poll = None;
     }
   in
   let request line =
@@ -698,6 +699,200 @@ let serve_bench () =
     Printf.printf "FAIL: serve wrapper exceeds the 2%% overhead budget\n";
     exit 1
   end;
+  print_newline ()
+
+(* ---- Soak: supervision overhead gate ------------------------------------- *)
+
+(* The self-healing pool rides along on every request even when nothing
+   goes wrong: heartbeat stores, the settle CAS, the monitor domain's
+   2 ms tick.  Price that tax by streaming the same chaos-free request
+   list through a supervised session and through the legacy pooled
+   session, attributing the wall-time delta per request, and relating it
+   to one real partition request — the same shape as the serve wrapper
+   gate, and the same 2% budget.  The sorted response envelopes must
+   also be identical: chaos-free supervision is a pure refactoring of
+   the plain pool. *)
+let soak_bench () =
+  section_header "Soak — chaos-free supervision overhead";
+  let module Worker = Hypar_server.Worker in
+  let module Protocol = Hypar_server.Protocol in
+  let module Server = Hypar_server.Server in
+  let module Supervisor = Hypar_server.Supervisor in
+  let src_file = Filename.temp_file "hypar_bench" ".mc" in
+  let oc = open_out src_file in
+  output_string oc Ofdm.source;
+  close_out oc;
+  let n = 1000 in
+  let lines =
+    List.init n (fun i ->
+        Printf.sprintf {|{"id":%d,"verb":"health"}|} (i + 1))
+  in
+  let write_all fd s =
+    let rec go off len =
+      if len > 0 then
+        match Unix.write_substring fd s off len with
+        | k -> go (off + k) (len - k)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+    in
+    go 0 (String.length s)
+  in
+  let read_all fd =
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Buffer.contents buf
+      | k ->
+        Buffer.add_subbytes buf chunk 0 k;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  in
+  let run_session ~supervisor =
+    let config =
+      {
+        Server.jobs = 2;
+        max_queue = n;
+        drain_timeout_ms = 10_000;
+        retry_after_ms = 100;
+        faults = None;
+        backend = None;
+        default_deadline_ms = None;
+        default_fuel = None;
+        supervisor;
+      }
+    in
+    let req_r, req_w = Unix.pipe ~cloexec:true () in
+    let resp_r, resp_w = Unix.pipe ~cloexec:true () in
+    let feeder =
+      Domain.spawn (fun () ->
+          List.iter (fun l -> write_all req_w (l ^ "\n")) lines;
+          Unix.close req_w)
+    in
+    let collector = Domain.spawn (fun () -> read_all resp_r) in
+    let drain = Hypar_server.Drain.create ~drain_timeout_ms:10_000 in
+    let t0 = Unix.gettimeofday () in
+    Server.run_session config drain req_r resp_w;
+    let dt = Unix.gettimeofday () -. t0 in
+    Unix.close resp_w;
+    Domain.join feeder;
+    let out = Domain.join collector in
+    Unix.close req_r;
+    Unix.close resp_r;
+    (dt, out)
+  in
+  let best f =
+    let t = ref infinity and out = ref "" in
+    for _ = 1 to 5 do
+      let dt, o = f () in
+      if dt < !t then begin
+        t := dt;
+        out := o
+      end
+    done;
+    (!t, !out)
+  in
+  ignore (run_session ~supervisor:None);
+  (* warmed up *)
+  let t_legacy, out_legacy = best (fun () -> run_session ~supervisor:None) in
+  let t_sup, out_sup =
+    best (fun () -> run_session ~supervisor:(Some Supervisor.default_options))
+  in
+  (* denominator: one real partition request through the worker, the
+     unit the per-request supervision tax is charged against *)
+  let wconfig =
+    {
+      Worker.faults = None;
+      backend = None;
+      default_deadline_ms = None;
+      default_fuel = None;
+      drain = Hypar_server.Drain.create ~drain_timeout_ms:1000;
+      queue_depth = (fun () -> 0);
+      on_poll = None;
+    }
+  in
+  let partition_req =
+    match
+      Protocol.parse_request
+        (Printf.sprintf {|{"id":1,"verb":"partition","file":"%s","timing":%d}|}
+           src_file Ofdm.timing_constraint)
+    with
+    | Ok req -> req
+    | Error e -> failwith e
+  in
+  let time_best ~reps f =
+    let bestt = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !bestt then bestt := dt
+    done;
+    !bestt
+  in
+  let t_req =
+    time_best ~reps:7 (fun () ->
+        match Worker.execute wconfig partition_req with
+        | Protocol.Done _ -> ()
+        | resp -> failwith (Protocol.render resp))
+  in
+  Sys.remove src_file;
+  (* health payloads carry uptime and instantaneous queue depth, which
+     differ between any two runs — compare the envelope signatures
+     (id/status/verb), which must agree exactly *)
+  let signature line =
+    let key = "\"payload\"" in
+    let n = String.length line and k = String.length key in
+    let rec find i =
+      if i + k > n then line
+      else if String.sub line i k = key then String.sub line 0 i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let sorted out =
+    String.split_on_char '\n' out |> List.map signature |> List.sort compare
+  in
+  let identical = sorted out_legacy = sorted out_sup in
+  let per_req = Float.max 0. ((t_sup -. t_legacy) /. float_of_int n) in
+  let overhead = per_req /. t_req in
+  Printf.printf "legacy session     : %10.3f ms (%d health requests, best of 5)\n"
+    (t_legacy *. 1e3) n;
+  Printf.printf "supervised session : %10.3f ms (same stream, chaos off)\n"
+    (t_sup *. 1e3);
+  Printf.printf "envelopes identical: %s\n" (if identical then "yes" else "NO");
+  Printf.printf "supervision tax    : %10.2f ns/request\n" (per_req *. 1e9);
+  Printf.printf
+    "supervision overhead: %.4f%% of one partition request (budget: 2%%)\n"
+    (100. *. overhead);
+  let failed = ref false in
+  if not identical then begin
+    Printf.printf
+      "FAIL: chaos-free supervised responses differ from the legacy pool\n";
+    failed := true
+  end;
+  if overhead > 0.02 then begin
+    Printf.printf "FAIL: supervision exceeds the 2%% overhead budget\n";
+    failed := true
+  end;
+  if !failed then exit 1;
+  let oc = open_out "BENCH_soak.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"section\": \"soak\",\n\
+    \  \"requests\": %d,\n\
+    \  \"legacy_seconds\": %.6f,\n\
+    \  \"supervised_seconds\": %.6f,\n\
+    \  \"supervision_ns_per_request\": %.2f,\n\
+    \  \"partition_request_seconds\": %.6f,\n\
+    \  \"overhead_fraction\": %.6f,\n\
+    \  \"budget_fraction\": 0.02,\n\
+    \  \"envelopes_identical\": %b\n\
+     }\n"
+    n t_legacy t_sup (per_req *. 1e9) t_req overhead identical;
+  close_out oc;
+  Printf.printf "wrote BENCH_soak.json\n";
   print_newline ()
 
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
@@ -1213,6 +1408,7 @@ let sections =
     ("bytecode", bytecode_bench);
     ("interp", interp_bench);
     ("fuzz", fuzz_bench);
+    ("soak", soak_bench);
     ("micro", micro);
   ]
 

@@ -39,8 +39,16 @@
                 --socket PATH): verbs partition/analyze/explore/faults/
                 health, bounded queue with typed overloaded rejection,
                 per-request deadlines (wall-clock + fuel), worker-domain
-                pool (--jobs), graceful drain on SIGINT/SIGTERM
-                (see docs/server.md)
+                pool (--jobs), graceful drain on SIGINT/SIGTERM; with
+                --jobs > 1 (or --grace/--quarantine/--chaos) the pool is
+                supervised: crashed/wedged workers respawn, failing
+                requests are retried and ultimately quarantined with a
+                typed poisoned envelope (see docs/server.md)
+     soak       chaos soak campaign against an in-process supervised
+                server: N seeded requests under --chaos (crashes,
+                wedges, delays, dropped/truncated writes, slow-loris
+                reads), asserting exactly-one-response, full pool
+                healing and a jobs-independent response digest
 
    Most commands also take --trace FILE (Chrome trace_event JSON of the
    run; HYPAR_TRACE=FILE is an equivalent default) and --stats (per-stage
@@ -1081,31 +1089,62 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Reproduce the paper's Tables 2 and 3") term
 
 let serve_cmd =
-  let run jobs max_queue drain_timeout socket faults deadline fuel interp obs =
+  let module Srv = Hypar_server in
+  let run jobs max_queue drain_timeout socket faults deadline fuel retry_after
+      max_retries grace quarantine chaos interp obs =
     with_obs ~command:"serve" obs @@ fun () ->
-    match
+    let ( let* ) v f =
+      match v with
+      | Error msg ->
+        Printf.eprintf "hypar: %s\n" msg;
+        2
+      | Ok x -> f x
+    in
+    let* faults =
       match faults with
       | None -> Ok None
       | Some f -> Result.map Option.some (Hypar_resilience.Spec.load f)
-    with
-    | Error msg ->
-      Printf.eprintf "hypar: %s\n" msg;
-      2
-    | Ok faults ->
-      let config =
-        {
-          Hypar_server.Server.jobs;
-          max_queue;
-          drain_timeout_ms = drain_timeout;
-          faults;
-          backend = interp;
-          default_deadline_ms = deadline;
-          default_fuel = fuel;
-        }
-      in
-      (match socket with
-      | None -> Hypar_server.Server.run_pipe config
-      | Some path -> Hypar_server.Server.run_socket config path)
+    in
+    let* chaos =
+      match chaos with None -> Ok None | Some arg -> Srv.Chaos.of_arg arg
+    in
+    let* () =
+      match quarantine with
+      | None -> Ok ()
+      | Some path -> Srv.Supervisor.validate_quarantine path
+    in
+    (* The self-healing pool engages whenever there are worker domains
+       to supervise, or when any supervision feature is asked for
+       explicitly; plain --jobs 1 keeps the inline path, whose
+       responses stay in request order. *)
+    let supervisor =
+      if jobs > 1 || grace <> None || quarantine <> None || chaos <> None then
+        Some
+          {
+            Srv.Supervisor.default_options with
+            max_retries;
+            grace_ms = grace;
+            chaos;
+            quarantine_path = quarantine;
+          }
+      else None
+    in
+    let config =
+      {
+        Srv.Server.jobs;
+        max_queue;
+        drain_timeout_ms = drain_timeout;
+        retry_after_ms = retry_after;
+        faults;
+        backend = interp;
+        default_deadline_ms = deadline;
+        default_fuel = fuel;
+        supervisor;
+      }
+    in
+    match socket with
+    | None -> Srv.Server.run_pipe config
+    | Some path -> Srv.Server.run_socket config path
   in
   let jobs_arg =
     Arg.(
@@ -1160,18 +1199,68 @@ let serve_cmd =
              (overridable per request with $(b,fuel)); exhaustion yields a \
              $(b,deadline_exceeded) envelope with the step count")
   in
+  let retry_after_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:
+            "base of the $(b,overloaded) envelope's retry hint; the hint \
+             scales with queue depth as $(docv) x ceil(depth / jobs)")
+  in
+  let max_retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "times a request whose worker crashed or wedged is re-executed \
+             before being quarantined with a $(b,poisoned) envelope \
+             (supervised pool only)")
+  in
+  let grace_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "grace" ] ~docv:"MS"
+          ~doc:
+            "enable wedge detection: a worker past its request's deadline \
+             budget plus $(docv) milliseconds with no poll progress is \
+             abandoned and its request retried; must exceed the longest \
+             legitimate gap between interpreter polls")
+  in
+  let quarantine_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "quarantine" ] ~docv:"FILE"
+          ~doc:
+            "journal quarantined request digests to $(docv) (crash-safe, \
+             append-only) and reload them on start, so a restarted server \
+             stays immune to known-poisonous requests")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "inject seeded faults into the supervised pool: $(b,default), \
+             $(b,none), or a chaos spec file (testing only; see \
+             $(b,docs/server.md))")
+  in
   let term =
     Term.(
       const run $ jobs_arg $ max_queue_arg $ drain_timeout_arg $ socket_arg
-      $ faults_file_arg $ deadline_arg $ fuel_arg $ interp_arg $ obs_args)
+      $ faults_file_arg $ deadline_arg $ fuel_arg $ retry_after_arg
+      $ max_retries_arg $ grace_arg $ quarantine_arg $ chaos_arg $ interp_arg
+      $ obs_args)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Long-running batch-partitioning service: newline-delimited JSON \
           requests on stdin (or $(b,--socket)), one response envelope per \
-          line; bounded queue, per-request deadlines, graceful drain (see \
-          $(b,docs/server.md))")
+          line; bounded queue, per-request deadlines, graceful drain, and \
+          a supervised self-healing worker pool (see $(b,docs/server.md))")
     term
 
 let fuzz_cmd =
@@ -1373,6 +1462,126 @@ let fuzz_cmd =
           $(b,docs/fuzzing.md))")
     term
 
+let soak_cmd =
+  let module Srv = Hypar_server in
+  let run seed count budget_ms jobs chaos corpus max_retries grace fuel
+      no_baseline obs =
+    with_obs ~command:"soak" obs @@ fun () ->
+    match Srv.Chaos.of_arg chaos with
+    | Error msg ->
+      Printf.eprintf "hypar: %s\n%s\n" msg Srv.Chaos.syntax_help;
+      2
+    | Ok chaos -> (
+      let config =
+        {
+          Srv.Soak.seed;
+          count;
+          budget_ms;
+          jobs;
+          chaos;
+          corpus_dir = corpus;
+          max_retries;
+          grace_ms = grace;
+          fuel;
+          compare_baseline = not no_baseline;
+        }
+      in
+      match Srv.Soak.run config with
+      | Error msg ->
+        Printf.eprintf "hypar: %s\n" msg;
+        2
+      | Ok report ->
+        print_string (Srv.Soak.to_text report);
+        if Srv.Soak.passed report then 0 else 1)
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "campaign seed; fixes the generated programs, the request mix \
+             and every chaos decision")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"number of requests to drive")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 60_000
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:"wall budget for the whole campaign; exceeding it fails")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "worker domains of the supervised pool; the response digest is \
+             identical for every value")
+  in
+  let chaos_spec_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "fault mix: $(b,default), $(b,none), or a chaos spec file \
+             (crash/wedge/delay/drop/truncate/slowloris directives)")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "mix the replayable crash-corpus entries under $(docv) into \
+             the request stream alongside generated programs")
+  in
+  let max_retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"retries before a worker-killing request is quarantined")
+  in
+  let grace_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "grace" ] ~docv:"MS"
+          ~doc:
+            "wedge-detection grace of the supervised pool; must exceed the \
+             longest legitimate gap between interpreter polls")
+  in
+  let fuel_arg =
+    Arg.(
+      value & opt int 50_000
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"interpreter-step budget per request")
+  in
+  let no_baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "no-baseline" ]
+          ~doc:
+            "skip the chaos-free comparison against an unsupervised \
+             baseline session (only meaningful with $(b,--chaos none))")
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ count_arg $ budget_arg $ jobs_arg
+      $ chaos_spec_arg $ corpus_arg $ max_retries_arg $ grace_arg $ fuel_arg
+      $ no_baseline_arg $ obs_args)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Chaos soak campaign: drive seeded requests through an in-process \
+          supervised server under injected crashes, wedges, delays and I/O \
+          interference, asserting exactly one response per request, full \
+          pool healing and a $(b,--jobs)-independent response digest (see \
+          $(b,docs/server.md))")
+    term
+
 let trace_cmd =
   let run file =
     match Hypar_obs.Export.parse_chrome (read_file file) with
@@ -1416,7 +1625,7 @@ let () =
   Sys.catch_break true;
   let doc = "hybrid fine/coarse-grain reconfigurable partitioning (DATE'04/05 methodology)" in
   let info = Cmd.info "hypar" ~version:"1.0.0" ~doc in
-  let group = Cmd.group info [ partition_cmd; kernels_cmd; analyze_cmd; opt_cmd; compile_bc_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; faults_cmd; dump_cmd; demo_cmd; trace_cmd; serve_cmd; fuzz_cmd ] in
+  let group = Cmd.group info [ partition_cmd; kernels_cmd; analyze_cmd; opt_cmd; compile_bc_cmd; profile_cmd; dot_cmd; map_cmd; lint_cmd; baselines_cmd; ranges_cmd; explore_cmd; sweep_cmd; faults_cmd; dump_cmd; demo_cmd; trace_cmd; serve_cmd; fuzz_cmd; soak_cmd ] in
   match Cmd.eval' ~catch:false group with
   | code -> exit code
   | exception Sys.Break ->

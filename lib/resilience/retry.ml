@@ -1,3 +1,7 @@
+let delay_us ~backoff_us ~attempt =
+  if attempt < 1 then invalid_arg "Retry.delay_us: attempt must be >= 1";
+  backoff_us * (1 lsl min (attempt - 1) 20)
+
 let run ?(retries = 0) ?(backoff_us = 0) ?on_retry f =
   if retries < 0 then invalid_arg "Retry.run: retries must be non-negative";
   let rec go attempt =
@@ -11,7 +15,7 @@ let run ?(retries = 0) ?(backoff_us = 0) ?on_retry f =
       (* deterministic exponential backoff: attempt k waits
          backoff_us * 2^(k-1); the default of zero keeps retried runs
          bit-identical in time-insensitive contexts (tests, resume) *)
-      let wait_us = backoff_us * (1 lsl min (attempt - 1) 20) in
+      let wait_us = delay_us ~backoff_us ~attempt in
       if wait_us > 0 then Unix.sleepf (float_of_int wait_us /. 1_000_000.);
       go (attempt + 1)
     | Error _ as e -> e

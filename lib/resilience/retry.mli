@@ -6,6 +6,13 @@
     the default [backoff_us = 0] no time passes, so retried runs stay
     fully deterministic. *)
 
+val delay_us : backoff_us:int -> attempt:int -> int
+(** The backoff schedule itself: [backoff_us * 2^(attempt-1)], with the
+    exponent capped at 20 so the wait never overflows.  Exposed so other
+    supervisory loops (the serve pool's worker respawn) share one policy
+    instead of reinventing it.  Raises [Invalid_argument] when
+    [attempt < 1]. *)
+
 val run :
   ?retries:int ->
   ?backoff_us:int ->

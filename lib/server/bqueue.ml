@@ -43,6 +43,15 @@ let pop t =
   in
   wait ()
 
+(* Unconditional enqueue: bypasses both the capacity bound and the
+   closed flag.  Reserved for the supervisor's retry path — a request
+   already admitted once must be re-runnable during drain without being
+   re-refused as overloaded or draining. *)
+let requeue t x =
+  with_lock t @@ fun () ->
+  Queue.add x t.items;
+  Condition.signal t.nonempty
+
 let close t =
   with_lock t @@ fun () ->
   t.closed <- true;

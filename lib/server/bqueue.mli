@@ -22,6 +22,11 @@ val pop : 'a t -> 'a option
 (** Blocks.  [None] means closed and fully drained — the worker should
     exit. *)
 
+val requeue : 'a t -> 'a -> unit
+(** Unconditional enqueue, bypassing both the capacity bound and
+    {!close}: the supervisor's retry path re-enqueues an
+    already-admitted request even mid-drain.  Never refuses. *)
+
 val close : 'a t -> unit
 (** Stop accepting; queued items remain poppable.  Idempotent; wakes
     every blocked {!pop}. *)

@@ -10,6 +10,7 @@ type t = {
   errors : int Atomic.t;
   deadline_exceeded : int Atomic.t;
   rejected : int Atomic.t;
+  poisoned : int Atomic.t;
 }
 
 let create ~drain_timeout_ms =
@@ -23,6 +24,7 @@ let create ~drain_timeout_ms =
     errors = Atomic.make 0;
     deadline_exceeded = Atomic.make 0;
     rejected = Atomic.make 0;
+    poisoned = Atomic.make 0;
   }
 
 let request t why =
@@ -46,6 +48,7 @@ let record t (resp : Protocol.response) =
     | Protocol.Deadline_exceeded _ ->
       (t.deadline_exceeded, "server.requests.deadline_exceeded")
     | Protocol.Overloaded _ -> (t.rejected, "server.requests.rejected")
+    | Protocol.Poisoned _ -> (t.poisoned, "server.requests.poisoned")
   in
   Atomic.incr cell;
   if Hypar_obs.Sink.enabled () then Hypar_obs.Counter.incr counter
@@ -55,13 +58,14 @@ let uptime_ms t =
 
 let health_payload t ~queue_depth =
   Printf.sprintf
-    {|{"uptime_ms":%d,"queue_depth":%d,"draining":%b,"accepted":%d,"completed":%d,"errors":%d,"deadline_exceeded":%d,"rejected":%d}|}
+    {|{"uptime_ms":%d,"queue_depth":%d,"draining":%b,"accepted":%d,"completed":%d,"errors":%d,"deadline_exceeded":%d,"rejected":%d,"poisoned":%d}|}
     (uptime_ms t) queue_depth (draining t)
     (Atomic.get t.accepted)
     (Atomic.get t.completed)
     (Atomic.get t.errors)
     (Atomic.get t.deadline_exceeded)
     (Atomic.get t.rejected)
+    (Atomic.get t.poisoned)
 
 let stats_line t =
   let why =
@@ -72,10 +76,11 @@ let stats_line t =
   in
   Printf.sprintf
     "hypar serve: drained (%s): accepted=%d completed=%d errors=%d \
-     deadline-exceeded=%d rejected=%d"
+     deadline-exceeded=%d rejected=%d poisoned=%d"
     why
     (Atomic.get t.accepted)
     (Atomic.get t.completed)
     (Atomic.get t.errors)
     (Atomic.get t.deadline_exceeded)
     (Atomic.get t.rejected)
+    (Atomic.get t.poisoned)

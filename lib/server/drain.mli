@@ -28,7 +28,7 @@ val accepted : t -> unit
 
 val record : t -> Protocol.response -> unit
 (** Classify a response into completed / errors / deadline-exceeded /
-    rejected. *)
+    rejected / poisoned. *)
 
 val uptime_ms : t -> int
 
@@ -38,4 +38,4 @@ val health_payload : t -> queue_depth:int -> string
 
 val stats_line : t -> string
 (** The final line printed to stderr on exit, e.g.
-    ["hypar serve: drained (eof): accepted=4 completed=3 errors=1 deadline-exceeded=0 rejected=0"]. *)
+    ["hypar serve: drained (eof): accepted=4 completed=3 errors=1 deadline-exceeded=0 rejected=0 poisoned=0"]. *)

@@ -83,6 +83,7 @@ type response =
   | Failed of { id : int option; kind : string; message : string }
   | Overloaded of { id : int option; depth : int; retry_after_ms : int }
   | Deadline_exceeded of { id : int option; reason : deadline_reason }
+  | Poisoned of { id : int option; signature : string; attempts : int }
 
 let id_json = function None -> "null" | Some i -> string_of_int i
 
@@ -105,3 +106,20 @@ let render = function
     Printf.sprintf
       {|{"id":%s,"status":"deadline_exceeded","reason":"fuel-exhausted","steps":%d}|}
       (id_json id) steps
+  | Poisoned { id; signature; attempts } ->
+    Printf.sprintf
+      {|{"id":%s,"status":"poisoned","signature":"%s","attempts":%d}|}
+      (id_json id) (Jsonv.escape signature) attempts
+
+(* The id-independent identity of a request: the digest of its rendered
+   body with the "id" member removed.  Retrying a poisonous request
+   under a fresh id hits the same quarantine entry, and chaos decisions
+   keyed by it are reproducible across [--jobs] and across restarts. *)
+let digest (req : request) =
+  let body =
+    match req.body with
+    | Jsonv.Obj fields ->
+      Jsonv.Obj (List.filter (fun (k, _) -> k <> "id") fields)
+    | v -> v
+  in
+  Digest.to_hex (Digest.string (Jsonv.to_string body))

@@ -18,7 +18,11 @@
       ["queue_depth"] and a ["retry_after_ms"] hint;
     - [deadline_exceeded]: the request ran out of wall-clock budget
       (["reason":"wall-clock"]) or of its typed interpreter fuel cap
-      (["reason":"fuel-exhausted"] with ["steps"]). *)
+      (["reason":"fuel-exhausted"] with ["steps"]);
+    - [poisoned]: the request repeatedly killed worker domains and was
+      quarantined by the supervisor — ["signature"] names the crash
+      class and ["attempts"] how many executions were tried (0 when the
+      digest was already quarantined on arrival). *)
 
 type request = {
   id : int option;
@@ -48,6 +52,13 @@ type response =
   | Failed of { id : int option; kind : string; message : string }
   | Overloaded of { id : int option; depth : int; retry_after_ms : int }
   | Deadline_exceeded of { id : int option; reason : deadline_reason }
+  | Poisoned of { id : int option; signature : string; attempts : int }
 
 val render : response -> string
 (** One line, no trailing newline. *)
+
+val digest : request -> string
+(** The id-independent identity of a request: an MD5 hex digest of the
+    request object with the ["id"] member dropped.  Quarantine entries
+    and chaos decisions are keyed by it, so they are stable across ids,
+    [--jobs] values and server restarts. *)

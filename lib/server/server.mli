@@ -16,22 +16,39 @@
     refused with a typed [overloaded] envelope instead of queueing
     without bound.  Worker trace events are captured per request
     ({!Hypar_obs.Sink.collect}) and replayed in request order at session
-    end, so merged traces and counter totals are independent of [jobs]. *)
+    end, so merged traces and counter totals are independent of [jobs].
+
+    With [supervisor = Some opts] the pool is owned by {!Supervisor}
+    instead: worker crashes and wedges are healed, failing requests are
+    retried and ultimately quarantined, and chaos faults from
+    [opts.chaos] are injected — see {!Supervisor} and {!Chaos}. *)
 
 type config = {
   jobs : int;
   max_queue : int;
   drain_timeout_ms : int;
+  retry_after_ms : int;
+      (** base of the [overloaded] envelope's retry hint (the CLI
+          default is 100); scaled by queue depth via
+          {!retry_after_hint} *)
   faults : Hypar_resilience.Fault.spec option;
   backend : Hypar_profiling.Profile.backend option;
       (** profiling backend override; [None] honours [HYPAR_INTERP] *)
   default_deadline_ms : int option;
   default_fuel : int option;
+  supervisor : Supervisor.options option;
+      (** [Some] serves through the self-healing supervised pool *)
 }
+
+val retry_after_hint : base:int -> jobs:int -> depth:int -> int
+(** Load-aware backoff hint: [base * ceil(depth / jobs)].  A queue one
+    pool-width deep clears in about one service interval, so the hint
+    grows linearly with how many such intervals are already queued. *)
 
 val run_session :
   ?drain_on_eof:bool ->
   ?execute:(Worker.config -> Protocol.request -> Protocol.response) ->
+  ?on_stats:(Supervisor.stats -> unit) ->
   config ->
   Drain.t ->
   Unix.file_descr ->
@@ -41,7 +58,11 @@ val run_session :
     requests an [Eof] drain when input ends — socket connections pass
     [false] so a disconnecting client does not stop the server.
     [execute] (default {!Worker.execute}) is a test seam for injecting
-    deterministic or blocking workloads. *)
+    deterministic or blocking workloads.  [on_stats] observes the
+    supervisor's final statistics (supervised sessions only). *)
+
+val supervisor_line : Supervisor.stats -> string
+(** The one-line stderr summary of a supervised session. *)
 
 val run_pipe : config -> int
 (** Serve stdin/stdout until EOF or a signal; returns the exit code

@@ -11,6 +11,7 @@ type config = {
   default_fuel : int option;
   drain : Drain.t;
   queue_depth : unit -> int;
+  on_poll : (unit -> unit) option;
 }
 
 let read_file path =
@@ -63,9 +64,22 @@ let fuel_of config body =
   | None -> config.default_fuel
 
 (* The effective deadline is recomputed on every poll: a signal drain
-   arriving mid-request tightens the budget of already-running work. *)
+   arriving mid-request tightens the budget of already-running work.
+   [on_poll] is the supervisor's heartbeat: every poll proves the worker
+   is making progress, which is what separates a slow request from a
+   wedged one. *)
 let poll_hook config deadline () =
+  (match config.on_poll with Some beat -> beat () | None -> ());
   Deadline.check (Deadline.earliest deadline (Drain.cancel_deadline config.drain))
+
+(* The wall-clock budget a request asked for, without starting the
+   clock: the supervisor adds it to its wedge-detection threshold so a
+   long-deadline request is not mistaken for a stuck one. *)
+let request_deadline_ms config (req : P.request) =
+  match P.opt_int_field req.P.body "deadline_ms" with
+  | Some _ as ms -> ms
+  | None -> config.default_deadline_ms
+  | exception P.Bad_request _ -> config.default_deadline_ms
 
 (* --- payload rendering -------------------------------------------------- *)
 
@@ -246,7 +260,6 @@ let exn_kind = function
   | Hypar_bytecode.Driver.Frontend_error _ ->
     "Frontend_error"
   | Hypar_profiling.Interp.Runtime_error _ -> "Runtime_error"
-  | Sys_error _ -> "Sys_error"
   | e -> Printexc.exn_slot_name e
 
 let exn_message = function
@@ -264,8 +277,11 @@ let exn_message = function
       err.Hypar_bytecode.Driver.line err.Hypar_bytecode.Driver.col
       err.Hypar_bytecode.Driver.msg
   | Hypar_profiling.Interp.Runtime_error msg -> msg
-  | Sys_error msg -> msg
   | e -> Printexc.to_string e
+
+let request_label = function
+  | Some n -> string_of_int n
+  | None -> "without id"
 
 let envelope_of_exn id = function
   | Deadline.Expired -> P.Deadline_exceeded { id; reason = P.Wall_clock }
@@ -283,8 +299,27 @@ let envelope_of_exn id = function
         kind = "crash:" ^ Printexc.exn_slot_name e;
         message =
           Printf.sprintf "evaluation aborted by %s (request %s)"
-            (Printexc.exn_slot_name e)
-            (match id with Some n -> string_of_int n | None -> "without id");
+            (Printexc.exn_slot_name e) (request_label id);
+      }
+  (* I/O failures inside a verb handler are environmental, not a bug in
+     the request: rank them as [io:*] and name the request so operators
+     can separate a missing input file from a malformed request *)
+  | Sys_error msg ->
+    P.Failed
+      {
+        id;
+        kind = "io:Sys_error";
+        message = Printf.sprintf "%s (request %s)" msg (request_label id);
+      }
+  | Unix.Unix_error (err, fn, arg) ->
+    P.Failed
+      {
+        id;
+        kind = "io:Unix_error";
+        message =
+          Printf.sprintf "%s%s: %s (request %s)" fn
+            (if arg = "" then "" else " " ^ arg)
+            (Unix.error_message err) (request_label id);
       }
   | e -> P.Failed { id; kind = exn_kind e; message = exn_message e }
 

@@ -29,17 +29,26 @@ type config = {
   default_fuel : int option;
   drain : Drain.t;
   queue_depth : unit -> int;  (** sampled by the [health] verb *)
+  on_poll : (unit -> unit) option;
+      (** supervision heartbeat, invoked on every cooperative poll;
+          [None] outside a supervised pool *)
 }
 
 val execute : config -> Protocol.request -> Protocol.response
 (** Total: never raises. *)
 
+val request_deadline_ms : config -> Protocol.request -> int option
+(** The wall-clock budget the request asked for ([deadline_ms], falling
+    back to the config default), without starting it: the supervisor
+    folds it into its wedge-detection threshold. *)
+
 val envelope_of_exn : int option -> exn -> Protocol.response
 (** The envelope {!execute} produces when a verb raises, keyed by the
     request id: deadline and fuel exceptions become typed
     [deadline_exceeded] envelopes, [Bad_request] becomes a
-    [bad-request] failure, and resource exhaustion ([Stack_overflow],
+    [bad-request] failure, resource exhaustion ([Stack_overflow],
     [Out_of_memory]) is ranked as a [crash:*] failure naming the
-    request — not swallowed into the generic error shape.  Exposed so
-    the crash ranking is testable without actually exhausting the
-    stack inside the test runner. *)
+    request, and I/O failures ([Sys_error], [Unix.Unix_error]) as
+    [io:*] failures naming the request — not swallowed into the
+    generic error shape.  Exposed so the rankings are testable without
+    actually exhausting the stack inside the test runner. *)

@@ -491,10 +491,10 @@ is scrubbed):
   {"id":null,"status":"error","kind":"parse-error","message":"invalid JSON: expected true at offset 0"}
   {"id":2,"status":"ok","verb":"partition","payload":{"file":"fir.mc","status":"met-after-1","met":true,"timing_constraint":8000,"initial":{"t_fpga":15985,"t_coarse_cgc":0,"t_coarse":0,"t_comm":0,"t_total":15985},"final":{"t_fpga":2993,"t_coarse_cgc":1344,"t_coarse":448,"t_comm":616,"t_total":4057},"reduction_percent":74.6199562089,"moved":[2],"steps":1}}
   {"id":3,"status":"deadline_exceeded","reason":"fuel-exhausted","steps":50}
-  {"id":4,"status":"error","kind":"Sys_error","message":"nope.mc: No such file or directory"}
-  {"id":5,"status":"ok","verb":"health","payload":{"uptime_ms":T,"queue_depth":0,"draining":false,"accepted":6,"completed":2,"errors":2,"deadline_exceeded":1,"rejected":0}}
+  {"id":4,"status":"error","kind":"io:Sys_error","message":"nope.mc: No such file or directory (request 4)"}
+  {"id":5,"status":"ok","verb":"health","payload":{"uptime_ms":T,"queue_depth":0,"draining":false,"accepted":6,"completed":2,"errors":2,"deadline_exceeded":1,"rejected":0,"poisoned":0}}
   $ cat serve-stats.txt
-  hypar serve: drained (eof): accepted=6 completed=3 errors=2 deadline-exceeded=1 rejected=0
+  hypar serve: drained (eof): accepted=6 completed=3 errors=2 deadline-exceeded=1 rejected=0 poisoned=0
 
 SIGTERM drains gracefully: the server stops accepting, finishes what it
 has, prints the stats line and exits 0:
@@ -510,7 +510,7 @@ has, prints the stats line and exits 0:
   $ cat sig.jsonl
   {"id":1,"status":"ok","verb":"faults","payload":{"spec":{"seed": 7, "faults": [{"kind": "dead-node", "cgc": 0, "row": 1, "col": 1, "unit": "both"}, {"kind": "dead-cgc", "cgc": 1}]}}}
   $ cat sig-stats.txt
-  hypar serve: drained (signal): accepted=1 completed=1 errors=0 deadline-exceeded=0 rejected=0
+  hypar serve: drained (signal): accepted=1 completed=1 errors=0 deadline-exceeded=0 rejected=0 poisoned=0
 
 --socket refuses to clobber an existing path:
 
@@ -518,6 +518,37 @@ has, prints the stats line and exits 0:
   $ hypar serve --socket sock.here
   hypar: serve: socket path sock.here already exists
   [2]
+
+soak drives seeded requests through an in-process supervised session.
+Chaos decisions are keyed by request digests, never worker identity, so
+the response digest is independent of --jobs (the supervisor counter
+line is timing-sensitive, so only the digest and verdict are compared):
+
+  $ hypar soak --seed 1 --count 12 --jobs 1 --chaos none | grep -E 'digest:|baseline:|result:' > soak1.txt
+  $ hypar soak --seed 1 --count 12 --jobs 4 --chaos none | grep -E 'digest:|baseline:|result:' > soak4.txt
+  $ cmp soak1.txt soak4.txt
+  $ grep -E 'baseline:|result:' soak1.txt
+    baseline: match
+  result: PASS
+
+A crash fault on a specific request is healed invisibly: the worker is
+respawned, the request is retried and every id still gets exactly one
+response:
+
+  $ cat > crashy.chaos <<'EOF'
+  > seed 1
+  > crash-on 2
+  > EOF
+  $ hypar soak --seed 1 --count 12 --jobs 2 --chaos crashy.chaos | grep -E 'responses:|result:'
+    responses: 12/12 (ok=12)
+  result: PASS
+
+A malformed chaos spec is rejected up front with the offending line
+(the full directive syntax follows; only the diagnostic matters here):
+
+  $ printf 'crash twelve\n' > bad.chaos
+  $ hypar soak --chaos bad.chaos 2>&1 | head -1
+  hypar: bad.chaos: line 1: crash: expected a percentage like 5%, got "twelve"
 
 Bytecode frontend: the same pipeline accepts hand-written .hbc programs
 with no C source at all:

@@ -67,5 +67,6 @@ let () =
       ("report", Test_report.suite);
       ("obs", Test_obs.suite);
       ("server", Test_server.suite);
+      ("soak", Test_soak.suite);
       ("properties", Test_props.suite);
     ]

@@ -304,6 +304,7 @@ let serve_config () =
     default_fuel = Some 10_000;
     drain = Hypar_server.Drain.create ~drain_timeout_ms:1000;
     queue_depth = (fun () -> 0);
+    on_poll = None;
   }
 
 let envelope_of config line =
@@ -374,9 +375,44 @@ let test_worker_crash_rank () =
   in
   check Stack_overflow "crash:Stack_overflow";
   check Out_of_memory "crash:Out_of_memory";
+  (* environmental I/O failures rank as io:*, also naming the request *)
+  check (Sys_error "input.mc: No such file or directory") "io:Sys_error";
+  check (Unix.Unix_error (Unix.EACCES, "open", "input.mc")) "io:Unix_error";
   (* ordinary exceptions keep the historical generic shape *)
   match Hypar_server.Worker.envelope_of_exn (Some 7) (Failure "boom") with
   | Hypar_server.Protocol.Failed { id = Some 7; kind = "Failure"; _ } -> ()
+  | resp ->
+    Alcotest.failf "unexpected envelope %s" (Hypar_server.Protocol.render resp)
+
+let test_worker_io_rank_messages () =
+  (* the io:* message carries the underlying detail verbatim plus the
+     offending request, so operators can tell a missing input from a
+     permissions problem straight from the envelope *)
+  (match
+     Hypar_server.Worker.envelope_of_exn (Some 3)
+       (Sys_error "gone.mc: No such file or directory")
+   with
+  | Hypar_server.Protocol.Failed { kind = "io:Sys_error"; message; _ } ->
+    Alcotest.(check string) "sys message"
+      "gone.mc: No such file or directory (request 3)" message
+  | resp ->
+    Alcotest.failf "unexpected envelope %s" (Hypar_server.Protocol.render resp));
+  (match
+     Hypar_server.Worker.envelope_of_exn None
+       (Unix.Unix_error (Unix.ENOENT, "open", "gone.mc"))
+   with
+  | Hypar_server.Protocol.Failed { kind = "io:Unix_error"; message; _ } ->
+    Alcotest.(check string) "unix message"
+      "open gone.mc: No such file or directory (request without id)" message
+  | resp ->
+    Alcotest.failf "unexpected envelope %s" (Hypar_server.Protocol.render resp));
+  match
+    Hypar_server.Worker.envelope_of_exn None
+      (Unix.Unix_error (Unix.EPIPE, "write", ""))
+  with
+  | Hypar_server.Protocol.Failed { kind = "io:Unix_error"; message; _ } ->
+    Alcotest.(check string) "no-arg unix message"
+      "write: Broken pipe (request without id)" message
   | resp ->
     Alcotest.failf "unexpected envelope %s" (Hypar_server.Protocol.render resp)
 
@@ -397,4 +433,5 @@ let suite =
     Alcotest.test_case "serve protocol: truncations" `Quick
       test_protocol_truncations;
     Alcotest.test_case "worker: crash ranking" `Quick test_worker_crash_rank;
+    Alcotest.test_case "worker: io ranking" `Quick test_worker_io_rank_messages;
   ]

@@ -46,6 +46,7 @@ let fresh_config ?faults ?default_deadline_ms ?default_fuel () =
     default_fuel;
     drain = Drain.create ~drain_timeout_ms:1000;
     queue_depth = (fun () -> 0);
+    on_poll = None;
   }
 
 let request_exn line =
@@ -114,6 +115,10 @@ let test_render_envelopes () =
   check "fuel"
     {|{"id":5,"status":"deadline_exceeded","reason":"fuel-exhausted","steps":50}|}
     (Protocol.Deadline_exceeded { id = Some 5; reason = Protocol.Fuel 50 });
+  check "poisoned"
+    {|{"id":6,"status":"poisoned","signature":"crash:injected","attempts":2}|}
+    (Protocol.Poisoned
+       { id = Some 6; signature = "crash:injected"; attempts = 2 });
   (* every envelope is itself one line of valid JSON *)
   List.iter
     (fun resp ->
@@ -127,6 +132,7 @@ let test_render_envelopes () =
       Protocol.Failed { id = Some 1; kind = "k"; message = "m\nn" };
       Protocol.Overloaded { id = None; depth = 1; retry_after_ms = 1 };
       Protocol.Deadline_exceeded { id = None; reason = Protocol.Wall_clock };
+      Protocol.Poisoned { id = None; signature = "wedge"; attempts = 0 };
     ]
 
 (* ---- bounded queue ----------------------------------------------------- *)
@@ -228,7 +234,7 @@ let test_worker_typed_errors () =
     (failed_kind "verb" (exec config {|{"verb":"reticulate"}|}));
   Alcotest.(check string) "missing field" "bad-request"
     (failed_kind "field" (exec config {|{"verb":"partition"}|}));
-  Alcotest.(check string) "missing file" "Sys_error"
+  Alcotest.(check string) "missing file" "io:Sys_error"
     (failed_kind "sys"
        (exec config
           {|{"verb":"partition","file":"/nonexistent.mc","timing":1}|}));
@@ -337,7 +343,7 @@ let test_drain_stats () =
   Drain.request d Drain.Signal;
   Alcotest.(check string) "stats line"
     "hypar serve: drained (signal): accepted=2 completed=1 errors=1 \
-     deadline-exceeded=0 rejected=0"
+     deadline-exceeded=0 rejected=0 poisoned=0"
     (Drain.stats_line d)
 
 (* ---- sessions ---------------------------------------------------------- *)
@@ -353,10 +359,12 @@ let run_session ?execute ~jobs requests =
       Server.jobs;
       max_queue = 64;
       drain_timeout_ms = 1000;
+      retry_after_ms = 100;
       faults = None;
       backend = None;
       default_deadline_ms = None;
       default_fuel = None;
+      supervisor = None;
     }
   in
   let drain = Drain.create ~drain_timeout_ms:config.Server.drain_timeout_ms in
@@ -403,7 +411,7 @@ let test_session_pipe_order () =
   Alcotest.(check bool) "eof drain" true (Drain.reason drain = Some Drain.Eof);
   Alcotest.(check string) "stats"
     "hypar serve: drained (eof): accepted=5 completed=2 errors=2 \
-     deadline-exceeded=1 rejected=0"
+     deadline-exceeded=1 rejected=0 poisoned=0"
     (Drain.stats_line drain)
 
 let test_session_jobs_equivalence () =
@@ -448,10 +456,12 @@ let test_session_backpressure () =
       Server.jobs = 2;
       max_queue = 1;
       drain_timeout_ms = 1000;
+      retry_after_ms = 100;
       faults = None;
       backend = None;
       default_deadline_ms = None;
       default_fuel = None;
+      supervisor = None;
     }
   in
   let drain = Drain.create ~drain_timeout_ms:1000 in
@@ -520,10 +530,121 @@ let test_session_backpressure () =
   Alcotest.(check int) "five envelopes" 5 (List.length lines);
   Alcotest.(check int) "three completed" 3 (count "ok");
   Alcotest.(check int) "two refused" 2 (count "overloaded");
+  (* depth 1 on a 2-worker pool is under one pool-width, so the hint
+     stays at the configured base *)
+  Alcotest.(check int) "hint at base" 2
+    (List.length
+       (List.filter
+          (fun l -> Str_contains.contains l {|"retry_after_ms":100|})
+          lines));
   Alcotest.(check string) "stats"
     "hypar serve: drained (eof): accepted=5 completed=3 errors=0 \
-     deadline-exceeded=0 rejected=2"
+     deadline-exceeded=0 rejected=2 poisoned=0"
     (Drain.stats_line drain)
+
+(* ---- load-aware retry hint --------------------------------------------- *)
+
+let test_retry_after_hint () =
+  let hint = Server.retry_after_hint in
+  Alcotest.(check int) "empty queue" 100 (hint ~base:100 ~jobs:4 ~depth:0);
+  Alcotest.(check int) "under one pool-width" 100 (hint ~base:100 ~jobs:4 ~depth:4);
+  Alcotest.(check int) "just over" 200 (hint ~base:100 ~jobs:4 ~depth:5);
+  Alcotest.(check int) "scales with depth" 800 (hint ~base:100 ~jobs:2 ~depth:16);
+  Alcotest.(check int) "custom base" 120 (hint ~base:40 ~jobs:2 ~depth:6);
+  Alcotest.(check int) "jobs clamped" 300 (hint ~base:100 ~jobs:0 ~depth:3)
+
+(* ---- request digests (quarantine identity) ------------------------------ *)
+
+let test_request_digest () =
+  let digest line = Protocol.digest (request_exn line) in
+  Alcotest.(check string) "id-independent"
+    (digest {|{"id":1,"verb":"health"}|})
+    (digest {|{"id":2,"verb":"health"}|});
+  Alcotest.(check string) "missing id too"
+    (digest {|{"verb":"health"}|})
+    (digest {|{"id":9,"verb":"health"}|});
+  Alcotest.(check bool) "body-sensitive" false
+    (digest {|{"verb":"health","tag":1}|} = digest {|{"verb":"health","tag":2}|})
+
+(* ---- randomised invariants --------------------------------------------- *)
+
+(* Two pusher and two popper domains hammer one bounded queue; after the
+   close, the popped multiset must equal the successfully-pushed
+   multiset — nothing lost, nothing duplicated, no matter the
+   interleaving. *)
+let prop_bqueue_no_loss_no_dup =
+  QCheck.Test.make ~name:"bqueue: concurrent push/pop/close keeps every element"
+    ~count:25
+    QCheck.(pair (int_range 1 8) (int_range 0 100))
+    (fun (capacity, n) ->
+      let q = Bqueue.create ~capacity in
+      let poppers =
+        Array.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                let rec go acc =
+                  match Bqueue.pop q with
+                  | None -> acc
+                  | Some x -> go (x :: acc)
+                in
+                go []))
+      in
+      let pushers =
+        Array.init 2 (fun pi ->
+            Domain.spawn (fun () ->
+                let acc = ref [] in
+                for i = 0 to n - 1 do
+                  let x = (pi * n) + i in
+                  let rec attempt () =
+                    match Bqueue.push q x with
+                    | Bqueue.Pushed _ -> acc := x :: !acc
+                    | Bqueue.Full _ ->
+                      Domain.cpu_relax ();
+                      attempt ()
+                    | Bqueue.Closed -> ()
+                  in
+                  attempt ()
+                done;
+                !acc))
+      in
+      let pushed = Array.to_list pushers |> List.concat_map Domain.join in
+      Bqueue.close q;
+      let popped = Array.to_list poppers |> List.concat_map Domain.join in
+      List.sort compare pushed = List.sort compare popped
+      || QCheck.Test.fail_reportf "pushed %d elements, popped %d"
+           (List.length pushed) (List.length popped))
+
+(* Random accept/answer sequences: the stats line always balances —
+   accepted = answered (completed+errors+deadline+rejected+poisoned)
+   plus the requests still unanswered at close. *)
+let prop_drain_stats_balance =
+  QCheck.Test.make ~name:"drain: stats arithmetic always balances" ~count:100
+    QCheck.(list (int_range 0 5))
+    (fun ops ->
+      let d = Drain.create ~drain_timeout_ms:10 in
+      let unanswered = ref 0 in
+      List.iter
+        (fun op ->
+          Drain.accepted d;
+          match op with
+          | 0 -> Drain.record d (Protocol.Done { id = None; verb = "v"; payload = "{}" })
+          | 1 -> Drain.record d (Protocol.Failed { id = None; kind = "k"; message = "m" })
+          | 2 -> Drain.record d (Protocol.Overloaded { id = None; depth = 1; retry_after_ms = 1 })
+          | 3 -> Drain.record d (Protocol.Deadline_exceeded { id = None; reason = Protocol.Wall_clock })
+          | 4 -> Drain.record d (Protocol.Poisoned { id = None; signature = "s"; attempts = 1 })
+          | _ -> incr unanswered (* accepted, never answered: in flight at close *))
+        ops;
+      Drain.request d Drain.Eof;
+      Scanf.sscanf (Drain.stats_line d)
+        "hypar serve: drained (eof): accepted=%d completed=%d errors=%d \
+         deadline-exceeded=%d rejected=%d poisoned=%d"
+        (fun accepted completed errors deadline rejected poisoned ->
+          accepted = List.length ops
+          && accepted
+             = completed + errors + deadline + rejected + poisoned + !unanswered
+          || QCheck.Test.fail_reportf
+               "unbalanced: accepted=%d answered=%d unanswered=%d" accepted
+               (completed + errors + deadline + rejected + poisoned)
+               !unanswered))
 
 let suite =
   [
@@ -554,4 +675,9 @@ let suite =
     Alcotest.test_case "session: jobs-independent" `Quick
       test_session_jobs_equivalence;
     Alcotest.test_case "session: backpressure" `Quick test_session_backpressure;
+    Alcotest.test_case "overload: load-aware retry hint" `Quick
+      test_retry_after_hint;
+    Alcotest.test_case "protocol: request digest" `Quick test_request_digest;
+    QCheck_alcotest.to_alcotest prop_bqueue_no_loss_no_dup;
+    QCheck_alcotest.to_alcotest prop_drain_stats_balance;
   ]
